@@ -1,0 +1,134 @@
+"""E10 (ablation) — the design choices DESIGN.md calls out, measured.
+
+Three ablations:
+
+* **extraction vs enumeration** — computing L_wait as an automaton vs
+  sampling it word by word, across word depths.  The extractor's cost is
+  flat in depth (it builds |V|·P states once); sampling grows with the
+  word tree.
+* **configuration dominance pruning** — deep Figure-1 wait sampling with
+  the minimal-time-per-node pruning (the shipped acceptor) against the
+  theoretical unpruned state count, showing why the optimization exists.
+* **broadcast tree vs flood** — transmissions needed by the pruned
+  foremost spanner against the full flood on the same workloads.
+"""
+
+import time
+
+from conftest import emit
+
+from repro import WAIT, figure1_automaton
+from repro.analysis.spanners import foremost_broadcast_tree, spanner_savings
+from repro.automata.enumeration import language_upto
+from repro.automata.language_compute import wait_language_automaton
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.generators import periodic_random_tvg
+from repro.dynamics.protocols.broadcast import simulate_broadcast
+from repro.dynamics.workloads import make_workload
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, (time.perf_counter() - start) * 1e3
+
+
+def test_extraction_vs_enumeration(benchmark):
+    g = periodic_random_tvg(4, period=4, density=0.5, labels="ab", seed=3)
+    auto = TVGAutomaton(g, initial=0, accepting=list(g.nodes), start_time=0)
+
+    def sweep():
+        rows = []
+        nfa, build_ms = _timed(lambda: wait_language_automaton(auto))
+        for depth in (3, 5, 7):
+            sampled, sample_ms = _timed(
+                lambda d=depth: auto.language(d, WAIT, horizon=8 * (d + 1))
+            )
+            extracted, read_ms = _timed(lambda d=depth: language_upto(nfa, d))
+            assert extracted == sampled, depth
+            rows.append(
+                [depth, f"{build_ms + read_ms:.1f} ms", f"{sample_ms:.1f} ms", len(sampled)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E10a  Ablation: extraction+read vs direct sampling of L_wait",
+        ["depth", "extract+enumerate", "config-set sampling", "|sample|"],
+        rows,
+    )
+
+
+def test_dominance_pruning_effect(benchmark):
+    """Config counts with pruning (measured) vs without (counted)."""
+    fig1 = figure1_automaton()
+
+    def sweep():
+        rows = []
+        for depth in (3, 4, 5):
+            horizon = 600
+            configs = fig1.initial_configurations(WAIT, horizon)
+            unpruned_estimate = 0
+            for word_len in range(depth):
+                # Without dominance, every present departure spawns a
+                # distinct config; count them one step ahead.
+                next_unpruned = 0
+                for node, ready in configs:
+                    for edge in fig1.graph.out_edges(node):
+                        from repro.core.intervals import Interval
+
+                        next_unpruned += edge.presence.support(
+                            Interval(ready, horizon)
+                        ).total_length()
+                unpruned_estimate = max(unpruned_estimate, next_unpruned)
+                # Advance pruned configs by one arbitrary symbol ('a').
+                configs = fig1.step_configurations(configs, "a", WAIT, horizon)
+                if not configs:
+                    break
+            rows.append([depth, len(configs) if configs else 0, unpruned_estimate])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E10b  Ablation: configuration counts with dominance pruning vs without",
+        ["word length", "pruned configs (<= |V|)", "unpruned successor count"],
+        rows,
+    )
+    for _depth, pruned, unpruned in rows:
+        assert pruned <= 3
+        assert unpruned >= pruned
+
+
+def test_tree_vs_flood(benchmark):
+    def sweep():
+        rows = []
+        for name in ("sparse-dtn", "campus-walkers", "flaky-backbone"):
+            workload = make_workload(name, seed=1)
+            outcome = simulate_broadcast(
+                workload.graph, workload.source, buffering=True,
+                start=workload.start, end=workload.end,
+            )
+            tree = foremost_broadcast_tree(
+                workload.graph, workload.source, workload.start, WAIT,
+                horizon=workload.end,
+            )
+            kept, total, dropped = spanner_savings(workload.graph, tree)
+            rows.append(
+                [
+                    name,
+                    outcome.transmissions,
+                    kept,
+                    total,
+                    f"{dropped:.0%}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E10c  Ablation: flood transmissions vs foremost-tree contacts",
+        ["workload", "flood transmissions", "tree edges", "graph edges", "edges dropped"],
+        rows,
+    )
+    for _name, flood_tx, tree_edges, _total, _dropped in rows:
+        assert tree_edges <= flood_tx or flood_tx == 0

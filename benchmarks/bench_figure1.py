@@ -1,0 +1,76 @@
+"""E1 — Figure 1 / Table 1: the a^n b^n TVG-automaton.
+
+Regenerates the paper's only concrete artifact: the deterministic
+TVG-automaton whose no-wait language is {a^n b^n : n >= 1}, plus the
+derived wait language (regular).  The timed kernel is the acceptance
+sweep over all words up to the length bound.
+"""
+
+from conftest import emit
+
+from repro import NO_WAIT, WAIT, figure1_automaton
+from repro.automata.enumeration import language_upto
+from repro.automata.regex import regex_to_nfa
+from repro.constructions.figure1 import (
+    figure1_clock,
+    figure1_wait_language_description,
+)
+from repro.machines.programs import is_anbn_positive
+
+DEPTH = 8
+WAIT_DEPTH = 6
+WAIT_HORIZON = 2600
+
+
+def test_nowait_language_is_anbn(benchmark):
+    fig1 = figure1_automaton()
+    sample = benchmark(lambda: fig1.language(DEPTH, NO_WAIT))
+    from repro.automata.alphabet import Alphabet
+
+    expected = {w for w in Alphabet("ab").words_upto(DEPTH) if is_anbn_positive(w)}
+    assert sample == expected
+
+    rows = []
+    for word in ("ab", "aabb", "aaabbb", "aab", "abb", "ba", "b", ""):
+        rows.append(
+            [
+                repr(word),
+                "accept" if word in sample else "reject",
+                figure1_clock(word),
+            ]
+        )
+    emit(
+        "E1a  Figure 1: L_nowait = a^n b^n (p=2, q=3, start t=1)",
+        ["word", "nowait verdict", "clock p^n q^j"],
+        rows,
+    )
+
+
+def test_wait_language_is_regular(benchmark):
+    fig1 = figure1_automaton()
+    sample = benchmark(lambda: fig1.language(WAIT_DEPTH, WAIT, horizon=WAIT_HORIZON))
+    pattern = figure1_wait_language_description()
+    reference = language_upto(regex_to_nfa(pattern, "ab"), WAIT_DEPTH)
+    assert sample == reference
+
+    nowait = fig1.language(WAIT_DEPTH, NO_WAIT)
+    rows = [
+        ["|L_nowait| (len<=6)", len(nowait)],
+        ["|L_wait|   (len<=6)", len(sample)],
+        ["wait-only words", len(sample - nowait)],
+        ["derived regex", pattern],
+        ["sample == regex sample", sample == reference],
+    ]
+    emit("E1b  Figure 1 under waiting: collapse to a regular language",
+         ["quantity", "value"], rows)
+
+
+def test_determinism_window(benchmark):
+    fig1 = figure1_automaton()
+    verdict = benchmark(lambda: fig1.is_deterministic_over(range(1, 500)))
+    assert verdict
+    emit(
+        "E1c  Figure 1 determinism check",
+        ["window", "deterministic"],
+        [["t in [1, 500)", verdict]],
+    )

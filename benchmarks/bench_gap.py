@@ -1,0 +1,122 @@
+"""E8 — the headline expressivity gap, as one table.
+
+For a family of graphs spanning the paper's spectrum — Figure 1, the
+Theorem 2.1 clockwork for a^n b^n, a strict regular embedding, and a
+plain periodic TVG — report:
+
+* the sampled no-wait and wait languages,
+* the fraction of wait words that *require* buffering,
+* Myhill–Nerode lower bounds for both samples,
+* a regularity certificate (exact minimal DFA) where extraction applies.
+
+Shape to reproduce: every wait column is certified/bounded regular;
+the no-wait column of the clockwork graphs outgrows any fixed bound.
+"""
+
+from conftest import emit
+
+from repro import NO_WAIT, WAIT, figure1_automaton, nowait_automaton_for, regex_to_tvg
+from repro.analysis.expressivity import (
+    language_gap,
+    nerode_lower_bound,
+    regularity_certificate,
+)
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.generators import periodic_random_tvg
+from repro.machines.programs import standard_deciders
+
+
+def build_cases():
+    fig1 = figure1_automaton()
+    clockwork = nowait_automaton_for(standard_deciders()["anbn"])
+    strict = regex_to_tvg("(ab)*", strict=True)
+    periodic = TVGAutomaton(
+        periodic_random_tvg(4, period=3, density=0.5, labels="ab", seed=5),
+        initial=0,
+        accepting=[2, 3],
+        start_time=0,
+    )
+    return [
+        ("figure1", fig1, 5, 600),
+        ("thm2.1(anbn)", clockwork, 5, 6000),
+        ("strict (ab)*", strict, 5, 40),
+        ("periodic rnd", periodic, 4, 40),
+    ]
+
+
+def test_expressivity_gap(benchmark):
+    def run_all():
+        rows = []
+        for name, auto, depth, horizon in build_cases():
+            report = language_gap(auto, max_length=depth, horizon=horizon)
+            rows.append(
+                [
+                    name,
+                    len(report.nowait_sample),
+                    len(report.wait_sample),
+                    f"{report.gap_ratio:.2f}",
+                    report.nowait_nerode,
+                    report.wait_nerode,
+                ]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    emit(
+        "E8  The expressivity gap across graph families",
+        ["graph", "|L_nowait|", "|L_wait|", "wait-only frac", "nowait MN>=", "wait MN>="],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    # No-wait is always a subset, so the counts are ordered.
+    for row in rows:
+        assert row[1] <= row[2]
+    # The clockwork graphs show a real gap; the strict embedding loses
+    # everything but the empty word without buffering.
+    assert float(by_name["figure1"][3]) > 0
+    assert by_name["strict (ab)*"][1] == 1  # only '' survives no-wait
+    assert float(by_name["strict (ab)*"][3]) > 0.5
+
+
+def test_regularity_certificates(benchmark):
+    """Exact certificates where extraction applies (periodic graphs)."""
+
+    def run_all():
+        rows = []
+        for seed in range(3):
+            g = periodic_random_tvg(4, period=3, density=0.5, labels="ab", seed=seed)
+            if not g.alphabet:
+                continue
+            auto = TVGAutomaton(g, initial=0, accepting=3, start_time=0)
+            wait_cert = regularity_certificate(auto, WAIT)
+            nowait_cert = regularity_certificate(auto, NO_WAIT)
+            rows.append([seed, wait_cert.state_count, nowait_cert.state_count])
+        return rows
+
+    rows = benchmark(run_all)
+    emit(
+        "E8b  Regularity certificates for periodic TVGs (minimal DFA sizes)",
+        ["seed", "L_wait DFA", "L_nowait DFA"],
+        rows,
+    )
+    assert rows
+
+
+def test_nowait_nerode_growth(benchmark):
+    """The non-regularity shadow: Figure 1's no-wait bound grows with depth."""
+    fig1 = figure1_automaton()
+
+    def run_all():
+        return [
+            [depth, nerode_lower_bound(fig1.language(depth, NO_WAIT), depth)]
+            for depth in (4, 6, 8, 10)
+        ]
+
+    rows = benchmark(run_all)
+    emit(
+        "E8c  Myhill-Nerode lower bound growth for L_nowait(Figure 1)",
+        ["depth", "lower bound"],
+        rows,
+    )
+    bounds = [bound for _depth, bound in rows]
+    assert bounds == sorted(bounds) and bounds[-1] > bounds[0]

@@ -1,0 +1,140 @@
+"""E9 (extension) — placing TVG languages on the Chomsky ladder.
+
+The paper's three theorems are statements about where TVG languages sit
+in the classical hierarchy.  This benchmark makes the placement
+operational: for each showcase graph/semantics pair it runs three
+instruments —
+
+* regular side: exact extraction certificate (periodic/finite graphs) or
+  the pumping refutation ladder (does any small-DFA hypothesis survive?);
+* context-free side: CYK equality against the stock grammar;
+* routing cost of the same hierarchy in the network world: direct-wait
+  vs spray-and-wait vs PRoPHET vs epidemic on a common scenario.
+"""
+
+from conftest import emit
+
+from repro import NO_WAIT, WAIT, figure1_automaton
+from repro.automata.grammars import cfg_anbn
+from repro.automata.pumping import refuted_state_bound
+from repro.core.generators import edge_markovian_tvg
+from repro.dynamics.protocols.prophet import route_prophet
+from repro.dynamics.protocols.routing import route_direct, route_epidemic
+from repro.dynamics.protocols.spray_and_wait import spray_and_wait
+
+
+def test_chomsky_placement(benchmark):
+    fig1 = figure1_automaton()
+
+    def run():
+        nowait = fig1.language(8, NO_WAIT)
+        wait = fig1.language(6, WAIT, horizon=2600)
+        cfg_match = nowait == cfg_anbn().language_upto(8)
+        nowait_refuted = refuted_state_bound(
+            lambda w: w in nowait, "ab", max_pumping_length=3, word_depth=8
+        )
+        wait_refuted = refuted_state_bound(
+            lambda w: w in wait, "ab", max_pumping_length=3, word_depth=6
+        )
+        return cfg_match, nowait_refuted, wait_refuted
+
+    cfg_match, nowait_refuted, wait_refuted = benchmark(run)
+    rows = [
+        ["L_nowait(Fig1) == CFG(anbn) sample", cfg_match],
+        ["L_nowait: DFAs refuted up to states", nowait_refuted],
+        ["L_wait:   DFAs refuted up to states", wait_refuted],
+    ]
+    emit(
+        "E9  Chomsky placement of Figure 1's two languages",
+        ["instrument", "value"],
+        rows,
+    )
+    assert cfg_match
+    # The no-wait language refutes small DFAs; the wait language (true
+    # minimal DFA: 6 states) cannot refute pumping length 3 forever —
+    # but at these sampled depths both sides behave as expected:
+    assert nowait_refuted >= 2
+
+
+def test_routing_hierarchy(benchmark):
+    """Waiting-enabled protocols ranked by copies vs delay."""
+
+    def run():
+        rows = []
+        for seed in (1, 2, 3):
+            g = edge_markovian_tvg(10, horizon=50, birth=0.1, death=0.4, seed=seed)
+            direct = route_direct(g, 0, 9, 0, WAIT, horizon=50)
+            spray = spray_and_wait(g, 0, 9, copies=4)
+            prophet = route_prophet(g, 0, 9)
+            epidemic = route_epidemic(g, 0, 9)
+            rows.append(
+                [
+                    seed,
+                    _cell(direct.delivered, direct.delay),
+                    _cell(spray.delivered, spray.delay),
+                    _cell(prophet.delivered, prophet.delay),
+                    _cell(epidemic.delivered, epidemic.delay),
+                    epidemic.transmissions,
+                ]
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "E9b  Waiting-enabled routing family (delay; '-' = undelivered)",
+        ["seed", "direct(wait)", "spray&wait(4)", "prophet", "epidemic", "epidemic tx"],
+        rows,
+    )
+    # Epidemic is the delay-optimal waiting protocol: whenever it
+    # delivers, no other protocol in the family beat its delay.
+    for row in rows:
+        delays = [_parse(cell) for cell in row[1:5]]
+        epidemic_delay = delays[3]
+        if epidemic_delay is not None:
+            for other in delays[:3]:
+                if other is not None:
+                    assert other >= epidemic_delay
+
+
+def _cell(delivered, delay):
+    return delay if delivered else "-"
+
+
+def _parse(cell):
+    return None if cell == "-" else int(cell)
+
+
+def test_learnability_contrast(benchmark):
+    """E9c: Theorem 2.2 as learnability.
+
+    RPNI learns the wait language of Figure 1 exactly from a bounded
+    sample (it is regular, so a finite target exists); machines learned
+    from deepening no-wait samples keep growing (no finite target).
+    """
+    from repro.automata.learning import learn_from_language_sample
+    from repro.automata.operations import minimize
+
+    fig1 = figure1_automaton()
+
+    def run():
+        wait_sample = fig1.language(6, WAIT, horizon=2600)
+        wait_size = len(
+            minimize(learn_from_language_sample(wait_sample, "ab", 6)).states
+        )
+        nowait_sizes = []
+        for depth in (4, 6, 8):
+            sample = fig1.language(depth, NO_WAIT)
+            nowait_sizes.append(
+                len(minimize(learn_from_language_sample(sample, "ab", depth)).states)
+            )
+        return wait_size, nowait_sizes
+
+    wait_size, nowait_sizes = benchmark(run)
+    rows = [
+        ["L_wait, learned DFA size (depth 6)", wait_size],
+        ["L_nowait, learned sizes (depths 4/6/8)", "/".join(map(str, nowait_sizes))],
+    ]
+    emit("E9c  Learnability: a finite target exists only under waiting",
+         ["instrument", "value"], rows)
+    assert nowait_sizes[-1] > nowait_sizes[0]
+    assert wait_size <= 7

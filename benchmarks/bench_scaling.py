@@ -1,0 +1,97 @@
+"""E7 — substrate scalability.
+
+Measures how the three engines scale in their natural parameters:
+
+* journey reachability in node count (wait semantics, fixed density);
+* wait-language extraction in the declared period (states = |V| * P);
+* Figure-1 acceptance in word length (the prime clockwork's cost is the
+  arithmetic on huge dates, not the search).
+
+These are the ablation numbers behind DESIGN.md's choices: temporal-state
+search is polynomial in (nodes x dates), extraction linear in |V| * P.
+"""
+
+import time
+
+from conftest import emit
+
+from repro import NO_WAIT, WAIT, figure1_automaton
+from repro.automata.language_compute import wait_language_automaton
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.generators import edge_markovian_tvg, periodic_random_tvg
+from repro.core.traversal import reachable_nodes
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_reachability_scaling(benchmark):
+    sizes = (8, 16, 32, 64)
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            g = edge_markovian_tvg(
+                n, horizon=40, birth=0.02, death=0.5, seed=1
+            )
+            reached, seconds = timed(
+                lambda g=g: reachable_nodes(g, 0, 0, WAIT, horizon=40)
+            )
+            rows.append([n, g.edge_count, len(reached), f"{seconds * 1e3:.1f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E7a  Wait-reachability scaling in node count (T=40)",
+        ["nodes", "edges", "reached", "time"],
+        rows,
+    )
+    assert len(rows) == len(sizes)
+
+
+def test_extraction_scaling(benchmark):
+    periods = (2, 4, 8, 16)
+
+    def sweep():
+        rows = []
+        for period in periods:
+            g = periodic_random_tvg(
+                5, period=period, density=0.3, labels="ab", seed=2
+            )
+            auto = TVGAutomaton(g, initial=0, accepting=4, start_time=0)
+            nfa, seconds = timed(lambda a=auto: wait_language_automaton(a))
+            rows.append([period, nfa.size, f"{seconds * 1e3:.1f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E7b  Wait-language extraction scaling in the period (|V|=5)",
+        ["period", "NFA states", "time"],
+        rows,
+    )
+    for (period, states, _t) in rows:
+        assert states <= 5 * period
+
+
+def test_figure1_acceptance_scaling(benchmark):
+    fig1 = figure1_automaton()
+    lengths = (8, 16, 32, 64)
+
+    def sweep():
+        rows = []
+        for n in lengths:
+            word = "a" * (n // 2) + "b" * (n // 2)
+            verdict, seconds = timed(lambda w=word: fig1.accepts(w, NO_WAIT))
+            rows.append([n, verdict, f"{seconds * 1e3:.2f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E7c  Figure-1 no-wait acceptance vs word length (clock = p^n q^n)",
+        ["|word|", "accepted", "time"],
+        rows,
+    )
+    assert all(verdict for _n, verdict, _t in rows)

@@ -1,0 +1,93 @@
+"""E5 — Theorem 2.3: L_wait[d] = L_nowait.
+
+Both constructive directions, on Figure 1 and on random periodic TVGs:
+
+* dilation: L_wait[d](dilate(G, d+1)) == L_nowait(G) for d in {1,2,4,8};
+* necessity: on the *undilated* Figure 1 graph, wait[1] already exceeds
+  no-wait (the dilation, not the bound, is what defeats the budget);
+* compilation: L_nowait(compile(G, d)) == L_wait[d](G) as automata.
+"""
+
+from conftest import emit
+
+from repro import (
+    NO_WAIT,
+    bounded_wait,
+    compile_bounded_wait,
+    expand_for_bounded_wait,
+    figure1_automaton,
+)
+from repro.automata.equivalence import equivalent
+from repro.automata.language_compute import language_automaton
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.generators import periodic_random_tvg
+
+BOUNDS = (1, 2, 4, 8)
+DEPTH = 5
+
+
+def test_dilation_collapse(benchmark):
+    fig1 = figure1_automaton()
+    reference = fig1.language(DEPTH, NO_WAIT)
+
+    def run_all():
+        rows = []
+        for d in BOUNDS:
+            dilated = expand_for_bounded_wait(fig1, d)
+            horizon = 250 * (d + 1)
+            language = dilated.language(DEPTH, bounded_wait(d), horizon=horizon)
+            rows.append([d, d + 1, len(language), language == reference])
+        return rows
+
+    rows = benchmark(run_all)
+    assert all(row[-1] for row in rows)
+    emit(
+        "E5a  Theorem 2.3: L_wait[d](dilate(Fig1, d+1)) == L_nowait(Fig1)",
+        ["d", "dilation", "|sample|", "equals L_nowait"],
+        rows,
+    )
+
+
+def test_dilation_is_necessary(benchmark):
+    fig1 = figure1_automaton()
+    nowait = fig1.language(4, NO_WAIT)
+    bounded = benchmark(
+        lambda: fig1.language(4, bounded_wait(1), horizon=300)
+    )
+    gained = bounded - nowait
+    assert gained  # without dilation, even wait[1] gains words
+    emit(
+        "E5b  Undilated Figure 1: wait[1] already exceeds no-wait",
+        ["quantity", "value"],
+        [
+            ["|L_nowait| (len<=4)", len(nowait)],
+            ["|L_wait[1]| (len<=4)", len(bounded)],
+            ["words gained by d=1", sorted(gained, key=lambda w: (len(w), w))],
+        ],
+    )
+
+
+def test_compilation_direction(benchmark):
+    def run_all():
+        rows = []
+        for seed in range(4):
+            g = periodic_random_tvg(4, period=3, density=0.5, labels="ab", seed=seed)
+            if not g.alphabet:
+                continue
+            auto = TVGAutomaton(g, initial=0, accepting=3, start_time=0)
+            for d in (1, 2):
+                compiled = compile_bounded_wait(auto, d)
+                ok = equivalent(
+                    language_automaton(compiled, NO_WAIT),
+                    language_automaton(auto, bounded_wait(d)),
+                )
+                rows.append([seed, d, compiled.graph.node_count, ok])
+        return rows
+
+    rows = benchmark(run_all)
+    assert rows and all(row[-1] for row in rows)
+    emit(
+        "E5c  Converse: L_nowait(compile(G, d)) == L_wait[d](G), exactly",
+        ["seed", "d", "compiled |V|", "equivalent"],
+        rows,
+    )

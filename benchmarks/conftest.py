@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows it reproduces (run with ``-s`` to see
+them inline; they are also appended to ``benchmarks/results.txt`` so a
+plain ``pytest benchmarks/ --benchmark-only`` leaves a record) and
+asserts the *shape* of the paper's claim it regenerates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.statistics import format_table
+
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+def emit(title: str, headers, rows) -> str:
+    """Print and persist one benchmark table; returns the rendering."""
+    table = format_table(headers, rows)
+    block = f"\n## {title}\n{table}\n"
+    print(block, flush=True)
+    with open(RESULTS_FILE, "a", encoding="utf-8") as handle:
+        handle.write(block)
+    return table
+
+
+def pytest_sessionstart(session):
+    # Start each benchmark session with a fresh results file.
+    if RESULTS_FILE.exists():
+        RESULTS_FILE.unlink()

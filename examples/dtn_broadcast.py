@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Store-carry-forward in action: the DTN scenario behind the theory.
+
+Generates the intermittently-connected mobile networks the paper's
+introduction describes (edge-Markovian contacts and random-waypoint
+mobility), then runs flooding broadcast twice over each — once
+bufferless, once with store-carry-forward — and shows:
+
+* snapshots are (almost) never connected, yet the buffered flood
+  completes;
+* the bufferless flood stalls at a fraction of the network;
+* the simulator's informed sets coincide exactly with no-wait / wait
+  journey reachability — the theory *is* the protocol.
+
+Run:  python examples/dtn_broadcast.py
+"""
+
+from repro.analysis.connectivity import classify_connectivity
+from repro.analysis.statistics import format_table, summarize
+from repro.core.generators import edge_markovian_tvg
+from repro.dynamics.mobility import random_waypoint_tvg
+from repro.dynamics.protocols.broadcast import (
+    reachability_prediction,
+    simulate_broadcast,
+)
+from repro.dynamics.protocols.gossip import run_gossip
+
+
+def broadcast_row(graph, origin, horizon):
+    buffered = simulate_broadcast(graph, origin, buffering=True)
+    bufferless = simulate_broadcast(graph, origin, buffering=False)
+    for outcome in (buffered, bufferless):
+        predicted = reachability_prediction(
+            graph, origin, outcome.buffering, graph.lifetime.start, horizon
+        )
+        assert set(outcome.informed) == predicted, "simulator must match theory"
+    return buffered, bufferless
+
+
+def main() -> None:
+    print("Scenario A: edge-Markovian contacts (n=12, sparse, flaky)")
+    print("-" * 66)
+    rows = []
+    for seed in range(5):
+        g = edge_markovian_tvg(12, horizon=60, birth=0.03, death=0.6, seed=seed)
+        report = classify_connectivity(g, 0, 60)
+        buffered, bufferless = broadcast_row(g, 0, 60)
+        rows.append(
+            [
+                seed,
+                f"{report.snapshots_connected}/60",
+                f"{bufferless.delivery_ratio:.2f}",
+                f"{buffered.delivery_ratio:.2f}",
+                buffered.completion_time if buffered.completion_time is not None else "-",
+            ]
+        )
+    print(format_table(
+        ["seed", "connected snaps", "bufferless", "buffered", "done at"], rows
+    ))
+
+    print()
+    print("Scenario B: random-waypoint mobility on a 5x5 grid (8 walkers)")
+    print("-" * 66)
+    rows = []
+    ratios_without, ratios_with = [], []
+    for seed in range(5):
+        g = random_waypoint_tvg(8, 5, 5, 40, seed=seed)
+        buffered, bufferless = broadcast_row(g, 0, 40)
+        ratios_without.append(bufferless.delivery_ratio)
+        ratios_with.append(buffered.delivery_ratio)
+        rows.append(
+            [seed, f"{bufferless.delivery_ratio:.2f}", f"{buffered.delivery_ratio:.2f}",
+             buffered.transmissions]
+        )
+    print(format_table(["seed", "bufferless", "buffered", "transmissions"], rows))
+    print(f"  bufferless mean delivery: {summarize(ratios_without)}")
+    print(f"  buffered   mean delivery: {summarize(ratios_with)}")
+
+    print()
+    print("Scenario C: gossip mixing on a never-connected rotor")
+    print("-" * 66)
+    from repro import TVGBuilder
+
+    rotor = (
+        TVGBuilder(name="rotor")
+        .lifetime(0, 15)
+        .contact("a", "b", period=(0, 3))
+        .contact("b", "c", period=(1, 3))
+        .contact("c", "d", period=(2, 3))
+        .contact("d", "a", period=(0, 3))
+        .build()
+    )
+    gossip = run_gossip(rotor, sample_every=3)
+    for time, counts in gossip.counts_over_time:
+        print(f"  t={time:>2}: tokens known per node = {counts}")
+    print(f"  fully mixed: {gossip.fully_mixed}")
+    print()
+    print("Waiting (buffering) is what turns 'never connected' into")
+    print("'everyone informed' -- the operational face of the theorems.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The expressivity gap, end to end on the paper's own example.
+
+Reproduces and extends Figure 1 / Table 1:
+
+* verifies L_nowait(G) = {a^n b^n : n >= 1} by exhaustive sampling;
+* shows the direct journeys' clock arithmetic (the prime clockwork);
+* derives L_wait(G) — which the paper does not spell out — as the
+  regular language (a*bbb*)|(ab)|(b), verified by sampling;
+* contrasts Myhill–Nerode lower bounds of both samples: the no-wait
+  bound grows without end, the wait bound freezes at the minimal DFA.
+
+Run:  python examples/language_of_waiting.py
+"""
+
+from repro import NO_WAIT, WAIT, figure1_automaton
+from repro.analysis.expressivity import nerode_lower_bound
+from repro.automata.enumeration import language_upto
+from repro.automata.operations import minimize
+from repro.automata.regex import regex_to_nfa
+from repro.constructions.figure1 import figure1_clock, figure1_wait_language_description
+
+
+def main() -> None:
+    fig1 = figure1_automaton()
+
+    print("Figure 1 graph (p=2, q=3), reading starts at t=1")
+    print("-" * 60)
+    for edge in fig1.graph.edges:
+        print(f"  {edge.key}: {edge.source}->{edge.target} label={edge.label}")
+
+    print()
+    print("The clockwork: the date after a direct journey IS the word")
+    print("-" * 60)
+    for word in ("a", "aa", "aab", "aabb"):
+        print(f"  after {word!r:8s} the clock reads p^n q^j = {figure1_clock(word)}")
+
+    print()
+    print("L_nowait(G) sampled to length 8")
+    print("-" * 60)
+    sample = sorted(fig1.language(8, NO_WAIT), key=lambda w: (len(w), w))
+    print(f"  {sample}")
+    assert sample == ["ab", "aabb", "aaabbb", "aaaabbbb"]
+
+    print()
+    print("One witness journey per accepted word")
+    print("-" * 60)
+    for word in ("ab", "aabb"):
+        journey = next(fig1.accepting_journeys(word, NO_WAIT))
+        hops = ", ".join(f"{h.edge.key}@{h.start}" for h in journey)
+        print(f"  {word!r}: {hops} -> arrives {journey.arrival}")
+
+    print()
+    print("Switching waiting ON: the derived regular language")
+    print("-" * 60)
+    pattern = figure1_wait_language_description()
+    wait_sample = fig1.language(6, WAIT, horizon=2600)
+    reference = language_upto(regex_to_nfa(pattern, "ab"), 6)
+    print(f"  derived regex: {pattern}")
+    print(f"  sampled L_wait (len<=6) == regex sample: {wait_sample == reference}")
+    dfa = minimize(regex_to_nfa(pattern, "ab").to_dfa())
+    print(f"  minimal DFA for L_wait: {len(dfa.states)} states")
+
+    print()
+    print("Myhill-Nerode lower bounds: non-regular vs regular, as data")
+    print("-" * 60)
+    print(f"  {'depth':>5}  {'nowait bound':>12}  {'wait bound':>10}")
+    for depth in (4, 6, 8, 10):
+        nowait_bound = nerode_lower_bound(fig1.language(depth, NO_WAIT), depth)
+        wait_depth = min(depth, 6)  # exact wait sampling bounded by e4 dates
+        wait_bound = nerode_lower_bound(
+            fig1.language(wait_depth, WAIT, horizon=2600), wait_depth
+        )
+        print(f"  {depth:>5}  {nowait_bound:>12}  {wait_bound:>10}")
+    print()
+    print("The left column grows forever (a^n b^n is not regular); the")
+    print("right column is pinned by the 6-state DFA. Waiting collapsed a")
+    print("Turing-grade environment to a finite-state one -- Theorem 2.2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Periodic transit: exact wait-language extraction on a timetable.
+
+A deterministic, fully periodic scenario — two circular "bus lines"
+sharing a hub — where every question the paper asks has an *exact*
+answer via the time-expansion extractor:
+
+* the wait language of the network (as a minimal DFA);
+* the no-wait language (regular too — periodicity tames Theorem 2.1);
+* itinerary planning: foremost journeys with and without waiting.
+
+Run:  python examples/transit_network.py
+"""
+
+from repro import NO_WAIT, WAIT, TVGAutomaton
+from repro.automata.enumeration import language_upto
+from repro.automata.language_compute import (
+    nowait_language_automaton,
+    wait_language_automaton,
+)
+from repro.automata.operations import minimize
+from repro.core.generators import transit_tvg
+from repro.core.metrics import temporal_distance
+from repro.core.traversal import foremost_journey
+from repro.core.transforms import graph_like
+
+
+def label_by_line(network):
+    """A copy of the network whose edges carry their line as a label:
+    'r' for line 0 (red), 'g' for line 1 (green)."""
+    labeled = graph_like(network, name=f"{network.name}-labeled")
+    labeled.add_nodes(network.nodes)
+    for edge in network.edges:
+        line = edge.key.split(".")[0]
+        labeled.add_edge_object(edge.relabeled("r" if line == "line0" else "g"))
+    return labeled
+
+
+def main() -> None:
+    # Line R (red): hub -> east -> hub, departing the hub at t % 6 == 0.
+    # Line G (green): hub -> west -> hub, departing the hub at t % 6 == 3.
+    network = label_by_line(
+        transit_tvg(
+            [
+                (["hub", "east", "hub"], 0, 6),
+                (["hub", "west", "hub"], 3, 6),
+            ],
+            latency=1,
+            name="two-lines",
+        )
+    )
+    print(f"network: {network} (period {network.period})")
+    for edge in network.edges:
+        print(f"  {edge.key}: {edge.source}->{edge.target} label={edge.label}")
+
+    print()
+    print("Itineraries from the hub at t=1 (between departures)")
+    print("-" * 60)
+    for target in ("east", "west"):
+        for semantics, name in ((WAIT, "wait"), (NO_WAIT, "nowait")):
+            journey = foremost_journey(
+                network, "hub", target, 1, semantics, horizon=24
+            )
+            if journey is None:
+                print(f"  {name:7s} hub->{target}: no journey (missed the bus)")
+            else:
+                print(
+                    f"  {name:7s} hub->{target}: depart {journey.departure}, "
+                    f"arrive {journey.arrival}, waits {journey.pauses}"
+                )
+        distance = temporal_distance(network, "hub", target, 1, WAIT, horizon=24)
+        print(f"  temporal distance hub->{target} (wait): {distance}")
+
+    print()
+    print("The network as an acceptor: ride labels r (red) / g (green)")
+    print("-" * 60)
+    acceptor = TVGAutomaton(network, initial="hub", accepting="hub", start_time=0)
+    wait_dfa = minimize(wait_language_automaton(acceptor).to_dfa())
+    nowait_dfa = minimize(nowait_language_automaton(acceptor).to_dfa())
+    print(f"  minimal DFA for L_wait:   {len(wait_dfa.states)} states")
+    print(f"  minimal DFA for L_nowait: {len(nowait_dfa.states)} states")
+
+    def show(sample):
+        return sorted(sample, key=lambda w: (len(w), w))[:12]
+
+    print(f"  L_wait   round trips (<=6): {show(language_upto(wait_dfa, 6))}")
+    print(f"  L_nowait round trips (<=6): {show(language_upto(nowait_dfa, 6))}")
+    print()
+    print("Both languages are regular -- a periodic adversary cannot use")
+    print("Theorem 2.1's clockwork; that needs aperiodic schedules.")
+
+
+if __name__ == "__main__":
+    main()

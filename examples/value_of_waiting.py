@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quantifying the value of waiting on real-ish scenarios.
+
+For each scenario in the workload registry:
+
+* place the network in the TVG class hierarchy (reference [1] of the
+  paper);
+* plot (as ASCII) the reachability growth curves with and without
+  waiting, and integrate the area between them — a scalar "value of
+  waiting" for that network;
+* prune the graph to its foremost broadcast tree and report how little
+  of the contact structure one-to-all communication actually needs.
+
+Run:  python examples/value_of_waiting.py
+"""
+
+from repro.analysis.classes import classify
+from repro.analysis.evolution import value_of_waiting
+from repro.analysis.spanners import foremost_broadcast_tree, spanner_savings
+from repro.analysis.statistics import format_table
+from repro.core.semantics import WAIT
+from repro.dynamics.workloads import all_workloads
+
+
+def sparkline(curve, buckets=30) -> str:
+    """A tiny ASCII rendition of a 0..1 curve."""
+    glyphs = " .:-=+*#%@"
+    step = max(1, len(curve) // buckets)
+    cells = []
+    for index in range(0, len(curve), step):
+        _t, value = curve[index]
+        cells.append(glyphs[min(len(glyphs) - 1, int(value * (len(glyphs) - 1)))])
+    return "".join(cells)
+
+
+def main() -> None:
+    rows = []
+    print("Reachability growth, per scenario ( . = 0%  @ = 100% )")
+    print("=" * 68)
+    for workload in all_workloads(seed=1):
+        value = value_of_waiting(workload.graph, workload.start, workload.end)
+        report = classify(workload.graph, workload.start, workload.end)
+        tree = foremost_broadcast_tree(
+            workload.graph, workload.source, workload.start, WAIT,
+            horizon=workload.end,
+        )
+        kept, total, dropped = spanner_savings(workload.graph, tree)
+        print(f"\n{workload.name}  (classes: {', '.join(sorted(report.classes)) or '-'})")
+        print(f"  wait    |{sparkline(value.wait_curve)}|")
+        print(f"  nowait  |{sparkline(value.nowait_curve)}|")
+        rows.append(
+            [
+                workload.name,
+                f"{value.area:.1f}",
+                f"{value.final_gap:.2f}",
+                value.wait_saturation_time if value.wait_saturation_time is not None else "-",
+                f"{kept}/{total}",
+            ]
+        )
+    print()
+    print(format_table(
+        ["scenario", "∫(wait-nowait)", "final gap", "wait TC at", "tree/graph edges"],
+        rows,
+    ))
+    print()
+    print("Big areas mean the network's usefulness lives almost entirely")
+    print("in its buffering; zero areas mean snapshots already suffice.")
+
+
+if __name__ == "__main__":
+    main()

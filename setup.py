@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` / ``python setup.py develop`` work on
+environments whose setuptools predates PEP 660 editable wheels (no
+``wheel`` package available).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0", "numpy>=1.24"],
+)

@@ -1,0 +1,97 @@
+"""repro — reproduction of "Waiting in Dynamic Networks" (PODC 2012).
+
+Casteigts, Flocchini, Godard, Santoro, Yamashita: *Brief Announcement:
+Waiting in Dynamic Networks* (full version: "Expressivity of
+time-varying graphs and the power of waiting in dynamic networks",
+arXiv:1205.1975).
+
+The library implements the paper's model and all three theorems as
+executable constructions:
+
+* time-varying graphs, journeys, and the three waiting semantics
+  (:mod:`repro.core`);
+* TVG-automata and the classical automata toolkit they are compared
+  against (:mod:`repro.automata`);
+* the computability substrate supplying "any computable language"
+  (:mod:`repro.machines`);
+* the paper's constructions — Figure 1, the Theorem 2.1 universal
+  no-wait graph, the regular embedding, the Theorem 2.3 dilation
+  (:mod:`repro.constructions`);
+* a store-carry-forward network simulator grounding the theory in the
+  DTN setting the paper motivates (:mod:`repro.dynamics`);
+* reachability / connectivity / expressivity analyses
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import figure1_automaton, NO_WAIT, WAIT
+
+    fig1 = figure1_automaton()
+    assert fig1.accepts("aabb", NO_WAIT)          # a^n b^n accepted
+    assert not fig1.accepts("aab", NO_WAIT)
+    assert fig1.accepts("b", WAIT, horizon=64)    # waiting changes the language
+"""
+
+from repro.core import (
+    BOUNDED_WAIT,
+    Edge,
+    Hop,
+    Journey,
+    Lifetime,
+    NO_WAIT,
+    TVGBuilder,
+    TimeVaryingGraph,
+    WAIT,
+    WaitingSemantics,
+    bounded_wait,
+)
+from repro.automata import (
+    DFA,
+    NFA,
+    TVGAutomaton,
+    bounded_wait_language_automaton,
+    nowait_language_automaton,
+    wait_language_automaton,
+)
+from repro.constructions import (
+    compile_bounded_wait,
+    expand_for_bounded_wait,
+    figure1_automaton,
+    figure1_graph,
+    nowait_automaton_for,
+    regex_to_tvg,
+)
+from repro.machines import Decider, TuringMachine, predicate_decider, tm_decider
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOUNDED_WAIT",
+    "DFA",
+    "Decider",
+    "Edge",
+    "Hop",
+    "Journey",
+    "Lifetime",
+    "NFA",
+    "NO_WAIT",
+    "TVGAutomaton",
+    "TVGBuilder",
+    "TimeVaryingGraph",
+    "TuringMachine",
+    "WAIT",
+    "WaitingSemantics",
+    "bounded_wait",
+    "bounded_wait_language_automaton",
+    "compile_bounded_wait",
+    "expand_for_bounded_wait",
+    "figure1_automaton",
+    "figure1_graph",
+    "nowait_automaton_for",
+    "nowait_language_automaton",
+    "predicate_decider",
+    "regex_to_tvg",
+    "tm_decider",
+    "wait_language_automaton",
+    "__version__",
+]

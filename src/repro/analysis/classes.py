@@ -1,0 +1,236 @@
+"""The TVG class hierarchy of Casteigts–Flocchini–Quattrociocchi–Santoro.
+
+The paper's reference [1] ("Time-varying graphs and dynamic networks",
+ADHOC-NOW 2011) organizes dynamic networks into classes by recurrence
+and connectivity guarantees.  This module implements *bounded-window
+checkers* for the classes the library's experiments speak about:
+
+====  ===============================  =============================================
+tag   name                             checked property (over the window)
+====  ===============================  =============================================
+C1    round connectivity               every node reaches every other and back
+C2    temporal connectivity (TC)       every ordered pair joined by a journey
+C3    recurrent connectivity           TC holds from every start date in the window
+C5    recurrent edges                  every footprint edge reappears throughout
+C6    bounded-recurrent edges (B)      gaps between appearances bounded by B
+C7    periodic edges (P)               the whole schedule repeats with period P
+C9    always-connected snapshots       every snapshot is connected
+C10   T-interval connectivity          some spanning connected subgraph stable T steps
+====  ===============================  =============================================
+
+Infinite-horizon recurrence is undecidable for black-box schedules, so
+every checker takes an explicit window and answers for it; periodic
+graphs get exact answers by construction.  The classifier reports the
+set of classes a graph exhibits on the window — the inclusion structure
+(C7 ⊆ C6 ⊆ C5, C9 ⊆ C2, ...) is asserted by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.analysis.reachability import reachability_ratio
+from repro.core.intervals import Interval
+from repro.core.semantics import WAIT
+from repro.core.snapshots import is_connected_at, snapshot
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ReproError
+
+
+def _require_window(start: int, end: int) -> None:
+    if end <= start:
+        raise ReproError(f"empty window [{start}, {end})")
+
+
+def is_temporally_connected_from(
+    graph: TimeVaryingGraph, start: int, end: int
+) -> bool:
+    """C2 on the window: TC from date ``start`` with horizon ``end``."""
+    _require_window(start, end)
+    return reachability_ratio(graph, start, WAIT, horizon=end) == 1.0
+
+
+def is_round_connected(graph: TimeVaryingGraph, start: int, end: int) -> bool:
+    """C1: every node can reach every other *and hear back* in the window.
+
+    Equivalent to TC of the window followed by TC of what remains after
+    the forward journeys arrive; checked conservatively as TC from
+    ``start`` and TC from the window midpoint.
+    """
+    _require_window(start, end)
+    midpoint = (start + end) // 2
+    return is_temporally_connected_from(
+        graph, start, midpoint
+    ) and is_temporally_connected_from(graph, midpoint, end)
+
+
+def is_recurrently_connected(
+    graph: TimeVaryingGraph, start: int, end: int, stride: int = 1
+) -> bool:
+    """C3 on the window: TC holds from every sampled start date."""
+    _require_window(start, end)
+    return all(
+        is_temporally_connected_from(graph, t, end)
+        for t in range(start, max(start + 1, end - 1), stride)
+    )
+
+
+def edges_recurrent(graph: TimeVaryingGraph, start: int, end: int) -> bool:
+    """C5 on the window: each footprint edge is present in both halves.
+
+    The finite-window proxy for "appears infinitely often": an edge that
+    is live early but silent through the whole second half fails.
+    """
+    _require_window(start, end)
+    midpoint = (start + end) // 2
+    first, second = Interval(start, midpoint), Interval(midpoint, end)
+    for edge in graph.edges:
+        early = edge.presence.support(first)
+        late = edge.presence.support(second)
+        if bool(early) != bool(late):
+            return False
+    return True
+
+
+def edges_bounded_recurrent(
+    graph: TimeVaryingGraph, start: int, end: int, bound: int
+) -> bool:
+    """C6 on the window: every gap between appearances is <= ``bound``.
+
+    Edges silent on the whole window are vacuously fine (not part of the
+    footprint); edges with any appearance must reappear within the bound
+    up to the window edge.
+    """
+    _require_window(start, end)
+    if bound <= 0:
+        raise ReproError(f"recurrence bound must be positive, got {bound}")
+    window = Interval(start, end)
+    for edge in graph.edges:
+        dates = sorted(edge.presence.support(window).times())
+        if not dates:
+            continue
+        if dates[0] - start > bound:
+            return False
+        for before, after in zip(dates, dates[1:]):
+            if after - before > bound:
+                return False
+        if (end - 1) - dates[-1] > bound:
+            return False
+    return True
+
+
+def edges_periodic(graph: TimeVaryingGraph, period: int, start: int, end: int) -> bool:
+    """C7 on the window: the schedule repeats with the given period."""
+    _require_window(start, end)
+    if period <= 0:
+        raise ReproError(f"period must be positive, got {period}")
+    for edge in graph.edges:
+        for t in range(start, end - period):
+            if edge.present_at(t) != edge.present_at(t + period):
+                return False
+    return True
+
+
+def snapshots_always_connected(
+    graph: TimeVaryingGraph, start: int, end: int
+) -> bool:
+    """C9: every snapshot in the window is (weakly) connected."""
+    _require_window(start, end)
+    return all(is_connected_at(graph, t) for t in range(start, end))
+
+
+def interval_connectivity(graph: TimeVaryingGraph, start: int, end: int) -> int:
+    """The largest T such that the graph is T-interval connected (C10).
+
+    T-interval connectivity (Kuhn–Lynch–Oshman): in every window of T
+    consecutive dates some *stable* connected spanning subgraph exists.
+    Returns 0 when even single snapshots disconnect somewhere.
+    """
+    _require_window(start, end)
+    if not snapshots_always_connected(graph, start, end):
+        return 0
+    best = 1
+    for t_len in range(2, end - start + 1):
+        if all(
+            _stable_connected(graph, t0, t0 + t_len)
+            for t0 in range(start, end - t_len + 1)
+        ):
+            best = t_len
+        else:
+            break
+    return best
+
+
+def _stable_connected(graph: TimeVaryingGraph, start: int, end: int) -> bool:
+    """Whether the intersection of the snapshots over [start, end) is
+    connected (undirected view)."""
+    stable = nx.Graph()
+    stable.add_nodes_from(graph.nodes)
+    first = snapshot(graph, start)
+    for u, v in first.edges():
+        if all(snapshot(graph, t).has_edge(u, v) for t in range(start + 1, end)):
+            stable.add_edge(u, v)
+    if stable.number_of_nodes() <= 1:
+        return True
+    return nx.is_connected(stable)
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Which classes a TVG exhibits on a window."""
+
+    window: tuple[int, int]
+    classes: frozenset[str]
+    interval_connectivity: int
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self.classes
+
+    def __str__(self) -> str:
+        members = ", ".join(sorted(self.classes)) or "(none)"
+        return (
+            f"classes on [{self.window[0]}, {self.window[1]}): {members}; "
+            f"T-interval connectivity = {self.interval_connectivity}"
+        )
+
+
+def classify(
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    recurrence_bound: int | None = None,
+    period: int | None = None,
+) -> ClassReport:
+    """Run all checkers and report the classes exhibited on the window.
+
+    ``recurrence_bound`` and ``period`` default to window/4 and the
+    graph's declared period respectively.
+    """
+    _require_window(start, end)
+    bound = recurrence_bound if recurrence_bound is not None else max(1, (end - start) // 4)
+    declared = period if period is not None else graph.period
+    tags: set[str] = set()
+    if is_round_connected(graph, start, end):
+        tags.add("C1")
+    if is_temporally_connected_from(graph, start, end):
+        tags.add("C2")
+    if is_recurrently_connected(graph, start, end, stride=max(1, (end - start) // 8)):
+        tags.add("C3")
+    if edges_recurrent(graph, start, end):
+        tags.add("C5")
+    if edges_bounded_recurrent(graph, start, end, bound):
+        tags.add("C6")
+    if declared is not None and edges_periodic(graph, declared, start, end):
+        tags.add("C7")
+    if snapshots_always_connected(graph, start, end):
+        tags.add("C9")
+    t_interval = interval_connectivity(graph, start, end)
+    if t_interval >= 1:
+        tags.add("C10")
+    return ClassReport(
+        window=(start, end),
+        classes=frozenset(tags),
+        interval_connectivity=t_interval,
+    )

@@ -1,0 +1,121 @@
+"""Time-series views of a dynamic network.
+
+Curves over the study window — density, snapshot components, and the
+*reachability growth curve* ``r(t)`` (the fraction of ordered pairs
+already joined by a journey arriving by ``t``).  The growth curve is the
+continuous version of the E6 benchmark: buffered floods ride ``r_wait``,
+bufferless ones ``r_nowait``, and the area between the two curves is the
+integrated value of waiting on that network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import networkx as nx
+
+from repro.core.semantics import NO_WAIT, WAIT, WaitingSemantics
+from repro.core.snapshots import snapshot
+from repro.core.traversal import reachable_states
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ReproError
+
+
+def density_curve(graph: TimeVaryingGraph, start: int, end: int) -> list[tuple[int, float]]:
+    """Per-date fraction of edges present."""
+    _check(start, end)
+    if graph.edge_count == 0:
+        return [(t, 0.0) for t in range(start, end)]
+    return [
+        (t, sum(1 for _ in graph.edges_at(t)) / graph.edge_count)
+        for t in range(start, end)
+    ]
+
+
+def component_curve(graph: TimeVaryingGraph, start: int, end: int) -> list[tuple[int, int]]:
+    """Per-date number of weakly-connected snapshot components."""
+    _check(start, end)
+    return [
+        (t, nx.number_weakly_connected_components(snapshot(graph, t)))
+        for t in range(start, end)
+    ]
+
+
+def reachability_growth(
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    semantics: WaitingSemantics = WAIT,
+) -> list[tuple[int, float]]:
+    """``r(t)``: fraction of ordered pairs joined by a journey arriving
+    by date ``t`` (journeys start at ``start``).
+
+    Monotone non-decreasing by construction; ``r(end-1) == 1.0`` iff the
+    window is temporally connected under the semantics.
+    """
+    _check(start, end)
+    nodes = list(graph.nodes)
+    n = len(nodes)
+    if n <= 1:
+        return [(t, 1.0) for t in range(start, end)]
+    earliest: dict[tuple[Hashable, Hashable], int] = {}
+    for source in nodes:
+        states = reachable_states(graph, [(source, start)], semantics, horizon=end)
+        best: dict[Hashable, int] = {}
+        for node, time in states:
+            if node == source:
+                continue
+            if node not in best or time < best[node]:
+                best[node] = time
+        for node, time in best.items():
+            earliest[(source, node)] = time
+    total_pairs = n * (n - 1)
+    curve = []
+    for t in range(start, end):
+        joined = sum(1 for time in earliest.values() if time <= t)
+        curve.append((t, joined / total_pairs))
+    return curve
+
+
+@dataclass(frozen=True)
+class WaitingValue:
+    """The integrated gap between the wait and no-wait growth curves."""
+
+    wait_curve: list[tuple[int, float]]
+    nowait_curve: list[tuple[int, float]]
+
+    @property
+    def area(self) -> float:
+        """Sum over dates of ``r_wait(t) - r_nowait(t)`` (>= 0)."""
+        return sum(
+            w - n for (_t, w), (_t2, n) in zip(self.wait_curve, self.nowait_curve)
+        )
+
+    @property
+    def final_gap(self) -> float:
+        """``r_wait - r_nowait`` at the window end."""
+        return self.wait_curve[-1][1] - self.nowait_curve[-1][1]
+
+    @property
+    def wait_saturation_time(self) -> int | None:
+        """First date at which ``r_wait`` reaches 1.0, or None."""
+        for t, value in self.wait_curve:
+            if value >= 1.0:
+                return t
+        return None
+
+
+def value_of_waiting(
+    graph: TimeVaryingGraph, start: int, end: int
+) -> WaitingValue:
+    """Both growth curves and their integrated gap."""
+    return WaitingValue(
+        wait_curve=reachability_growth(graph, start, end, WAIT),
+        nowait_curve=reachability_growth(graph, start, end, NO_WAIT),
+    )
+
+
+def _check(start: int, end: int) -> None:
+    if end <= start:
+        raise ReproError(f"empty window [{start}, {end})")

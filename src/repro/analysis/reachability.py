@@ -1,0 +1,69 @@
+"""Reachability matrices across waiting semantics.
+
+The node-to-node view of the waiting gap: the same TVG, the same time
+window, two boolean matrices — who can reach whom with and without
+buffering.  The entrywise difference is the operational payoff of
+waiting that the E6/E8 benchmarks quantify.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.semantics import NO_WAIT, WAIT, WaitingSemantics
+from repro.core.traversal import reachable_nodes
+from repro.core.tvg import TimeVaryingGraph
+
+
+def reachability_matrix(
+    graph: TimeVaryingGraph,
+    start_time: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+) -> tuple[list[Hashable], np.ndarray]:
+    """Boolean matrix ``M[i, j]`` = node ``j`` reachable from node ``i``.
+
+    Diagonal entries are True (the trivial journey).  Returns the node
+    ordering alongside so callers can label the axes.
+    """
+    nodes = list(graph.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+    matrix = np.zeros((len(nodes), len(nodes)), dtype=bool)
+    for node in nodes:
+        row = index[node]
+        matrix[row, row] = True
+        for reached in reachable_nodes(graph, node, start_time, semantics, horizon):
+            matrix[row, index[reached]] = True
+    return nodes, matrix
+
+
+def reachability_ratio(
+    graph: TimeVaryingGraph,
+    start_time: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+) -> float:
+    """Fraction of ordered pairs ``(u, v), u != v`` connected by a journey."""
+    nodes, matrix = reachability_matrix(graph, start_time, semantics, horizon)
+    n = len(nodes)
+    if n <= 1:
+        return 1.0
+    reachable_pairs = int(matrix.sum()) - n  # drop the diagonal
+    return reachable_pairs / (n * (n - 1))
+
+
+def semantics_gap_matrix(
+    graph: TimeVaryingGraph,
+    start_time: int,
+    horizon: int | None = None,
+) -> tuple[list[Hashable], np.ndarray]:
+    """Pairs reachable with waiting but not without.
+
+    ``M[i, j]`` is True exactly where buffering is *necessary* for the
+    pair — the paper's gap, node by node.
+    """
+    nodes, with_wait = reachability_matrix(graph, start_time, WAIT, horizon)
+    _same, without = reachability_matrix(graph, start_time, NO_WAIT, horizon)
+    return nodes, with_wait & ~without

@@ -1,0 +1,126 @@
+"""Foremost broadcast trees and temporal spanner pruning.
+
+The structural view of one-to-all communication: the union of foremost
+journeys from a source forms a *foremost broadcast tree* — each node is
+entered by the hop that first informed it.  Pruning a TVG to such a
+tree is the temporal analogue of a BFS spanning tree and yields the
+minimal contact set a buffered broadcast actually needs, which the
+benchmarks compare against the flood's transmission count.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.journeys import Hop
+from repro.core.semantics import WAIT, WaitingSemantics
+from repro.core.traversal import _resolve_horizon, edge_departures
+from repro.core.transforms import graph_like
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BroadcastTree:
+    """The foremost broadcast structure from one source."""
+
+    source: Hashable
+    start_time: int
+    #: node -> the hop that first informed it.
+    entry_hop: dict[Hashable, Hop]
+    #: node -> earliest information time (source at start_time).
+    informed_at: dict[Hashable, int]
+
+    @property
+    def reached(self) -> frozenset[Hashable]:
+        return frozenset(self.informed_at)
+
+    @property
+    def completion_time(self) -> int | None:
+        """Date the last reached node was informed."""
+        others = [t for n, t in self.informed_at.items() if n != self.source]
+        return max(others) if others else None
+
+    def depth_of(self, node: Hashable) -> int:
+        """Number of hops on the tree path from the source."""
+        depth = 0
+        cursor = node
+        while cursor != self.source:
+            hop = self.entry_hop[cursor]
+            cursor = hop.edge.source
+            depth += 1
+            if depth > len(self.informed_at) + 1:
+                raise ReproError("cycle in broadcast tree (internal error)")
+        return depth
+
+    def edges(self) -> list[Hop]:
+        """All tree hops, ordered by arrival date."""
+        return sorted(self.entry_hop.values(), key=lambda hop: hop.arrival)
+
+
+def foremost_broadcast_tree(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    start_time: int,
+    semantics: WaitingSemantics = WAIT,
+    horizon: int | None = None,
+) -> BroadcastTree:
+    """Compute the foremost broadcast tree by temporal Dijkstra.
+
+    Each node's entry hop realizes its earliest possible arrival under
+    the chosen semantics; the tree therefore has exactly one hop per
+    reached node (minus the source), the temporal analogue of a BFS
+    tree.
+    """
+    horizon = _resolve_horizon(graph, horizon)
+    informed: dict[Hashable, int] = {source: start_time}
+    entry: dict[Hashable, Hop] = {}
+    expanded: set[tuple[Hashable, int]] = set()
+    queue: list[tuple[int, int, Hashable]] = [(start_time, 0, source)]
+    tie = 0
+    while queue:
+        ready, _t, node = heapq.heappop(queue)
+        if (node, ready) in expanded:
+            continue
+        expanded.add((node, ready))
+        for edge in graph.out_edges(node):
+            for departure in edge_departures(edge, ready, semantics, horizon):
+                arrival = departure + edge.latency(departure)
+                target = edge.target
+                if target not in informed or arrival < informed[target]:
+                    informed[target] = arrival
+                    entry[target] = Hop(edge, departure)
+                if (target, arrival) not in expanded:
+                    tie += 1
+                    heapq.heappush(queue, (arrival, tie, target))
+    return BroadcastTree(
+        source=source, start_time=start_time, entry_hop=entry, informed_at=informed
+    )
+
+
+def tree_subgraph(graph: TimeVaryingGraph, tree: BroadcastTree) -> TimeVaryingGraph:
+    """The TVG restricted to the broadcast tree's edges (schedules kept).
+
+    A *temporal spanner* for one-to-all from the tree's source: it
+    preserves the foremost arrival of every reached node while dropping
+    every other contact.
+    """
+    pruned = graph_like(graph, name=f"{graph.name}~tree({tree.source})")
+    pruned.add_nodes(graph.nodes)
+    keep = {hop.edge.key for hop in tree.entry_hop.values()}
+    for edge in graph.edges:
+        if edge.key in keep:
+            pruned.add_edge_object(edge)
+    return pruned
+
+
+def spanner_savings(
+    graph: TimeVaryingGraph, tree: BroadcastTree
+) -> tuple[int, int, float]:
+    """(edges kept, edges total, fraction dropped) for the tree spanner."""
+    kept = len({hop.edge.key for hop in tree.entry_hop.values()})
+    total = graph.edge_count
+    dropped = 0.0 if total == 0 else 1.0 - kept / total
+    return kept, total, dropped

@@ -1,0 +1,74 @@
+"""Small statistics helpers for benchmark reporting.
+
+Benchmarks sweep seeds and report mean +/- spread; these helpers keep
+that arithmetic in one tested place instead of scattered across harness
+scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread, and extremes of one measured series."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        return self.stdev / math.sqrt(self.count) if self.count else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.stderr:.3f} (n={self.count})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a non-empty series."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ReproError("cannot summarize an empty series")
+    mean = sum(data) / len(data)
+    if len(data) > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (len(data) - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=len(data),
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A guarded ratio (0 when the denominator is 0)."""
+    return numerator / denominator if denominator else 0.0
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (the benchmarks' output shape)."""
+    widths = [len(str(h)) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [str(cell) for cell in row]
+        if len(rendered) != len(headers):
+            raise ReproError(
+                f"row has {len(rendered)} cells, headers have {len(headers)}"
+            )
+        widths = [max(w, len(c)) for w, c in zip(widths, rendered)]
+        rendered_rows.append(rendered)
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    separator = "  ".join("-" * w for w in widths)
+    return "\n".join([line([str(h) for h in headers]), separator] + [line(r) for r in rendered_rows])

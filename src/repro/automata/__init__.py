@@ -1,0 +1,91 @@
+"""Automata and formal-language toolkit.
+
+Two layers live here:
+
+* a classical substrate — DFA/NFA, regular expressions, boolean
+  operations, Hopcroft minimization, equivalence checking — built from
+  scratch because Theorem 2.2 identifies ``L_wait`` with the *regular*
+  languages and we need that comparator class as executable code; and
+
+* the paper's object of study — the :class:`TVGAutomaton` reading words
+  along journeys of a time-varying graph, together with the
+  wait-language extractor that turns periodic/finite TVGs into honest
+  finite automata.
+"""
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.regex import parse_regex, regex_to_nfa
+from repro.automata.operations import (
+    complement,
+    complete,
+    difference,
+    intersect,
+    minimize,
+    reverse_dfa,
+    union,
+)
+from repro.automata.equivalence import equivalent, find_distinguishing_word, is_subset
+from repro.automata.enumeration import (
+    count_words_by_length,
+    enumerate_language,
+    language_upto,
+)
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.automata.language_compute import (
+    bounded_wait_language_automaton,
+    nowait_language_automaton,
+    wait_language_automaton,
+)
+from repro.automata.wqo import (
+    downward_closure,
+    is_subword,
+    upward_closure,
+)
+from repro.automata.grammars import (
+    ContextFreeGrammar,
+    cfg_anbn,
+    cfg_balanced,
+    cfg_palindromes,
+)
+from repro.automata.pumping import (
+    find_pumping_counterexample,
+    refuted_state_bound,
+    regularity_refutation_ladder,
+)
+
+__all__ = [
+    "Alphabet",
+    "ContextFreeGrammar",
+    "DFA",
+    "NFA",
+    "TVGAutomaton",
+    "cfg_anbn",
+    "cfg_balanced",
+    "cfg_palindromes",
+    "find_pumping_counterexample",
+    "refuted_state_bound",
+    "regularity_refutation_ladder",
+    "bounded_wait_language_automaton",
+    "complement",
+    "complete",
+    "count_words_by_length",
+    "difference",
+    "downward_closure",
+    "enumerate_language",
+    "equivalent",
+    "find_distinguishing_word",
+    "intersect",
+    "is_subset",
+    "is_subword",
+    "language_upto",
+    "minimize",
+    "nowait_language_automaton",
+    "parse_regex",
+    "regex_to_nfa",
+    "reverse_dfa",
+    "union",
+    "upward_closure",
+    "wait_language_automaton",
+]

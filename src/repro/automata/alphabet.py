@@ -1,0 +1,92 @@
+"""Alphabets.
+
+Symbols are single-character strings so that words can be plain Python
+strings; an :class:`Alphabet` is a validated, ordered set of symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import AutomatonError
+
+
+class Alphabet:
+    """An ordered set of single-character symbols.
+
+    >>> sigma = Alphabet("ab")
+    >>> sigma.validate_word("abba")
+    'abba'
+    >>> list(sigma)
+    ['a', 'b']
+    """
+
+    __slots__ = ("_symbols", "_set")
+
+    def __init__(self, symbols: Iterable[str]) -> None:
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for symbol in symbols:
+            if not isinstance(symbol, str) or len(symbol) != 1:
+                raise AutomatonError(
+                    f"alphabet symbols must be single characters, got {symbol!r}"
+                )
+            if symbol not in seen:
+                seen.add(symbol)
+                ordered.append(symbol)
+        if not ordered:
+            raise AutomatonError("alphabet must be non-empty")
+        self._symbols = tuple(ordered)
+        self._set = frozenset(ordered)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._set == other._set
+
+    def __hash__(self) -> int:
+        return hash(self._set)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({''.join(self._symbols)!r})"
+
+    @property
+    def symbols(self) -> tuple[str, ...]:
+        return self._symbols
+
+    def validate_word(self, word: str) -> str:
+        """Return ``word`` unchanged, or raise if it uses foreign symbols."""
+        for position, symbol in enumerate(word):
+            if symbol not in self._set:
+                raise AutomatonError(
+                    f"symbol {symbol!r} at position {position} of word {word!r} "
+                    f"is not in alphabet {''.join(self._symbols)!r}"
+                )
+        return word
+
+    def words_of_length(self, length: int) -> Iterator[str]:
+        """All words of exactly the given length, in lexicographic order."""
+        if length == 0:
+            yield ""
+            return
+        for prefix in self.words_of_length(length - 1):
+            for symbol in self._symbols:
+                yield prefix + symbol
+
+    def words_upto(self, max_length: int) -> Iterator[str]:
+        """All words of length 0..max_length, shortest first."""
+        for length in range(max_length + 1):
+            yield from self.words_of_length(length)
+
+    def merged(self, other: "Alphabet") -> "Alphabet":
+        """The union alphabet, this one's symbols first."""
+        return Alphabet(self._symbols + other._symbols)

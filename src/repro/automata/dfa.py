@@ -1,0 +1,164 @@
+"""Deterministic finite automata.
+
+States are arbitrary hashable objects.  Transition functions may be
+partial — a missing transition is an implicit dead state — which keeps
+hand-written examples readable; :func:`repro.automata.operations.complete`
+totalizes when an operation (complement) requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.automata.alphabet import Alphabet
+from repro.errors import AutomatonError
+
+State = Hashable
+
+
+class DFA:
+    """A (possibly partial) deterministic finite automaton."""
+
+    def __init__(
+        self,
+        alphabet: Alphabet | str,
+        states: Iterable[State],
+        initial: State,
+        accepting: Iterable[State],
+        transitions: Mapping[tuple[State, str], State],
+    ) -> None:
+        self.alphabet = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        self.states = frozenset(states)
+        self.initial = initial
+        self.accepting = frozenset(accepting)
+        self.transitions = dict(transitions)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError(f"initial state {self.initial!r} not a state")
+        stray = self.accepting - self.states
+        if stray:
+            raise AutomatonError(f"accepting states {stray!r} are not states")
+        for (state, symbol), target in self.transitions.items():
+            if state not in self.states:
+                raise AutomatonError(f"transition from unknown state {state!r}")
+            if target not in self.states:
+                raise AutomatonError(f"transition to unknown state {target!r}")
+            if symbol not in self.alphabet:
+                raise AutomatonError(
+                    f"transition on symbol {symbol!r} outside the alphabet"
+                )
+
+    # -- running ------------------------------------------------------------------
+
+    def step(self, state: State, symbol: str) -> State | None:
+        """One transition; ``None`` means the implicit dead state."""
+        return self.transitions.get((state, symbol))
+
+    def run(self, word: str) -> State | None:
+        """The state reached from the initial state, or ``None`` if the
+        run dies on a missing transition."""
+        self.alphabet.validate_word(word)
+        state: State | None = self.initial
+        for symbol in word:
+            if state is None:
+                return None
+            state = self.step(state, symbol)
+        return state
+
+    def accepts(self, word: str) -> bool:
+        """Whether the DFA accepts ``word``."""
+        state = self.run(word)
+        return state is not None and state in self.accepting
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def is_total(self) -> bool:
+        """Whether every (state, symbol) pair has a transition."""
+        return all(
+            (state, symbol) in self.transitions
+            for state in self.states
+            for symbol in self.alphabet
+        )
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for symbol in self.alphabet:
+                target = self.step(state, symbol)
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def trim(self) -> "DFA":
+        """The sub-automaton on reachable states."""
+        keep = self.reachable_states()
+        return DFA(
+            alphabet=self.alphabet,
+            states=keep,
+            initial=self.initial,
+            accepting=self.accepting & keep,
+            transitions={
+                (s, a): t
+                for (s, a), t in self.transitions.items()
+                if s in keep and t in keep
+            },
+        )
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        return not (self.reachable_states() & self.accepting)
+
+    def renumbered(self) -> "DFA":
+        """An isomorphic DFA with canonical integer states (BFS order).
+
+        Canonical numbering makes minimized DFAs directly comparable.
+        """
+        order: dict[State, int] = {self.initial: 0}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop(0)
+            for symbol in self.alphabet:
+                target = self.step(state, symbol)
+                if target is not None and target not in order:
+                    order[target] = len(order)
+                    frontier.append(target)
+        # Unreachable states keep arbitrary (but deterministic) numbers.
+        for state in sorted(self.states - set(order), key=repr):
+            order[state] = len(order)
+        return DFA(
+            alphabet=self.alphabet,
+            states=range(len(order)),
+            initial=0,
+            accepting={order[s] for s in self.accepting},
+            transitions={
+                (order[s], a): order[t] for (s, a), t in self.transitions.items()
+            },
+        )
+
+    def to_nfa(self):
+        """The same language as an :class:`repro.automata.nfa.NFA`."""
+        from repro.automata.nfa import NFA
+
+        delta: dict[tuple[State, str | None], frozenset[State]] = {}
+        for (state, symbol), target in self.transitions.items():
+            delta[(state, symbol)] = frozenset({target})
+        return NFA(
+            alphabet=self.alphabet,
+            states=self.states,
+            initial={self.initial},
+            accepting=self.accepting,
+            transitions=delta,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(|Q|={len(self.states)}, Sigma={''.join(self.alphabet)!r}, "
+            f"|F|={len(self.accepting)}, total={self.is_total})"
+        )

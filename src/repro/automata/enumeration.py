@@ -1,0 +1,98 @@
+"""Language enumeration and counting.
+
+Finite language samples — "all accepted words up to length n" — are the
+common currency of this reproduction: the same sample is computed from a
+TVG-automaton under some waiting semantics and from a reference automaton
+or decider, and the two are compared exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+
+def enumerate_language(
+    automaton: DFA | NFA, max_length: int
+) -> Iterator[str]:
+    """Accepted words of length <= max_length, shortest first.
+
+    Walks the word tree but prunes dead branches (states from which the
+    language is empty), so sparse languages enumerate cheaply.
+    """
+    dfa = automaton.to_dfa() if isinstance(automaton, NFA) else automaton
+    live = _live_states(dfa)
+    if dfa.initial not in live:
+        return
+
+    def expand(state, word: str) -> Iterator[str]:
+        if state in dfa.accepting:
+            yield word
+        if len(word) >= max_length:
+            return
+        for symbol in dfa.alphabet:
+            target = dfa.step(state, symbol)
+            if target is not None and target in live:
+                yield from expand(target, word + symbol)
+
+    # Sort by (length, word) to present shortest-first deterministically.
+    yield from sorted(expand(dfa.initial, ""), key=lambda w: (len(w), w))
+
+
+def language_upto(automaton: DFA | NFA, max_length: int) -> frozenset[str]:
+    """The finite sample ``L ∩ Sigma^{<=max_length}`` as a set."""
+    return frozenset(enumerate_language(automaton, max_length))
+
+
+def language_of_predicate(
+    predicate: Callable[[str], bool],
+    alphabet: Alphabet | str,
+    max_length: int,
+) -> frozenset[str]:
+    """The finite sample of an arbitrary decision procedure.
+
+    This is how deciders (Turing machines, Python callables) enter the
+    comparison pipeline on equal footing with automata.
+    """
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+    return frozenset(w for w in sigma.words_upto(max_length) if predicate(w))
+
+
+def count_words_by_length(automaton: DFA | NFA, max_length: int) -> list[int]:
+    """``result[n]`` = number of accepted words of length exactly ``n``.
+
+    Dynamic programming over state occupancy vectors — no enumeration —
+    so counts are cheap even when the language is dense.
+    """
+    dfa = automaton.to_dfa() if isinstance(automaton, NFA) else automaton
+    occupancy: dict = {dfa.initial: 1}
+    counts = [sum(c for s, c in occupancy.items() if s in dfa.accepting)]
+    for _ in range(max_length):
+        advanced: dict = {}
+        for state, ways in occupancy.items():
+            for symbol in dfa.alphabet:
+                target = dfa.step(state, symbol)
+                if target is not None:
+                    advanced[target] = advanced.get(target, 0) + ways
+        occupancy = advanced
+        counts.append(sum(c for s, c in occupancy.items() if s in dfa.accepting))
+    return counts
+
+
+def _live_states(dfa: DFA) -> frozenset:
+    """States from which some accepting state is reachable."""
+    inverse: dict = {}
+    for (source, _symbol), target in dfa.transitions.items():
+        inverse.setdefault(target, set()).add(source)
+    live = set(dfa.accepting)
+    frontier = list(live)
+    while frontier:
+        state = frontier.pop()
+        for source in inverse.get(state, ()):
+            if source not in live:
+                live.add(source)
+                frontier.append(source)
+    return frozenset(live)

@@ -1,0 +1,287 @@
+"""Context-free grammars and CYK parsing.
+
+The paper's Figure 1 headline is that a TVG-automaton "recognizes the
+*context-free* language a^n b^n" without waiting.  To make that claim
+checkable inside the library, this module supplies the context-free
+comparator class: grammars, Chomsky-normal-form conversion, CYK
+membership, and stock grammars for the languages the experiments use.
+
+The classes sit between the regular languages of Theorem 2.2 and the
+computable languages of Theorem 2.1 — the benchmarks place each sampled
+TVG language against all three rungs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Iterable, Mapping, Sequence
+
+from repro.automata.alphabet import Alphabet
+from repro.errors import AutomatonError
+
+#: A production right-hand side: a tuple of terminals and nonterminals.
+Rhs = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Production:
+    """One rule ``head -> body`` (body may be empty for epsilon)."""
+
+    head: str
+    body: Rhs
+
+    def __str__(self) -> str:
+        rhs = " ".join(self.body) if self.body else "ε"
+        return f"{self.head} -> {rhs}"
+
+
+class ContextFreeGrammar:
+    """A CFG over single-character terminals.
+
+    Nonterminals are multi-character (or uppercase) strings; anything
+    appearing as a production head is a nonterminal, everything else in
+    bodies is a terminal and must be a single character.
+    """
+
+    def __init__(
+        self,
+        start: str,
+        productions: Iterable[tuple[str, Sequence[str]]],
+        name: str = "",
+    ) -> None:
+        self.start = start
+        self.productions = [Production(h, tuple(b)) for h, b in productions]
+        self.name = name
+        self.nonterminals = {p.head for p in self.productions}
+        if start not in self.nonterminals:
+            raise AutomatonError(f"start symbol {start!r} has no productions")
+        terminals: set[str] = set()
+        for production in self.productions:
+            for symbol in production.body:
+                if symbol in self.nonterminals:
+                    continue
+                if len(symbol) != 1:
+                    raise AutomatonError(
+                        f"terminal {symbol!r} in {production} is not a "
+                        "single character"
+                    )
+                terminals.add(symbol)
+        if not terminals:
+            raise AutomatonError("grammar has no terminals")
+        self.alphabet = Alphabet(sorted(terminals))
+
+    # -- CNF conversion -------------------------------------------------------------
+
+    def to_cnf(self) -> "CnfGrammar":
+        """Chomsky normal form (with a possible S -> epsilon at the root).
+
+        Standard pipeline: new start symbol, TERM (terminals out of long
+        bodies), BIN (binarize), DEL (epsilon elimination), UNIT (unit
+        elimination).
+        """
+        fresh = (f"_N{i}" for i in count())
+        start = next(fresh)
+        rules: list[Production] = [Production(start, (self.start,))]
+        rules += list(self.productions)
+
+        # TERM: replace terminals inside bodies of length >= 2.
+        terminal_proxy: dict[str, str] = {}
+        termed: list[Production] = []
+        for production in rules:
+            if len(production.body) >= 2:
+                new_body = []
+                for symbol in production.body:
+                    if symbol in self.nonterminals or symbol == self.start or symbol.startswith("_N"):
+                        new_body.append(symbol)
+                    elif len(symbol) == 1 and symbol not in self.nonterminals:
+                        proxy = terminal_proxy.setdefault(symbol, f"_T{symbol}")
+                        new_body.append(proxy)
+                    else:
+                        new_body.append(symbol)
+                termed.append(Production(production.head, tuple(new_body)))
+            else:
+                termed.append(production)
+        for symbol, proxy in terminal_proxy.items():
+            termed.append(Production(proxy, (symbol,)))
+
+        nonterminals = {p.head for p in termed}
+
+        # BIN: binarize long bodies.
+        binned: list[Production] = []
+        for production in termed:
+            body = production.body
+            head = production.head
+            while len(body) > 2:
+                helper = next(fresh)
+                binned.append(Production(head, (body[0], helper)))
+                head, body = helper, body[1:]
+            binned.append(Production(head, body))
+        nonterminals = {p.head for p in binned}
+
+        # DEL: compute nullable set, expand bodies.
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for production in binned:
+                if production.head in nullable:
+                    continue
+                if all(s in nullable for s in production.body):
+                    nullable.add(production.head)
+                    changed = True
+        expanded: set[Production] = set()
+        for production in binned:
+            body = production.body
+            options: list[Rhs] = [()]
+            for symbol in body:
+                grown: list[Rhs] = []
+                for prefix in options:
+                    grown.append(prefix + (symbol,))
+                    if symbol in nullable:
+                        grown.append(prefix)
+                options = grown
+            for choice in options:
+                if choice or production.head == start:
+                    expanded.add(Production(production.head, choice))
+
+        # UNIT: eliminate unit productions via closure.
+        unit_reach: dict[str, set[str]] = {n: {n} for n in nonterminals}
+        changed = True
+        while changed:
+            changed = False
+            for production in expanded:
+                if len(production.body) == 1 and production.body[0] in nonterminals:
+                    target = production.body[0]
+                    before = len(unit_reach[production.head])
+                    unit_reach[production.head] |= unit_reach.get(target, {target})
+                    if len(unit_reach[production.head]) != before:
+                        changed = True
+        final: set[Production] = set()
+        accepts_epsilon = False
+        for head, reachable in unit_reach.items():
+            for production in expanded:
+                if production.head not in reachable:
+                    continue
+                body = production.body
+                if len(body) == 1 and body[0] in nonterminals:
+                    continue  # unit: folded away
+                if not body:
+                    if head == start:
+                        accepts_epsilon = True
+                    continue
+                final.add(Production(head, body))
+
+        binary: dict[str, list[tuple[str, str]]] = {}
+        lexical: dict[str, list[str]] = {}
+        for production in final:
+            if len(production.body) == 2:
+                binary.setdefault(production.head, []).append(
+                    (production.body[0], production.body[1])
+                )
+            elif len(production.body) == 1:
+                lexical.setdefault(production.head, []).append(production.body[0])
+        return CnfGrammar(
+            start=start,
+            binary=binary,
+            lexical=lexical,
+            accepts_epsilon=accepts_epsilon,
+            alphabet=self.alphabet,
+            name=self.name,
+        )
+
+    # -- public API -------------------------------------------------------------------
+
+    def accepts(self, word: str) -> bool:
+        """CYK membership (converts to CNF once, cached)."""
+        if not hasattr(self, "_cnf"):
+            self._cnf = self.to_cnf()
+        return self._cnf.accepts(word)
+
+    def language_upto(self, max_length: int) -> frozenset[str]:
+        """The finite sample, by CYK over all words."""
+        return frozenset(
+            w for w in self.alphabet.words_upto(max_length) if self.accepts(w)
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"ContextFreeGrammar({label.strip()} start={self.start!r}, "
+            f"|P|={len(self.productions)})"
+        )
+
+
+@dataclass
+class CnfGrammar:
+    """A grammar in Chomsky normal form, ready for CYK."""
+
+    start: str
+    binary: Mapping[str, list[tuple[str, str]]]
+    lexical: Mapping[str, list[str]]
+    accepts_epsilon: bool
+    alphabet: Alphabet
+    name: str = ""
+
+    def accepts(self, word: str) -> bool:
+        """Cubic-time CYK membership."""
+        if word == "":
+            return self.accepts_epsilon
+        self.alphabet.validate_word(word)
+        n = len(word)
+        # table[i][j] = nonterminals deriving word[i:i+j+1]
+        table: list[list[set[str]]] = [[set() for _ in range(n)] for _ in range(n)]
+        producers_of_terminal: dict[str, set[str]] = {}
+        for head, symbols in self.lexical.items():
+            for symbol in symbols:
+                producers_of_terminal.setdefault(symbol, set()).add(head)
+        for i, symbol in enumerate(word):
+            table[i][0] = set(producers_of_terminal.get(symbol, set()))
+        producers_of_pair: dict[tuple[str, str], set[str]] = {}
+        for head, pairs in self.binary.items():
+            for pair in pairs:
+                producers_of_pair.setdefault(pair, set()).add(head)
+        for span in range(1, n):
+            for i in range(n - span):
+                cell = table[i][span]
+                for split in range(span):
+                    for left in table[i][split]:
+                        for right in table[i + split + 1][span - split - 1]:
+                            cell |= producers_of_pair.get((left, right), set())
+        return self.start in table[0][n - 1]
+
+
+# -- stock grammars --------------------------------------------------------------------
+
+
+def cfg_anbn(minimum_one: bool = True) -> ContextFreeGrammar:
+    """``{a^n b^n}`` — with ``n >= 1`` (Figure 1's language) by default."""
+    if minimum_one:
+        productions = [("S", ["a", "S", "b"]), ("S", ["a", "b"])]
+    else:
+        productions = [("S", ["a", "S", "b"]), ("S", [])]
+    return ContextFreeGrammar("S", productions, name="anbn")
+
+
+def cfg_palindromes() -> ContextFreeGrammar:
+    """Palindromes over {a, b} (including the empty word)."""
+    return ContextFreeGrammar(
+        "S",
+        [
+            ("S", ["a", "S", "a"]),
+            ("S", ["b", "S", "b"]),
+            ("S", ["a"]),
+            ("S", ["b"]),
+            ("S", []),
+        ],
+        name="palindromes",
+    )
+
+
+def cfg_balanced() -> ContextFreeGrammar:
+    """Dyck-like balance, a opening and b closing."""
+    return ContextFreeGrammar(
+        "S",
+        [("S", ["a", "S", "b", "S"]), ("S", [])],
+        name="balanced",
+    )

@@ -1,0 +1,290 @@
+"""Extraction of waiting languages as finite automata.
+
+Theorem 2.2 says ``L_wait`` is exactly the regular languages.  For two
+large, decidable classes of TVGs this reproduction makes the regularity
+*constructive* — it outputs an actual NFA:
+
+* **periodic TVGs** (presence and latency repeat with period ``P``):
+  configurations ``(node, t)`` and ``(node, t + P)`` behave identically,
+  so the automaton needs only ``(node, residue)`` states.  Waiting one
+  time unit becomes an epsilon move ``(v, r) -> (v, r+1 mod P)``, and an
+  ``a``-labeled edge present at residue ``r`` with latency ``l`` becomes
+  ``(u, r) --a--> (v, (r + l) mod P)``.  Every automaton path lifts to a
+  genuine journey because each move strictly advances real time.
+
+* **finite-lifetime TVGs**: the classic time-expansion with one state per
+  ``(node, date)``.
+
+The same expansions with the epsilon moves removed (or budgeted) compute
+``L_nowait`` and ``L_wait[d]``.  A pleasant corollary falls out and is
+tested: the *no-wait* language of any periodic TVG is also regular — the
+Turing power of Theorem 2.1 genuinely needs aperiodic schedules like the
+prime-power clocks of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.intervals import Interval
+from repro.core.semantics import NO_WAIT, WAIT, WaitingSemantics
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ExtractionError
+
+
+def verify_period(graph: TimeVaryingGraph, periods_checked: int = 2) -> bool:
+    """Spot-check the declared period against actual schedules.
+
+    Compares presence over ``[0, P)`` with the next ``periods_checked``
+    windows, and latency at each present date.  A sampling check — a
+    pathological black-box schedule could still lie — but it catches every
+    honest mistake (wrong period, shifted pattern, drifting latency).
+    """
+    period = graph.period
+    if period is None:
+        raise ExtractionError("graph declares no period")
+    for edge in graph.edges:
+        base = set(edge.presence.support(Interval(0, period)).times())
+        for k in range(1, periods_checked + 1):
+            window = Interval(k * period, (k + 1) * period)
+            shifted = {t - k * period for t in edge.presence.support(window).times()}
+            if shifted != base:
+                return False
+            for residue in base:
+                if edge.latency(residue) != edge.latency(residue + k * period):
+                    return False
+    return True
+
+
+def _alphabet_of(automaton: TVGAutomaton) -> Alphabet:
+    labels = sorted(automaton.graph.alphabet)
+    if not labels:
+        raise ExtractionError("the graph has no labeled edges; no language to extract")
+    return Alphabet(labels)
+
+
+# -- periodic expansion ----------------------------------------------------------------
+
+
+def _periodic_expansion(
+    automaton: TVGAutomaton,
+    wait_budget: int | None,
+    check_period: bool,
+) -> NFA:
+    """Shared body of the three periodic extractors.
+
+    ``wait_budget``: ``None`` for unbounded waiting, 0 for no waiting,
+    ``d`` for ``wait[d]``.  States are ``(node, residue)`` when the budget
+    is unbounded or zero, and ``(node, residue, waited)`` otherwise.
+    """
+    graph = automaton.graph
+    period = graph.period
+    if period is None:
+        raise ExtractionError(
+            "periodic extraction requires a declared period "
+            "(set TimeVaryingGraph(period=...) or use the finite-lifetime path)"
+        )
+    if check_period and not verify_period(graph):
+        raise ExtractionError(
+            f"declared period {period} contradicts the actual schedules"
+        )
+    sigma = _alphabet_of(automaton)
+    track_wait = wait_budget is not None and wait_budget > 0
+
+    def state(node: Hashable, residue: int, waited: int) -> tuple:
+        if track_wait:
+            return (node, residue, waited)
+        return (node, residue)
+
+    budget = wait_budget if track_wait else 0
+    states = {
+        state(node, residue, waited)
+        for node in graph.nodes
+        for residue in range(period)
+        for waited in range(budget + 1)
+    }
+    transitions: dict[tuple[tuple, str | None], set[tuple]] = {}
+
+    def arrow(source: tuple, symbol: str | None, target: tuple) -> None:
+        transitions.setdefault((source, symbol), set()).add(target)
+
+    for node in graph.nodes:
+        for residue in range(period):
+            # Waiting one unit: an epsilon move that advances the clock.
+            if wait_budget is None:
+                arrow(state(node, residue, 0), None, state(node, (residue + 1) % period, 0))
+            elif track_wait:
+                for waited in range(budget):
+                    arrow(
+                        state(node, residue, waited),
+                        None,
+                        state(node, (residue + 1) % period, waited + 1),
+                    )
+    for edge in graph.edges:
+        for residue in edge.presence.support(Interval(0, period)).times():
+            arrival = (residue + edge.latency(residue)) % period
+            for waited in range(budget + 1):
+                # Taking an edge resets the waiting budget.
+                arrow(
+                    state(edge.source, residue, waited),
+                    edge.label,
+                    state(edge.target, arrival, 0),
+                )
+
+    start_residue = automaton.start_time % period
+    initial = {state(node, start_residue, 0) for node in automaton.initial}
+    accepting = {
+        state(node, residue, waited)
+        for node in automaton.accepting
+        for residue in range(period)
+        for waited in range(budget + 1)
+    }
+    return NFA(
+        alphabet=sigma,
+        states=states,
+        initial=initial,
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+# -- finite-lifetime expansion ----------------------------------------------------------
+
+
+def _finite_expansion(automaton: TVGAutomaton, wait_budget: int | None) -> NFA:
+    """Time-expanded NFA over ``(node, date)`` states for bounded lifetimes.
+
+    Dates run over ``[start, end]``; ``end`` is a sink date (no presence
+    beyond the lifetime), and arrivals past it are clamped there.  The
+    waiting budget, when finite, is tracked in the state.
+    """
+    graph = automaton.graph
+    if not graph.lifetime.bounded:
+        raise ExtractionError(
+            "finite-lifetime extraction requires a bounded lifetime "
+            "(set Lifetime(start, end)); for unbounded graphs declare a period"
+        )
+    start, end = graph.lifetime.start, int(graph.lifetime.end)
+    sigma = _alphabet_of(automaton)
+    track_wait = wait_budget is not None and wait_budget > 0
+    budget = wait_budget if track_wait else 0
+
+    def state(node: Hashable, date: int, waited: int) -> tuple:
+        if track_wait:
+            return (node, date, waited)
+        return (node, date)
+
+    states = {
+        state(node, date, waited)
+        for node in graph.nodes
+        for date in range(start, end + 1)
+        for waited in range(budget + 1)
+    }
+    transitions: dict[tuple[tuple, str | None], set[tuple]] = {}
+
+    def arrow(source: tuple, symbol: str | None, target: tuple) -> None:
+        transitions.setdefault((source, symbol), set()).add(target)
+
+    for node in graph.nodes:
+        for date in range(start, end):
+            if wait_budget is None:
+                arrow(state(node, date, 0), None, state(node, date + 1, 0))
+            elif track_wait:
+                for waited in range(budget):
+                    arrow(
+                        state(node, date, waited),
+                        None,
+                        state(node, date + 1, waited + 1),
+                    )
+    window = Interval(start, end)
+    for edge in graph.edges:
+        for date in edge.presence.support(window).times():
+            arrival = min(date + edge.latency(date), end)
+            for waited in range(budget + 1):
+                arrow(
+                    state(edge.source, date, waited),
+                    edge.label,
+                    state(edge.target, arrival, 0),
+                )
+
+    clamp = min(max(automaton.start_time, start), end)
+    initial = {state(node, clamp, 0) for node in automaton.initial}
+    accepting = {
+        state(node, date, waited)
+        for node in automaton.accepting
+        for date in range(start, end + 1)
+        for waited in range(budget + 1)
+    }
+    return NFA(
+        alphabet=sigma,
+        states=states,
+        initial=initial,
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+# -- public API -------------------------------------------------------------------------
+
+
+def _dispatch(
+    automaton: TVGAutomaton, wait_budget: int | None, check_period: bool
+) -> NFA:
+    if automaton.graph.period is not None:
+        return _periodic_expansion(automaton, wait_budget, check_period)
+    return _finite_expansion(automaton, wait_budget)
+
+
+def wait_language_automaton(
+    automaton: TVGAutomaton, check_period: bool = True
+) -> NFA:
+    """An NFA recognizing ``L_wait(G)`` exactly.
+
+    Works for periodic graphs (``(node, residue)`` states plus wait
+    epsilon moves) and finite-lifetime graphs (``(node, date)`` states).
+    This is the constructive face of Theorem 2.2 on these classes.
+    """
+    return _dispatch(automaton, None, check_period)
+
+
+def nowait_language_automaton(
+    automaton: TVGAutomaton, check_period: bool = True
+) -> NFA:
+    """An NFA recognizing ``L_nowait(G)`` exactly — same expansions with
+    the wait moves removed.
+
+    Only exists for periodic / finite-lifetime graphs; over arbitrary
+    TVGs ``L_nowait`` reaches every computable language (Theorem 2.1), so
+    no such extractor can exist in general.
+    """
+    return _dispatch(automaton, 0, check_period)
+
+
+def bounded_wait_language_automaton(
+    automaton: TVGAutomaton, max_wait: int, check_period: bool = True
+) -> NFA:
+    """An NFA recognizing ``L_wait[d](G)`` exactly, ``d = max_wait``.
+
+    The waiting budget is carried in the state and reset by every edge,
+    mirroring the paper's per-pause bound.
+    """
+    if max_wait < 0:
+        raise ExtractionError(f"waiting bound must be >= 0, got {max_wait}")
+    return _dispatch(automaton, max_wait, check_period)
+
+
+def language_automaton(
+    automaton: TVGAutomaton,
+    semantics: WaitingSemantics,
+    check_period: bool = True,
+) -> NFA:
+    """Dispatch on a :class:`WaitingSemantics` value."""
+    if semantics == WAIT:
+        return wait_language_automaton(automaton, check_period)
+    if semantics == NO_WAIT:
+        return nowait_language_automaton(automaton, check_period)
+    assert semantics.max_wait is not None
+    return bounded_wait_language_automaton(automaton, semantics.max_wait, check_period)

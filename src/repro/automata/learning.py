@@ -1,0 +1,178 @@
+"""Passive DFA learning (RPNI) from labeled samples.
+
+A third regularity instrument, independent of extraction and of the
+Myhill–Nerode/pumping bounds: given positive and negative word samples,
+RPNI (Oncina & García, 1992) builds the prefix-tree acceptor and greedily
+merges states in canonical order whenever the merge stays consistent
+with the sample.
+
+How it meets the paper: sample a TVG language under *wait* semantics,
+learn, and the result converges to the minimal DFA as depth grows
+(Theorem 2.2 in action — for periodic graphs the tests check the learned
+machine against the exact extracted one).  Sample under *no-wait* on a
+clockwork graph and the learned machines keep growing with the sample:
+learning never converges because there is nothing finite to converge to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import DFA
+from repro.errors import AutomatonError
+
+_ACCEPT = 1
+_REJECT = 0
+_UNKNOWN = -1
+
+
+class _PrefixTree:
+    """Mutable prefix-tree acceptor with merge-by-fold."""
+
+    def __init__(self, alphabet: Alphabet) -> None:
+        self.alphabet = alphabet
+        self.children: list[dict[str, int]] = [{}]
+        self.verdict: list[int] = [_UNKNOWN]
+
+    def add(self, word: str, accepted: bool) -> None:
+        node = 0
+        for symbol in word:
+            if symbol not in self.children[node]:
+                self.children[node][symbol] = len(self.children)
+                self.children.append({})
+                self.verdict.append(_UNKNOWN)
+            node = self.children[node][symbol]
+        wanted = _ACCEPT if accepted else _REJECT
+        if self.verdict[node] not in (_UNKNOWN, wanted):
+            raise AutomatonError(
+                f"sample is contradictory on {word!r} (both accepted and rejected)"
+            )
+        self.verdict[node] = wanted
+
+
+def _try_merge(
+    children: list[dict[str, int]],
+    verdict: list[int],
+    representative: list[int],
+    keep: int,
+    drop: int,
+) -> bool:
+    """Attempt to merge state ``drop`` into ``keep`` (with folding);
+    mutates the three structures, returns False (leaving them in a
+    partially-merged state — callers work on copies) on inconsistency."""
+    keep = _find(representative, keep)
+    drop = _find(representative, drop)
+    if keep == drop:
+        return True
+    a, b = verdict[keep], verdict[drop]
+    if a != _UNKNOWN and b != _UNKNOWN and a != b:
+        return False
+    if a == _UNKNOWN:
+        verdict[keep] = b
+    representative[drop] = keep
+    for symbol, target in list(children[drop].items()):
+        if symbol in children[keep]:
+            if not _try_merge(
+                children, verdict, representative, children[keep][symbol], target
+            ):
+                return False
+        else:
+            children[keep][symbol] = target
+    return True
+
+
+def _find(representative: list[int], node: int) -> int:
+    while representative[node] != node:
+        node = representative[node]
+    return node
+
+
+def learn_dfa(
+    positive: Iterable[str],
+    negative: Iterable[str],
+    alphabet: Alphabet | str,
+) -> DFA:
+    """RPNI: the canonical-order merged DFA consistent with the sample.
+
+    Every positive word is accepted and every negative word rejected by
+    the result (guaranteed); on characteristic samples the result is the
+    target's minimal DFA.  States unreachable after merging are dropped;
+    missing transitions reject (partial DFA).
+    """
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+    tree = _PrefixTree(sigma)
+    for word in sorted(set(positive), key=lambda w: (len(w), w)):
+        tree.add(sigma.validate_word(word), True)
+    for word in sorted(set(negative), key=lambda w: (len(w), w)):
+        tree.add(sigma.validate_word(word), False)
+
+    children = [dict(c) for c in tree.children]
+    verdict = list(tree.verdict)
+    representative = list(range(len(children)))
+
+    # Canonical (breadth-first) order over tree nodes.
+    order: list[int] = [0]
+    cursor = 0
+    while cursor < len(order):
+        node = order[cursor]
+        cursor += 1
+        for symbol in sigma:
+            if symbol in tree.children[node]:
+                order.append(tree.children[node][symbol])
+
+    red: list[int] = [0]
+    for candidate in order[1:]:
+        if _find(representative, candidate) != candidate:
+            continue  # already folded into an earlier state
+        merged = False
+        for target in red:
+            trial_children = [dict(c) for c in children]
+            trial_verdict = list(verdict)
+            trial_repr = list(representative)
+            if _try_merge(trial_children, trial_verdict, trial_repr, target, candidate):
+                children, verdict, representative = (
+                    trial_children,
+                    trial_verdict,
+                    trial_repr,
+                )
+                merged = True
+                break
+        if not merged:
+            red.append(candidate)
+
+    # Materialize the quotient automaton on the red states.
+    transitions: dict[tuple[int, str], int] = {}
+    states: set[int] = set()
+    frontier = [_find(representative, 0)]
+    while frontier:
+        node = frontier.pop()
+        if node in states:
+            continue
+        states.add(node)
+        for symbol, target in children[node].items():
+            root = _find(representative, target)
+            transitions[(node, symbol)] = root
+            if root not in states:
+                frontier.append(root)
+    accepting = {s for s in states if verdict[s] == _ACCEPT}
+    return DFA(
+        alphabet=sigma,
+        states=states,
+        initial=_find(representative, 0),
+        accepting=accepting,
+        transitions=transitions,
+    ).renumbered()
+
+
+def learn_from_language_sample(
+    sample: Iterable[str],
+    alphabet: Alphabet | str,
+    max_length: int,
+) -> DFA:
+    """Learn from a complete sample: everything up to ``max_length`` not
+    in ``sample`` is a negative example."""
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+    accepted = set(sample)
+    rejected = [w for w in sigma.words_upto(max_length) if w not in accepted]
+    return learn_dfa(accepted, rejected, sigma)

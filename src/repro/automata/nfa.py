@@ -1,0 +1,167 @@
+"""Nondeterministic finite automata with epsilon transitions.
+
+The transition map sends ``(state, symbol)`` to a set of states, with
+``symbol = None`` meaning an epsilon move.  Epsilon transitions are what
+make the wait-language extraction natural: *waiting one time unit* is an
+epsilon move of the time-expanded automaton.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.automata.alphabet import Alphabet
+from repro.errors import AutomatonError
+
+State = Hashable
+
+
+class NFA:
+    """A nondeterministic finite automaton with optional epsilon moves."""
+
+    def __init__(
+        self,
+        alphabet: Alphabet | str,
+        states: Iterable[State],
+        initial: Iterable[State],
+        accepting: Iterable[State],
+        transitions: Mapping[tuple[State, str | None], Iterable[State]],
+    ) -> None:
+        self.alphabet = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        self.states = frozenset(states)
+        self.initial = frozenset(initial)
+        self.accepting = frozenset(accepting)
+        self.transitions: dict[tuple[State, str | None], frozenset[State]] = {
+            key: frozenset(targets) for key, targets in transitions.items()
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.initial:
+            raise AutomatonError("an NFA needs at least one initial state")
+        for name, group in (("initial", self.initial), ("accepting", self.accepting)):
+            stray = group - self.states
+            if stray:
+                raise AutomatonError(f"{name} states {stray!r} are not states")
+        for (state, symbol), targets in self.transitions.items():
+            if state not in self.states:
+                raise AutomatonError(f"transition from unknown state {state!r}")
+            if symbol is not None and symbol not in self.alphabet:
+                raise AutomatonError(
+                    f"transition on symbol {symbol!r} outside the alphabet"
+                )
+            stray = targets - self.states
+            if stray:
+                raise AutomatonError(f"transition to unknown states {stray!r}")
+
+    # -- running ------------------------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """All states reachable from ``states`` by epsilon moves alone."""
+        closure = set(states)
+        frontier = list(closure)
+        while frontier:
+            state = frontier.pop()
+            for target in self.transitions.get((state, None), ()):
+                if target not in closure:
+                    closure.add(target)
+                    frontier.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: str) -> frozenset[State]:
+        """The epsilon-closed successor set on one input symbol."""
+        moved: set[State] = set()
+        for state in self.epsilon_closure(states):
+            moved.update(self.transitions.get((state, symbol), ()))
+        return self.epsilon_closure(moved)
+
+    def run(self, word: str) -> frozenset[State]:
+        """The set of states reachable on ``word`` from the initial set."""
+        self.alphabet.validate_word(word)
+        current = self.epsilon_closure(self.initial)
+        for symbol in word:
+            if not current:
+                break
+            current = self.step(current, symbol)
+        return current
+
+    def accepts(self, word: str) -> bool:
+        """Whether some run on ``word`` ends in an accepting state."""
+        return bool(self.run(word) & self.accepting)
+
+    # -- conversions -----------------------------------------------------------------
+
+    def to_dfa(self) -> "DFA":
+        """The subset-construction DFA (reachable part only).
+
+        States of the result are frozensets of NFA states; the empty set
+        (dead state) is left implicit, so the result may be partial.
+        """
+        from repro.automata.dfa import DFA
+
+        start = self.epsilon_closure(self.initial)
+        states: set[frozenset[State]] = {start}
+        transitions: dict[tuple[frozenset[State], str], frozenset[State]] = {}
+        frontier = [start]
+        while frontier:
+            subset = frontier.pop()
+            for symbol in self.alphabet:
+                target = self.step(subset, symbol)
+                if not target:
+                    continue
+                transitions[(subset, symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+        accepting = {subset for subset in states if subset & self.accepting}
+        return DFA(
+            alphabet=self.alphabet,
+            states=states,
+            initial=start,
+            accepting=accepting,
+            transitions=transitions,
+        )
+
+    def reversed(self) -> "NFA":
+        """The NFA for the reversed language."""
+        delta: dict[tuple[State, str | None], set[State]] = {}
+        for (state, symbol), targets in self.transitions.items():
+            for target in targets:
+                delta.setdefault((target, symbol), set()).add(state)
+        return NFA(
+            alphabet=self.alphabet,
+            states=self.states,
+            initial=self.accepting if self.accepting else {next(iter(self.states))},
+            accepting=self.initial,
+            transitions=delta,
+        )
+
+    def relabel_states(self) -> "NFA":
+        """An isomorphic NFA with integer states (stable order)."""
+        order = {state: i for i, state in enumerate(sorted(self.states, key=repr))}
+        return NFA(
+            alphabet=self.alphabet,
+            states=range(len(order)),
+            initial={order[s] for s in self.initial},
+            accepting={order[s] for s in self.accepting},
+            transitions={
+                (order[s], a): {order[t] for t in targets}
+                for (s, a), targets in self.transitions.items()
+            },
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+    def __repr__(self) -> str:
+        epsilons = sum(1 for (_s, a) in self.transitions if a is None)
+        return (
+            f"NFA(|Q|={len(self.states)}, Sigma={''.join(self.alphabet)!r}, "
+            f"|I|={len(self.initial)}, |F|={len(self.accepting)}, "
+            f"eps-moves={epsilons})"
+        )
+
+
+# Imported late to avoid a cycle at module load.
+from repro.automata.dfa import DFA  # noqa: E402  (re-export for type users)

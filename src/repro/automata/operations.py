@@ -1,0 +1,164 @@
+"""Boolean operations and minimization on finite automata.
+
+Everything Theorem 2.2's verification pipeline needs: completion,
+complement, product intersection/union, difference, Hopcroft
+minimization, and DFA reversal (via the NFA construction).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+
+State = Hashable
+
+#: Sentinel dead state added by :func:`complete`.
+DEAD = "__dead__"
+
+
+def _common_alphabet(first: DFA, second: DFA) -> Alphabet:
+    if first.alphabet != second.alphabet:
+        raise AutomatonError(
+            f"alphabet mismatch: {first.alphabet!r} vs {second.alphabet!r}; "
+            "rebuild one side over the merged alphabet first"
+        )
+    return first.alphabet
+
+
+def complete(dfa: DFA) -> DFA:
+    """A total DFA for the same language (adds a dead sink if needed)."""
+    if dfa.is_total:
+        return dfa
+    states = set(dfa.states) | {DEAD}
+    transitions = dict(dfa.transitions)
+    for state in states:
+        for symbol in dfa.alphabet:
+            transitions.setdefault((state, symbol), DEAD)
+    return DFA(
+        alphabet=dfa.alphabet,
+        states=states,
+        initial=dfa.initial,
+        accepting=dfa.accepting,
+        transitions=transitions,
+    )
+
+
+def complement(dfa: DFA) -> DFA:
+    """The DFA for the complement language (over the same alphabet)."""
+    total = complete(dfa)
+    return DFA(
+        alphabet=total.alphabet,
+        states=total.states,
+        initial=total.initial,
+        accepting=total.states - total.accepting,
+        transitions=total.transitions,
+    )
+
+
+def _product(first: DFA, second: DFA, accept) -> DFA:
+    alphabet = _common_alphabet(first, second)
+    a, b = complete(first), complete(second)
+    start = (a.initial, b.initial)
+    states = {start}
+    transitions: dict[tuple[tuple[State, State], str], tuple[State, State]] = {}
+    frontier = [start]
+    while frontier:
+        pair = frontier.pop()
+        for symbol in alphabet:
+            target = (a.step(pair[0], symbol), b.step(pair[1], symbol))
+            transitions[(pair, symbol)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    accepting = {
+        (p, q)
+        for (p, q) in states
+        if accept(p in a.accepting, q in b.accepting)
+    }
+    return DFA(
+        alphabet=alphabet,
+        states=states,
+        initial=start,
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+def intersect(first: DFA, second: DFA) -> DFA:
+    """Product DFA for the intersection."""
+    return _product(first, second, lambda x, y: x and y)
+
+
+def union(first: DFA, second: DFA) -> DFA:
+    """Product DFA for the union."""
+    return _product(first, second, lambda x, y: x or y)
+
+
+def difference(first: DFA, second: DFA) -> DFA:
+    """Product DFA for ``L(first) \\ L(second)``."""
+    return _product(first, second, lambda x, y: x and not y)
+
+
+def reverse_dfa(dfa: DFA) -> DFA:
+    """DFA for the reversed language (reverse the NFA, determinize)."""
+    return dfa.to_nfa().reversed().to_dfa()
+
+
+def minimize(dfa: DFA) -> DFA:
+    """The canonical minimal DFA (Moore's partition refinement).
+
+    The input is trimmed to its reachable part and completed first; the
+    result is total, renumbered 0..n-1 with 0 initial in BFS order, and
+    canonical: two DFAs recognize the same language iff their minimized
+    forms are identical.  Moore refinement is O(n^2 |Sigma|), ample for
+    the automata this library produces, and straightforwardly correct.
+    """
+    total = complete(dfa.trim())
+    states = sorted(total.states, key=repr)
+    alphabet = list(total.alphabet)
+
+    # block_of maps each state to its current equivalence-class id.
+    block_of = {state: (1 if state in total.accepting else 0) for state in states}
+    while True:
+        # A state's signature is its own block plus the blocks reached
+        # on each symbol; states are equivalent so far iff signatures match.
+        signatures = {
+            state: (
+                block_of[state],
+                tuple(block_of[total.step(state, symbol)] for symbol in alphabet),
+            )
+            for state in states
+        }
+        renumber: dict[tuple, int] = {}
+        refined = {}
+        for state in states:
+            signature = signatures[state]
+            if signature not in renumber:
+                renumber[signature] = len(renumber)
+            refined[state] = renumber[signature]
+        if refined == block_of:
+            break
+        block_of = refined
+
+    transitions = {
+        (block_of[source], symbol): block_of[target]
+        for (source, symbol), target in total.transitions.items()
+    }
+    minimal = DFA(
+        alphabet=total.alphabet,
+        states=set(block_of.values()),
+        initial=block_of[total.initial],
+        accepting={block_of[s] for s in total.accepting},
+        transitions=transitions,
+    )
+    return minimal.trim().renumbered()
+
+
+def state_count(dfa: DFA) -> int:
+    """Number of states of the minimal automaton — the canonical
+    complexity measure of a regular language."""
+    return len(minimize(dfa).states)

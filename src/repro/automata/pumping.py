@@ -1,0 +1,143 @@
+"""Pumping-lemma machinery for regular languages.
+
+Another finite witness of (non-)regularity to stand next to the
+Myhill–Nerode bounds: if ``L`` is regular with a DFA of ``n`` states,
+every word of length >= ``n`` splits as ``x y z`` with ``|xy| <= n``,
+``y`` nonempty, and ``x y^i z`` in ``L`` for all ``i``.  Given only a
+finite sample, the checker reports decompositions that *fail inside the
+sampled range* — for a^n b^n every split of the a-block fails at
+``i = 0`` or ``i = 2``, so the evidence is decisive at small depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class PumpingViolation:
+    """A decomposition and repetition count that leaves the language."""
+
+    word: str
+    x: str
+    y: str
+    z: str
+    i: int
+
+    @property
+    def pumped(self) -> str:
+        return self.x + self.y * self.i + self.z
+
+    def __str__(self) -> str:
+        return (
+            f"{self.word!r} = {self.x!r} {self.y!r} {self.z!r}: "
+            f"x y^{self.i} z = {self.pumped!r} leaves the language"
+        )
+
+
+def decompositions(word: str, pumping_length: int) -> Iterator[tuple[str, str, str]]:
+    """All ``x y z`` splits with ``|xy| <= pumping_length`` and ``y != ''``."""
+    limit = min(pumping_length, len(word))
+    for start in range(limit):
+        for end in range(start + 1, limit + 1):
+            yield word[:start], word[start:end], word[end:]
+
+
+def check_word_pumpable(
+    member: Callable[[str], bool],
+    word: str,
+    pumping_length: int,
+    max_i: int = 3,
+) -> PumpingViolation | None:
+    """Is *some* decomposition of ``word`` pumpable within ``i <= max_i``?
+
+    Returns ``None`` if a decomposition survives all tested repetition
+    counts (the word gives no evidence against the pumping length), or
+    the violation found for the *best surviving* decomposition otherwise
+    — i.e. a non-None result means **every** admissible split fails.
+    """
+    best_violation: PumpingViolation | None = None
+    for x, y, z in decompositions(word, pumping_length):
+        violation = None
+        for i in range(max_i + 1):
+            if not member(x + y * i + z):
+                violation = PumpingViolation(word, x, y, z, i)
+                break
+        if violation is None:
+            return None  # this split pumps fine; no counterexample here
+        best_violation = violation
+    return best_violation
+
+
+def find_pumping_counterexample(
+    member: Callable[[str], bool],
+    sample_words: Iterator[str] | list[str],
+    pumping_length: int,
+    max_i: int = 3,
+) -> PumpingViolation | None:
+    """A word of the language with **no** pumpable decomposition.
+
+    Such a word refutes "L is regular with ≤ pumping_length states".
+    Scanning increasing pumping lengths turns this into a lower-bound
+    ladder (see :func:`regularity_refutation_ladder`).
+    """
+    for word in sample_words:
+        if len(word) < pumping_length or not member(word):
+            continue
+        violation = check_word_pumpable(member, word, pumping_length, max_i)
+        if violation is not None:
+            return violation
+    return None
+
+
+def regularity_refutation_ladder(
+    member: Callable[[str], bool],
+    alphabet: str,
+    max_pumping_length: int,
+    word_depth: int | None = None,
+    max_i: int = 3,
+) -> list[tuple[int, PumpingViolation | None]]:
+    """For each pumping length 1..max, a counterexample (or None).
+
+    A row ``(p, violation)`` with a violation refutes every DFA with
+    ``<= p`` states; an unbroken ladder up to ``p`` is strong finite
+    evidence of non-regularity at scale ``p``.  For genuinely regular
+    languages the ladder breaks at the true pumping length.
+    """
+    from repro.automata.alphabet import Alphabet
+
+    sigma = Alphabet(alphabet)
+    depth = word_depth if word_depth is not None else 2 * max_pumping_length + 2
+    words = [w for w in sigma.words_upto(depth) if member(w)]
+    ladder = []
+    for pumping_length in range(1, max_pumping_length + 1):
+        ladder.append(
+            (
+                pumping_length,
+                find_pumping_counterexample(member, words, pumping_length, max_i),
+            )
+        )
+    return ladder
+
+
+def refuted_state_bound(
+    member: Callable[[str], bool],
+    alphabet: str,
+    max_pumping_length: int,
+    word_depth: int | None = None,
+) -> int:
+    """The largest ``p`` such that every pumping length <= p is refuted.
+
+    0 when even pumping length 1 survives.  For a^n b^n this climbs with
+    the sampling depth; for a regular language it stalls below the DFA
+    size forever.
+    """
+    bound = 0
+    for pumping_length, violation in regularity_refutation_ladder(
+        member, alphabet, max_pumping_length, word_depth
+    ):
+        if violation is None:
+            break
+        bound = pumping_length
+    return bound

@@ -1,0 +1,292 @@
+"""Regular expressions: parser, AST, and Thompson construction.
+
+Supported syntax: literal symbols, grouping ``( )``, union ``|``,
+Kleene star ``*``, plus ``+``, option ``?``; the empty concatenation
+denotes epsilon (so ``(|a)`` matches the empty word or ``a``).  The
+metacharacters themselves cannot be symbols.
+
+A seeded random-regex generator is provided for the Theorem 2.2
+benchmark, which embeds arbitrary regular languages into static TVGs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.errors import RegexSyntaxError
+
+_METACHARACTERS = set("()|*+?")
+
+
+# -- AST -----------------------------------------------------------------------------
+
+
+class RegexNode:
+    """Base class of regex AST nodes."""
+
+    def symbols(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Literal(RegexNode):
+    symbol: str
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset({self.symbol})
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    left: RegexNode
+    right: RegexNode
+
+    def symbols(self) -> frozenset[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left, for_concat=True)}{_wrap(self.right, for_concat=True)}"
+
+
+@dataclass(frozen=True)
+class Union(RegexNode):
+    left: RegexNode
+    right: RegexNode
+
+    def symbols(self) -> frozenset[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return f"{self.left}|{self.right}"
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    inner: RegexNode
+
+    def symbols(self) -> frozenset[str]:
+        return self.inner.symbols()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+def _wrap(node: RegexNode, for_concat: bool = False) -> str:
+    needs_parens = isinstance(node, Union) or (for_concat and isinstance(node, Union))
+    if isinstance(node, (Concat,)) and not for_concat:
+        needs_parens = True
+    text = str(node)
+    return f"({text})" if needs_parens else text
+
+
+# -- parser ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.position = 0
+
+    def fail(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(self.pattern, self.position, message)
+
+    def peek(self) -> str | None:
+        if self.position < len(self.pattern):
+            return self.pattern[self.position]
+        return None
+
+    def take(self) -> str:
+        symbol = self.pattern[self.position]
+        self.position += 1
+        return symbol
+
+    def parse(self) -> RegexNode:
+        node = self.union()
+        if self.position != len(self.pattern):
+            raise self.fail(f"unexpected {self.peek()!r}")
+        return node
+
+    def union(self) -> RegexNode:
+        node = self.concat()
+        while self.peek() == "|":
+            self.take()
+            node = Union(node, self.concat())
+        return node
+
+    def concat(self) -> RegexNode:
+        parts: list[RegexNode] = []
+        while True:
+            symbol = self.peek()
+            if symbol is None or symbol in "|)":
+                break
+            parts.append(self.repeat())
+        if not parts:
+            return Epsilon()
+        node = parts[0]
+        for part in parts[1:]:
+            node = Concat(node, part)
+        return node
+
+    def repeat(self) -> RegexNode:
+        node = self.atom()
+        while self.peek() in ("*", "+", "?"):
+            operator = self.take()
+            if operator == "*":
+                node = Star(node)
+            elif operator == "+":
+                node = Concat(node, Star(node))
+            else:
+                node = Union(node, Epsilon())
+        return node
+
+    def atom(self) -> RegexNode:
+        symbol = self.peek()
+        if symbol == "(":
+            self.take()
+            node = self.union()
+            if self.peek() != ")":
+                raise self.fail("unbalanced parenthesis")
+            self.take()
+            return node
+        if symbol is None or symbol in _METACHARACTERS:
+            raise self.fail(f"expected a symbol, got {symbol!r}")
+        return Literal(self.take())
+
+
+def parse_regex(pattern: str) -> RegexNode:
+    """Parse a pattern into a regex AST.
+
+    >>> str(parse_regex("a(b|c)*"))
+    'a(b|c)*'
+    """
+    return _Parser(pattern).parse()
+
+
+# -- Thompson construction ---------------------------------------------------------------
+
+
+class _Builder:
+    """Allocates integer NFA states and accumulates transitions."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+        self.transitions: dict[tuple[int, str | None], set[int]] = {}
+
+    def fresh(self) -> int:
+        state = self.counter
+        self.counter += 1
+        return state
+
+    def arrow(self, source: int, symbol: str | None, target: int) -> None:
+        self.transitions.setdefault((source, symbol), set()).add(target)
+
+    def build(self, node: RegexNode) -> tuple[int, int]:
+        """Thompson fragment for ``node``: returns (entry, exit) states."""
+        if isinstance(node, Epsilon):
+            entry, exit_ = self.fresh(), self.fresh()
+            self.arrow(entry, None, exit_)
+            return entry, exit_
+        if isinstance(node, Literal):
+            entry, exit_ = self.fresh(), self.fresh()
+            self.arrow(entry, node.symbol, exit_)
+            return entry, exit_
+        if isinstance(node, Concat):
+            left_in, left_out = self.build(node.left)
+            right_in, right_out = self.build(node.right)
+            self.arrow(left_out, None, right_in)
+            return left_in, right_out
+        if isinstance(node, Union):
+            entry, exit_ = self.fresh(), self.fresh()
+            left_in, left_out = self.build(node.left)
+            right_in, right_out = self.build(node.right)
+            self.arrow(entry, None, left_in)
+            self.arrow(entry, None, right_in)
+            self.arrow(left_out, None, exit_)
+            self.arrow(right_out, None, exit_)
+            return entry, exit_
+        if isinstance(node, Star):
+            entry, exit_ = self.fresh(), self.fresh()
+            inner_in, inner_out = self.build(node.inner)
+            self.arrow(entry, None, inner_in)
+            self.arrow(entry, None, exit_)
+            self.arrow(inner_out, None, inner_in)
+            self.arrow(inner_out, None, exit_)
+            return entry, exit_
+        raise TypeError(f"unknown regex node {node!r}")
+
+
+def regex_to_nfa(
+    pattern: str | RegexNode, alphabet: Alphabet | str | None = None
+) -> NFA:
+    """Thompson construction: an epsilon-NFA for the pattern.
+
+    The alphabet defaults to the symbols occurring in the pattern; pass a
+    larger one to compare languages over a common alphabet.
+    """
+    node = parse_regex(pattern) if isinstance(pattern, str) else pattern
+    used = node.symbols()
+    if alphabet is None:
+        sigma = Alphabet(sorted(used) or ["a"])
+    else:
+        sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        missing = used - set(sigma)
+        if missing:
+            raise RegexSyntaxError(
+                str(node), 0, f"pattern uses symbols {sorted(missing)} outside alphabet"
+            )
+    builder = _Builder()
+    entry, exit_ = builder.build(node)
+    return NFA(
+        alphabet=sigma,
+        states=range(builder.counter),
+        initial={entry},
+        accepting={exit_},
+        transitions=builder.transitions,
+    )
+
+
+# -- random regexes -------------------------------------------------------------------------
+
+
+def random_regex(
+    alphabet: Alphabet | str,
+    depth: int = 4,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> RegexNode:
+    """A random regex AST over the alphabet, for benchmark workloads.
+
+    Depth bounds the operator nesting; leaves are literals with a small
+    chance of epsilon.  Deterministic given ``seed``/``rng``.
+    """
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+    rng = rng if rng is not None else random.Random(seed if seed is not None else 0)
+
+    def grow(remaining: int) -> RegexNode:
+        if remaining <= 0 or rng.random() < 0.3:
+            if rng.random() < 0.1:
+                return Epsilon()
+            return Literal(rng.choice(sigma.symbols))
+        roll = rng.random()
+        if roll < 0.4:
+            return Concat(grow(remaining - 1), grow(remaining - 1))
+        if roll < 0.75:
+            return Union(grow(remaining - 1), grow(remaining - 1))
+        return Star(grow(remaining - 1))
+
+    return grow(depth)

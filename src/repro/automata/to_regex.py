@@ -1,0 +1,131 @@
+"""Automaton -> regular expression (state elimination).
+
+Closes the Theorem 2.2 loop in human-readable form: a periodic TVG's
+wait language can be *extracted* (``language_compute``), *minimized*
+(``operations``), and now *written down* as a regex the parser round
+trips.  The output uses the library's own regex syntax, so
+``regex_to_nfa(automaton_to_regex(dfa))`` is always equivalent to the
+input — the property the tests enforce.
+
+The construction is classic Brzozowski–McCluskey state elimination over
+generalized NFAs whose arrows carry regex ASTs.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.regex import (
+    Concat,
+    Epsilon,
+    Literal,
+    RegexNode,
+    Star,
+    Union,
+)
+
+#: Internal sentinel for "no arrow" (the empty language), kept out of the
+#: public regex AST: unions with it collapse, concatenations die.
+_EMPTY = None
+
+
+def _union(left: RegexNode | None, right: RegexNode | None) -> RegexNode | None:
+    if left is _EMPTY:
+        return right
+    if right is _EMPTY:
+        return left
+    if left == right:
+        return left
+    return Union(left, right)
+
+
+def _concat(left: RegexNode | None, right: RegexNode | None) -> RegexNode | None:
+    if left is _EMPTY or right is _EMPTY:
+        return _EMPTY
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    return Concat(left, right)
+
+
+def _star(inner: RegexNode | None) -> RegexNode:
+    if inner is _EMPTY or isinstance(inner, Epsilon):
+        return Epsilon()
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def nfa_to_regex(nfa: NFA) -> RegexNode:
+    """A regex AST for the NFA's language (possibly matching nothing).
+
+    An automaton with empty language yields a regex matching nothing is
+    impossible in the plain syntax; such inputs raise ``ValueError`` —
+    check emptiness first (``nfa.to_dfa().is_empty()``).
+    """
+    # Generalized NFA: fresh initial/final, arrows labeled by ASTs.
+    initial, final = ("__init__",), ("__final__",)
+    states = [initial] + sorted(
+        ((s,) for s in nfa.states), key=repr
+    ) + [final]
+    arrows: dict[tuple, RegexNode | None] = {}
+
+    def get(a, b):
+        return arrows.get((a, b), _EMPTY)
+
+    def put(a, b, node):
+        arrows[(a, b)] = node
+
+    for state in nfa.initial:
+        put(initial, (state,), _union(get(initial, (state,)), Epsilon()))
+    for state in nfa.accepting:
+        put((state,), final, _union(get((state,), final), Epsilon()))
+    for (state, symbol), targets in nfa.transitions.items():
+        for target in targets:
+            label: RegexNode = Epsilon() if symbol is None else Literal(symbol)
+            put((state,), (target,), _union(get((state,), (target,)), label))
+
+    # Eliminate the original states one at a time.
+    for victim in states[1:-1]:
+        loop = _star(get(victim, victim))
+        survivors = [s for s in states if s != victim]
+        for a in survivors:
+            into = get(a, victim)
+            if into is _EMPTY:
+                continue
+            for b in survivors:
+                out = get(victim, b)
+                if out is _EMPTY:
+                    continue
+                bypass = _concat(_concat(into, loop), out)
+                put(a, b, _union(get(a, b), bypass))
+        states = survivors
+        arrows = {
+            (a, b): node
+            for (a, b), node in arrows.items()
+            if victim not in (a, b)
+        }
+
+    result = get(initial, final)
+    if result is _EMPTY:
+        raise ValueError(
+            "the automaton's language is empty; plain regex syntax cannot "
+            "denote the empty language"
+        )
+    return result
+
+
+def dfa_to_regex(dfa: DFA) -> RegexNode:
+    """A regex AST for the DFA's language (see :func:`nfa_to_regex`)."""
+    return nfa_to_regex(dfa.to_nfa())
+
+
+def automaton_to_regex_string(automaton: DFA | NFA) -> str:
+    """The regex as concrete syntax the library's parser accepts."""
+    node = (
+        dfa_to_regex(automaton)
+        if isinstance(automaton, DFA)
+        else nfa_to_regex(automaton)
+    )
+    return str(node)

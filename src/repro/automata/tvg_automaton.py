@@ -1,0 +1,336 @@
+"""TVG-automata: time-varying graphs as language acceptors.
+
+Following Section 2 of the paper, a TVG ``G`` whose edges are labeled
+over ``Sigma`` is viewed as an automaton
+``A(G) = (Sigma, S, I, E, F)`` with ``S = V`` and transitions
+``(s, t, a, s', t')`` available iff an ``a``-labeled edge ``(s, s')`` is
+present at ``t`` with latency ``t' - t``.  A word is accepted when some
+feasible journey from an initial to an accepting node spells it; which
+journeys are feasible depends on the waiting semantics, giving the three
+languages ``L_nowait(G)``, ``L_wait(G)`` and ``L_wait[d](G)``.
+
+Configurations are ``(node, time)`` pairs; the acceptor runs set-of-
+configurations style, so nondeterministic graphs work unmodified.
+Unlabeled edges are treated as epsilon transitions (they consume no
+input but take time), a conservative extension the paper's examples
+don't use but the regular-embedding construction benefits from.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.automata.alphabet import Alphabet
+from repro.core.edges import Edge
+from repro.core.intervals import Interval
+from repro.core.journeys import Hop, Journey
+from repro.core.semantics import NO_WAIT, WaitingSemantics
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import AutomatonError, TimeDomainError
+
+Config = tuple[Hashable, int]
+
+
+class TVGAutomaton:
+    """A time-varying graph read as a finite-word acceptor.
+
+    Attributes:
+        graph: The underlying TVG (labels are the input alphabet).
+        initial: Set of initial nodes ``I``.
+        accepting: Set of accepting nodes ``F``.
+        start_time: The date reading starts (the paper's Figure 1 starts
+            at ``t = 1``).
+    """
+
+    def __init__(
+        self,
+        graph: TimeVaryingGraph,
+        initial: Iterable[Hashable] | Hashable,
+        accepting: Iterable[Hashable] | Hashable,
+        start_time: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.initial = _as_node_set(graph, initial, "initial")
+        self.accepting = _as_node_set(graph, accepting, "accepting")
+        self.start_time = start_time
+        if not graph.alphabet and not any(
+            e.label is None for e in graph.edges
+        ) and graph.edge_count:
+            raise AutomatonError("automaton graph has no usable edges")
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The alphabet ``Sigma`` = labels in use."""
+        labels = sorted(self.graph.alphabet)
+        if not labels:
+            raise AutomatonError("automaton graph has no labeled edges")
+        return Alphabet(labels)
+
+    # -- departures under a semantics ----------------------------------------------
+
+    def _departures(
+        self,
+        edge: Edge,
+        ready: int,
+        semantics: WaitingSemantics,
+        horizon: int | None,
+    ) -> Iterator[int]:
+        if horizon is not None and ready >= horizon:
+            return
+        if semantics.is_no_wait:
+            if edge.present_at(ready):
+                yield ready
+            return
+        if horizon is None:
+            raise TimeDomainError(
+                "waiting semantics need an explicit horizon on this graph "
+                "(pass horizon=..., or bound the graph lifetime)"
+            )
+        latest = semantics.latest_departure(ready, horizon)
+        yield from edge.presence.support(Interval(ready, latest)).times()
+
+    def _resolve_horizon(self, horizon: int | None) -> int | None:
+        if horizon is not None:
+            return horizon
+        if self.graph.lifetime.bounded:
+            return int(self.graph.lifetime.end)
+        return None
+
+    # -- configuration-set execution ---------------------------------------------------
+
+    def _epsilon_closure(
+        self,
+        configs: set[Config],
+        semantics: WaitingSemantics,
+        horizon: int | None,
+    ) -> set[Config]:
+        """Close a configuration set under unlabeled-edge moves."""
+        closure = set(configs)
+        frontier = list(configs)
+        while frontier:
+            node, ready = frontier.pop()
+            for edge in self.graph.out_edges(node):
+                if edge.label is not None:
+                    continue
+                for departure in self._departures(edge, ready, semantics, horizon):
+                    config = (edge.target, departure + edge.latency(departure))
+                    if config not in closure:
+                        closure.add(config)
+                        frontier.append(config)
+        return closure
+
+    @staticmethod
+    def _prune(configs: set[Config], semantics: WaitingSemantics) -> set[Config]:
+        """Drop dominated configurations.
+
+        Under unbounded waiting ``(v, t)`` can realize every continuation
+        ``(v, t')`` with ``t' >= t`` can (wait the difference), so only the
+        earliest date per node matters.  This collapses configuration
+        sets to at most ``|V|`` entries — the optimization that makes
+        deep sampling of clockwork graphs like Figure 1 tractable.  No
+        such dominance holds for no-wait or bounded waiting.
+        """
+        if not semantics.unbounded:
+            return configs
+        earliest: dict[Hashable, int] = {}
+        for node, time in configs:
+            if node not in earliest or time < earliest[node]:
+                earliest[node] = time
+        return {(node, time) for node, time in earliest.items()}
+
+    def initial_configurations(
+        self,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> set[Config]:
+        """The epsilon-closed start configurations ``{(i, start_time)}``."""
+        horizon = self._resolve_horizon(horizon)
+        configs = {(node, self.start_time) for node in self.initial}
+        return self._prune(
+            self._epsilon_closure(configs, semantics, horizon), semantics
+        )
+
+    def step_configurations(
+        self,
+        configs: set[Config],
+        symbol: str,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> set[Config]:
+        """All configurations reachable by reading one symbol."""
+        horizon = self._resolve_horizon(horizon)
+        advanced: set[Config] = set()
+        for node, ready in self._prune(set(configs), semantics):
+            for edge in self.graph.out_edges(node):
+                if edge.label != symbol:
+                    continue
+                for departure in self._departures(edge, ready, semantics, horizon):
+                    advanced.add((edge.target, departure + edge.latency(departure)))
+        return self._prune(
+            self._epsilon_closure(advanced, semantics, horizon), semantics
+        )
+
+    def configurations(
+        self,
+        word: str,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> set[Config]:
+        """All configurations reachable by reading ``word`` in full.
+
+        Empty when the word cannot be read to completion.
+        """
+        horizon = self._resolve_horizon(horizon)
+        configs = self.initial_configurations(semantics, horizon)
+        for symbol in word:
+            if not configs:
+                break
+            configs = self.step_configurations(configs, symbol, semantics, horizon)
+        return configs
+
+    # -- acceptance ---------------------------------------------------------------------
+
+    def accepts(
+        self,
+        word: str,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> bool:
+        """Whether some feasible journey spelling ``word`` ends accepting.
+
+        The empty word is accepted iff an accepting node is epsilon-
+        reachable from an initial one (in particular if ``I ∩ F != ∅``).
+        """
+        configs = self.configurations(word, semantics, horizon)
+        return any(node in self.accepting for node, _time in configs)
+
+    def language(
+        self,
+        max_length: int,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+        alphabet: Alphabet | str | None = None,
+    ) -> frozenset[str]:
+        """The finite sample ``L_f(G) ∩ Sigma^{<=max_length}``.
+
+        Explores the word tree breadth-first, sharing configuration sets
+        between sibling words and pruning words that cannot be read, so
+        sparse languages cost far less than ``|Sigma|^max_length`` runs.
+        """
+        horizon = self._resolve_horizon(horizon)
+        if alphabet is None:
+            sigma = self.alphabet
+        else:
+            sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        accepted: set[str] = set()
+        level: dict[str, frozenset[Config]] = {
+            "": frozenset(self.initial_configurations(semantics, horizon))
+        }
+        for length in range(max_length + 1):
+            for word, configs in level.items():
+                if any(node in self.accepting for node, _t in configs):
+                    accepted.add(word)
+            if length == max_length:
+                break
+            next_level: dict[str, frozenset[Config]] = {}
+            for word, configs in level.items():
+                for symbol in sigma:
+                    advanced = self.step_configurations(
+                        set(configs), symbol, semantics, horizon
+                    )
+                    if advanced:
+                        next_level[word + symbol] = frozenset(advanced)
+            level = next_level
+            if not level:
+                break
+        return frozenset(accepted)
+
+    # -- witnesses ----------------------------------------------------------------------
+
+    def accepting_journeys(
+        self,
+        word: str,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+        max_count: int | None = None,
+    ) -> Iterator[Journey]:
+        """Feasible journeys that spell ``word`` and end accepting.
+
+        Depth-first; useful as human-checkable witnesses.  Unlabeled
+        (epsilon) edges may appear inside the journeys.  The empty word
+        yields nothing (a journey needs at least one hop) even when it is
+        *accepted* via ``I ∩ F``.
+        """
+        horizon = self._resolve_horizon(horizon)
+        emitted = 0
+
+        def expand(
+            node: Hashable, ready: int, remaining: str, hops: list[Hop]
+        ) -> Iterator[Journey]:
+            nonlocal emitted
+            if max_count is not None and emitted >= max_count:
+                return
+            if not remaining and hops and node in self.accepting:
+                emitted += 1
+                yield Journey(list(hops))
+                # Continue: longer journeys (via epsilon edges) may also spell it.
+            for edge in self.graph.out_edges(node):
+                consumes: str | None
+                if edge.label is None:
+                    consumes = remaining
+                elif remaining and edge.label == remaining[0]:
+                    consumes = remaining[1:]
+                else:
+                    continue
+                for departure in self._departures(edge, ready, semantics, horizon):
+                    hops.append(Hop(edge, departure))
+                    yield from expand(edge.target, hops[-1].arrival, consumes, hops)
+                    hops.pop()
+
+        for start in self.initial:
+            yield from expand(start, self.start_time, word, [])
+
+    # -- structural checks ------------------------------------------------------------------
+
+    def is_deterministic_over(self, times: Iterable[int]) -> bool:
+        """Whether, at every sampled date, each (node, symbol) pair has at
+        most one present edge and there is a single initial node.
+
+        Determinism of a TVG-automaton is in general undecidable (presence
+        functions are arbitrary), so this is an explicit-window check — the
+        paper's Figure 1 graph passes it on any window.
+        """
+        if len(self.initial) > 1:
+            return False
+        for time in times:
+            for node in self.graph.nodes:
+                seen: set[str | None] = set()
+                for edge in self.graph.out_edges(node):
+                    if not edge.present_at(time):
+                        continue
+                    if edge.label in seen:
+                        return False
+                    seen.add(edge.label)
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TVGAutomaton({self.graph!r}, I={sorted(map(repr, self.initial))}, "
+            f"F={sorted(map(repr, self.accepting))}, t0={self.start_time})"
+        )
+
+
+def _as_node_set(
+    graph: TimeVaryingGraph,
+    nodes: Iterable[Hashable] | Hashable,
+    role: str,
+) -> frozenset[Hashable]:
+    if isinstance(nodes, (str, bytes)) or not isinstance(nodes, Iterable):
+        nodes = [nodes]
+    result = frozenset(nodes)
+    unknown = [n for n in result if not graph.has_node(n)]
+    if unknown:
+        raise AutomatonError(f"{role} nodes {unknown!r} are not in the graph")
+    if not result:
+        raise AutomatonError(f"at least one {role} node is required")
+    return result

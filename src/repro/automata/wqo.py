@@ -1,0 +1,199 @@
+"""Well-quasi-orders on words and closure constructions.
+
+Theorem 2.2's hard direction rests on a quasi-order on words "based upon
+the possibility of inclusion for corresponding journeys" being a *well*
+quasi-order, combined with Harju & Ilie's theorem that a language closed
+upward for a well quasi-order refining the subword order is regular.
+
+This module provides the executable pieces of that toolchain:
+
+* Higman's scattered-subword embedding (the prototypical wqo on words),
+  antichain search as an empirical well-ness check;
+* upward and downward closures of a regular language under subword
+  embedding — both regular by Higman's lemma, via standard NFA surgery;
+* the *configuration preorder* of a TVG-automaton: ``w <= w'`` when every
+  configuration reachable by reading ``w'`` is also reachable by reading
+  ``w``.  Under wait semantics on a periodic graph this preorder has
+  finite index (configurations live in a finite residue space), which is
+  precisely why ``L_wait`` collapses to regular there — the benchmark
+  measures that index.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.automata.nfa import NFA
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.semantics import WAIT, WaitingSemantics
+
+
+def is_subword(shorter: str, longer: str) -> bool:
+    """Higman embedding: ``shorter`` is a scattered subword of ``longer``.
+
+    >>> is_subword("ace", "abcde")
+    True
+    >>> is_subword("ba", "ab")
+    False
+    """
+    iterator = iter(longer)
+    return all(symbol in iterator for symbol in shorter)
+
+
+def is_antichain(words: Iterable[str]) -> bool:
+    """No word in the set embeds into another (subword order)."""
+    words = list(words)
+    for first, second in combinations(words, 2):
+        if is_subword(first, second) or is_subword(second, first):
+            return False
+    return True
+
+
+def maximal_antichain(words: Iterable[str]) -> list[str]:
+    """A maximal antichain within the given finite set (greedy).
+
+    Higman's lemma promises every antichain over a finite alphabet is
+    finite; tests use this to probe that promise on random samples.
+    """
+    chain: list[str] = []
+    for word in sorted(set(words), key=lambda w: (len(w), w)):
+        if all(
+            not is_subword(existing, word) and not is_subword(word, existing)
+            for existing in chain
+        ):
+            chain.append(word)
+    return chain
+
+
+def minimal_elements(words: Iterable[str]) -> list[str]:
+    """The subword-minimal members of a finite set.
+
+    The upward closure of a set equals the upward closure of its minimal
+    elements, so these are the canonical generators.
+    """
+    pool = sorted(set(words), key=lambda w: (len(w), w))
+    kept: list[str] = []
+    for word in pool:
+        if not any(is_subword(other, word) for other in kept):
+            kept.append(word)
+    return kept
+
+
+def upward_closure(nfa: NFA) -> NFA:
+    """NFA for ``{w : some v in L(nfa) embeds into w}``.
+
+    Standard surgery: allow any symbol to be skipped at any state by
+    adding a full self-loop alphabet at every state.  Regular by Higman's
+    lemma; here it is constructive.
+    """
+    transitions: dict[tuple, set] = {
+        key: set(targets) for key, targets in nfa.transitions.items()
+    }
+    for state in nfa.states:
+        for symbol in nfa.alphabet:
+            transitions.setdefault((state, symbol), set()).add(state)
+    return NFA(
+        alphabet=nfa.alphabet,
+        states=nfa.states,
+        initial=nfa.initial,
+        accepting=nfa.accepting,
+        transitions=transitions,
+    )
+
+
+def downward_closure(nfa: NFA) -> NFA:
+    """NFA for ``{w : w embeds into some v in L(nfa)}``.
+
+    Dual surgery: every labeled transition may also be taken silently
+    (the symbol is dropped), i.e. it gains an epsilon twin.
+    """
+    transitions: dict[tuple, set] = {
+        key: set(targets) for key, targets in nfa.transitions.items()
+    }
+    for (state, symbol), targets in list(nfa.transitions.items()):
+        if symbol is not None:
+            transitions.setdefault((state, None), set()).update(targets)
+    return NFA(
+        alphabet=nfa.alphabet,
+        states=nfa.states,
+        initial=nfa.initial,
+        accepting=nfa.accepting,
+        transitions=transitions,
+    )
+
+
+def upward_closure_of_words(words: Sequence[str], alphabet: str) -> NFA:
+    """NFA for the subword upward closure of a finite word set."""
+    from repro.automata.alphabet import Alphabet
+
+    sigma = Alphabet(alphabet)
+    states: set = set()
+    transitions: dict[tuple, set] = {}
+    initial = {("w", -1, -1)}
+    accepting: set = set()
+    states.add(("w", -1, -1))
+    for index, word in enumerate(minimal_elements(words)):
+        previous = ("w", -1, -1)
+        for position, symbol in enumerate(word):
+            state = ("w", index, position)
+            states.add(state)
+            transitions.setdefault((previous, symbol), set()).add(state)
+            previous = state
+        accepting.add(previous)
+    nfa = NFA(
+        alphabet=sigma,
+        states=states,
+        initial=initial,
+        accepting=accepting or initial,
+        transitions=transitions,
+    )
+    return upward_closure(nfa)
+
+
+# -- the configuration preorder of a TVG-automaton -----------------------------------------
+
+
+def configuration_preorder_classes(
+    automaton: TVGAutomaton,
+    words: Iterable[str],
+    semantics: WaitingSemantics = WAIT,
+    horizon: int | None = None,
+) -> dict[frozenset, list[str]]:
+    """Group words by the configuration set they reach.
+
+    Two words in the same class are Myhill–Nerode equivalent for the
+    expressed language (any continuation treats them identically).  On a
+    periodic graph configurations are first reduced to
+    ``(node, time mod P)`` — the future of ``(v, t)`` is label-isomorphic
+    to that of ``(v, t + P)``, so the residual languages agree — which
+    makes the class count finite; the Theorem 2.2 benchmark reports it
+    next to the minimal-DFA size of the extracted language.
+    """
+    period = automaton.graph.period
+    classes: dict[frozenset, list[str]] = {}
+    for word in words:
+        configs = automaton.configurations(word, semantics, horizon)
+        if period is not None:
+            configs = {(node, time % period) for node, time in configs}
+        classes.setdefault(frozenset(configs), []).append(word)
+    return classes
+
+
+def preorder_index_bound(
+    automaton: TVGAutomaton,
+    max_length: int,
+    semantics: WaitingSemantics = WAIT,
+    horizon: int | None = None,
+) -> int:
+    """Number of distinct configuration classes over all words up to a
+    length — a concrete upper bound on the Myhill–Nerode index reached so
+    far.  Stabilization as ``max_length`` grows is the empirical shadow of
+    the wqo argument."""
+    words = _all_words(automaton, max_length)
+    return len(configuration_preorder_classes(automaton, words, semantics, horizon))
+
+
+def _all_words(automaton: TVGAutomaton, max_length: int) -> list[str]:
+    sigma = automaton.alphabet
+    return list(sigma.words_upto(max_length))

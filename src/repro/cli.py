@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library's showcase objects:
+
+* ``figure1`` — test words against the paper's Figure 1 automaton;
+* ``universal`` — build the Theorem 2.1 graph for a stock language and
+  sample its no-wait language;
+* ``extract`` — compute the wait-language DFA of a trace/periodic graph;
+* ``broadcast`` — run the store-carry-forward comparison on a random
+  network;
+* ``render`` — print the ASCII schedule of a contact trace.
+
+All subcommands print plain text and exit non-zero on verification
+failure, so they compose with shell pipelines and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import NO_WAIT, WAIT, bounded_wait, figure1_automaton, nowait_automaton_for
+from repro.core.semantics import WaitingSemantics
+
+
+def _semantics(text: str) -> WaitingSemantics:
+    if text == "wait":
+        return WAIT
+    if text == "nowait":
+        return NO_WAIT
+    if text.startswith("wait[") and text.endswith("]"):
+        return bounded_wait(int(text[5:-1]))
+    raise argparse.ArgumentTypeError(
+        f"unknown semantics {text!r}; use wait, nowait, or wait[d]"
+    )
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    automaton = figure1_automaton(p=args.p, q=args.q)
+    failures = 0
+    for word in args.words:
+        accepted = automaton.accepts(word, args.semantics, horizon=args.horizon)
+        print(f"{word!r}: {'accept' if accepted else 'reject'}")
+        if args.expect is not None and accepted != (args.expect == "accept"):
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_universal(args: argparse.Namespace) -> int:
+    from repro.machines.programs import standard_deciders
+
+    deciders = standard_deciders()
+    if args.language not in deciders:
+        print(f"unknown language {args.language!r}; choose from "
+              f"{', '.join(sorted(deciders))}", file=sys.stderr)
+        return 2
+    decider = deciders[args.language]
+    automaton = nowait_automaton_for(decider)
+    built = automaton.language(args.depth, NO_WAIT)
+    expected = decider.language_upto(args.depth)
+    for word in sorted(built, key=lambda w: (len(w), w)):
+        print(repr(word))
+    ok = built == expected
+    print(f"# L_nowait(G) == L({args.language}) up to {args.depth}: {ok}")
+    return 0 if ok else 1
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    from repro.automata.language_compute import wait_language_automaton
+    from repro.automata.operations import minimize
+    from repro.automata.tvg_automaton import TVGAutomaton
+    from repro.dynamics.traces import load_trace
+
+    graph = load_trace(args.trace)
+    labeled = _label_all(graph, args.label)
+    automaton = TVGAutomaton(
+        labeled,
+        initial=args.initial,
+        accepting=args.accepting or list(labeled.nodes),
+        start_time=0,
+    )
+    dfa = minimize(wait_language_automaton(automaton).to_dfa())
+    print(f"minimal wait-language DFA: {len(dfa.states)} states, "
+          f"{len(dfa.accepting)} accepting")
+    return 0
+
+
+def _label_all(graph, label: str):
+    from repro.core.transforms import graph_like
+
+    labeled = graph_like(graph)
+    labeled.add_nodes(graph.nodes)
+    for edge in graph.edges:
+        labeled.add_edge_object(edge.relabeled(label))
+    return labeled
+
+
+def cmd_broadcast(args: argparse.Namespace) -> int:
+    from repro.core.generators import edge_markovian_tvg
+    from repro.dynamics.protocols.broadcast import simulate_broadcast
+
+    graph = edge_markovian_tvg(
+        args.nodes,
+        horizon=args.horizon,
+        birth=args.birth,
+        death=args.death,
+        seed=args.seed,
+    )
+    for buffering in (False, True):
+        outcome = simulate_broadcast(graph, 0, buffering)
+        mode = "buffered  " if buffering else "bufferless"
+        done = outcome.completion_time
+        print(
+            f"{mode}: delivery {outcome.delivery_ratio:.2f}, "
+            f"transmissions {outcome.transmissions}, "
+            f"completed at {done if done is not None else '-'}"
+        )
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from repro.core.render import render_schedule
+    from repro.dynamics.traces import load_trace
+
+    graph = load_trace(args.trace)
+    print(render_schedule(graph, args.start, args.end))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Waiting in Dynamic Networks — reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure1", help="test words on the Figure 1 automaton")
+    fig.add_argument("words", nargs="+")
+    fig.add_argument("--semantics", type=_semantics, default=NO_WAIT)
+    fig.add_argument("--horizon", type=int, default=None)
+    fig.add_argument("-p", type=int, default=2)
+    fig.add_argument("-q", type=int, default=3)
+    fig.add_argument("--expect", choices=["accept", "reject"], default=None)
+    fig.set_defaults(handler=cmd_figure1)
+
+    uni = sub.add_parser("universal", help="Theorem 2.1 graph for a stock language")
+    uni.add_argument("language")
+    uni.add_argument("--depth", type=int, default=6)
+    uni.set_defaults(handler=cmd_universal)
+
+    ext = sub.add_parser("extract", help="wait-language DFA of a contact trace")
+    ext.add_argument("trace")
+    ext.add_argument("--initial", default=None, required=True)
+    ext.add_argument("--accepting", nargs="*", default=None)
+    ext.add_argument("--label", default="c")
+    ext.set_defaults(handler=cmd_extract)
+
+    bro = sub.add_parser("broadcast", help="buffered vs bufferless flooding")
+    bro.add_argument("--nodes", type=int, default=12)
+    bro.add_argument("--horizon", type=int, default=60)
+    bro.add_argument("--birth", type=float, default=0.05)
+    bro.add_argument("--death", type=float, default=0.5)
+    bro.add_argument("--seed", type=int, default=0)
+    bro.set_defaults(handler=cmd_broadcast)
+
+    ren = sub.add_parser("render", help="ASCII schedule of a contact trace")
+    ren.add_argument("trace")
+    ren.add_argument("--start", type=int, default=None)
+    ren.add_argument("--end", type=int, default=None)
+    ren.set_defaults(handler=cmd_render)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""The paper's constructive proofs, as executable code.
+
+* :mod:`repro.constructions.figure1` — the exact TVG-automaton of
+  Figure 1 / Table 1 whose no-wait language is ``a^n b^n``;
+* :mod:`repro.constructions.godel` — word-in-clock prime encodings, the
+  arithmetic trick Table 1 is a special case of;
+* :mod:`repro.constructions.nowait_universal` — Theorem 2.1: a TVG whose
+  no-wait language equals any given computable language;
+* :mod:`repro.constructions.wait_regular` — Theorem 2.2 (easy
+  direction): every regular language as a wait language;
+* :mod:`repro.constructions.bounded_wait` — Theorem 2.3: the time
+  dilation making ``wait[d]`` no stronger than no-wait.
+"""
+
+from repro.constructions.bounded_wait import (
+    compile_bounded_wait,
+    expand_for_bounded_wait,
+)
+from repro.constructions.figure1 import figure1_automaton, figure1_graph
+from repro.constructions.godel import GodelEncoding, nth_prime, primes
+from repro.constructions.nowait_universal import nowait_automaton_for
+from repro.constructions.wait_regular import (
+    automaton_to_tvg,
+    regex_to_tvg,
+)
+
+__all__ = [
+    "GodelEncoding",
+    "automaton_to_tvg",
+    "compile_bounded_wait",
+    "expand_for_bounded_wait",
+    "figure1_automaton",
+    "figure1_graph",
+    "nowait_automaton_for",
+    "nth_prime",
+    "primes",
+    "regex_to_tvg",
+]

@@ -1,0 +1,99 @@
+"""Theorem 2.3 — bounded waiting buys nothing: ``L_wait[d] = L_nowait``.
+
+Both class inclusions, constructively:
+
+* ``L_nowait ⊆ L_wait[d]`` via :func:`expand_for_bounded_wait` — the
+  paper's *dilatation of time*.  Dilating every schedule by ``d + 1``
+  spaces consecutive events ``d + 1`` apart, so a waiting budget of ``d``
+  opens no departure a direct journey would not already take:
+  ``L_wait[d](dilate(G, d+1)) = L_nowait(dilate(G, d+1)) = L_nowait(G)``.
+
+* ``L_wait[d] ⊆ L_nowait`` via :func:`compile_bounded_wait` — waiting is
+  compiled into the graph: node ``v`` splits into copies
+  ``(v, 0) ... (v, d)`` chained by unlabeled unit-latency "wait" edges,
+  and every labeled edge leaves from all copies but enters copy 0.  A
+  direct journey of the compiled graph is exactly a ``wait[d]`` journey
+  of the original.  (The compiled graph uses unlabeled edges — the
+  library's epsilon extension of the paper's model; the paper itself
+  settles the class equality through computability, both classes being
+  the computable languages.)
+"""
+
+from __future__ import annotations
+
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.latency import constant_latency
+from repro.core.presence import always
+from repro.core.transforms import dilate
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ConstructionError
+
+
+def expand_for_bounded_wait(
+    automaton: TVGAutomaton, max_wait: int
+) -> TVGAutomaton:
+    """The Theorem 2.3 dilation: a TVG whose ``wait[max_wait]`` language
+    equals the input's no-wait language.
+
+    Every presence date ``t`` moves to ``t * (max_wait + 1)`` and every
+    latency scales by ``max_wait + 1``; the acceptor's start time scales
+    along so that the initial configuration stays on the event grid.
+    """
+    if max_wait < 0:
+        raise ConstructionError(f"waiting bound must be >= 0, got {max_wait}")
+    factor = max_wait + 1
+    return TVGAutomaton(
+        dilate(automaton.graph, factor),
+        initial=automaton.initial,
+        accepting=automaton.accepting,
+        start_time=automaton.start_time * factor,
+    )
+
+
+def compile_bounded_wait(
+    automaton: TVGAutomaton, max_wait: int
+) -> TVGAutomaton:
+    """A TVG whose *no-wait* language equals the input's ``wait[max_wait]``
+    language (the converse inclusion, via node splitting).
+
+    Copy ``(v, k)`` means "at ``v``, having waited ``k`` units since
+    becoming ready".  Unlabeled edges ``(v, k) -> (v, k+1)`` of unit
+    latency realize the pauses; labeled edges keep their schedule, leave
+    every copy, and land on copy 0 (taking an edge resets the pause).
+    """
+    if max_wait < 0:
+        raise ConstructionError(f"waiting bound must be >= 0, got {max_wait}")
+    source_graph = automaton.graph
+    compiled = TimeVaryingGraph(
+        lifetime=source_graph.lifetime,
+        period=source_graph.period,
+        name=f"{source_graph.name}~wait[{max_wait}]-compiled",
+    )
+    for node in source_graph.nodes:
+        for k in range(max_wait + 1):
+            compiled.add_node((node, k))
+        for k in range(max_wait):
+            compiled.add_edge(
+                (node, k),
+                (node, k + 1),
+                label=None,
+                presence=always(),
+                latency=constant_latency(1),
+                key=f"wait:{node}:{k}",
+            )
+    for edge in source_graph.edges:
+        for k in range(max_wait + 1):
+            compiled.add_edge(
+                (edge.source, k),
+                (edge.target, 0),
+                label=edge.label,
+                presence=edge.presence,
+                latency=edge.latency,
+                key=f"{edge.key}:{k}",
+            )
+    return TVGAutomaton(
+        compiled,
+        initial={(node, 0) for node in automaton.initial},
+        accepting={(node, k) for node in automaton.accepting for k in range(max_wait + 1)},
+        start_time=automaton.start_time,
+    )

@@ -1,0 +1,145 @@
+"""Figure 1 / Table 1 of the paper, verbatim.
+
+The deterministic TVG-automaton whose *no-wait* language is the
+context-free ``{a^n b^n : n >= 1}``.  Three nodes ``v0`` (initial),
+``v1``, ``v2`` (accepting); reading starts at ``t = 1``; ``p < q`` are
+distinct primes > 1.  The schedules, straight from Table 1:
+
+====  ==========  =====  ===============================  ==============
+edge  endpoints   label  presence ``rho(e, t) = 1`` iff    latency
+====  ==========  =====  ===============================  ==============
+e0    v0 -> v0    a      always                            ``(p - 1) t``
+e1    v0 -> v1    b      ``t > p``                         ``(q - 1) t``
+e2    v1 -> v1    b      ``t != p^i q^(i-1), i > 1``       ``(q - 1) t``
+e3    v0 -> v2    b      ``t = p``                         any (1 here)
+e4    v1 -> v2    b      ``t = p^i q^(i-1), i > 1``        any (1 here)
+====  ==========  =====  ===============================  ==============
+
+Mechanics: the clock after reading ``a^n`` is ``p^n`` (e0 multiplies by
+``p``), after ``a^n b^j`` it is ``p^n q^j`` (e1/e2 multiply by ``q``).
+The final ``b`` must exit to ``v2``: via ``e3`` when ``n = 1`` (clock
+exactly ``p``), via ``e4`` when the clock is ``p^n q^(n-1)`` — i.e.
+after exactly ``n - 1`` earlier ``b``s.  ``e2`` is switched *off* at
+those dates, which is what makes the automaton deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.latency import affine_latency, constant_latency
+from repro.core.presence import always, function_presence
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ConstructionError
+
+#: Default primes from the paper's "two distinct prime numbers > 1".
+DEFAULT_P = 2
+DEFAULT_Q = 3
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    return all(n % k for k in range(2, int(n**0.5) + 1))
+
+
+def is_pq_power(t: int, p: int, q: int) -> bool:
+    """Whether ``t = p^i q^(i-1)`` for some ``i > 1``.
+
+    These are the dates at which ``e4`` (the accepting exit for
+    ``n >= 2``) is present and ``e2`` (the ``b`` self-loop) is absent.
+    """
+    if t <= 0:
+        return False
+    value = p * p * q  # i = 2
+    while value <= t:
+        if value == t:
+            return True
+        value *= p * q  # i -> i + 1 multiplies by p*q
+    return False
+
+
+def figure1_graph(p: int = DEFAULT_P, q: int = DEFAULT_Q) -> TimeVaryingGraph:
+    """The Table 1 time-varying graph, exactly as published."""
+    if p == q or not _is_prime(p) or not _is_prime(q) or p <= 1 or q <= 1:
+        raise ConstructionError(
+            f"p and q must be distinct primes greater than 1, got p={p}, q={q}"
+        )
+    graph = TimeVaryingGraph(name=f"figure1(p={p},q={q})")
+    graph.add_nodes(["v0", "v1", "v2"])
+    graph.add_edge(
+        "v0",
+        "v0",
+        label="a",
+        presence=always(),
+        latency=affine_latency(p - 1),
+        key="e0",
+    )
+    graph.add_edge(
+        "v0",
+        "v1",
+        label="b",
+        presence=function_presence(lambda t: t > p, label=f"t>{p}"),
+        latency=affine_latency(q - 1),
+        key="e1",
+    )
+    graph.add_edge(
+        "v1",
+        "v1",
+        label="b",
+        presence=function_presence(
+            lambda t: not is_pq_power(t, p, q), label=f"t!={p}^i{q}^(i-1)"
+        ),
+        latency=affine_latency(q - 1),
+        key="e2",
+    )
+    graph.add_edge(
+        "v0",
+        "v2",
+        label="b",
+        presence=function_presence(lambda t: t == p, label=f"t={p}"),
+        latency=constant_latency(1),
+        key="e3",
+    )
+    graph.add_edge(
+        "v1",
+        "v2",
+        label="b",
+        presence=function_presence(
+            lambda t: is_pq_power(t, p, q), label=f"t={p}^i{q}^(i-1)"
+        ),
+        latency=constant_latency(1),
+        key="e4",
+    )
+    return graph
+
+
+def figure1_automaton(p: int = DEFAULT_P, q: int = DEFAULT_Q) -> TVGAutomaton:
+    """The Figure 1 acceptor: initial ``v0``, accepting ``v2``, start 1."""
+    return TVGAutomaton(
+        figure1_graph(p, q), initial="v0", accepting="v2", start_time=1
+    )
+
+
+def figure1_clock(word: str, p: int = DEFAULT_P, q: int = DEFAULT_Q) -> int:
+    """The clock value a direct journey holds after reading ``word``.
+
+    ``a^n b^j`` maps to ``p^n q^j`` starting from 1 — the two-prime
+    special case of the Gödel clock; exposed for tests and examples.
+    """
+    value = 1
+    for symbol in word:
+        value *= p if symbol == "a" else q
+    return value
+
+
+def figure1_wait_language_description(max_n: int = 4) -> str:
+    """The regex we *derive* (the paper does not state it) for
+    ``L_wait`` of the Figure 1 graph — see EXPERIMENTS.md, E1.
+
+    With waiting allowed the prime clockwork is defeated: any number of
+    ``a``s may precede any ``n >= 2`` run of ``b``s (wait for ``e1``,
+    loop ``e2`` off the forbidden dates, wait for ``e4``), while a single
+    ``b`` exit only survives through ``e3`` at date exactly ``p``, i.e.
+    for at most one leading ``a``.
+    """
+    return "(a*bbb*)|(ab)|(b)"

@@ -1,0 +1,153 @@
+"""Word-in-clock prime encodings.
+
+The engine of the no-wait constructions: because latencies may depend on
+time arbitrarily, a TVG can *store the entire word read so far in the
+current date*.  Table 1 does this for ``a^n b^n`` with two primes (the
+clock after ``a^n b^j`` is ``p^n q^j``); the general Theorem 2.1
+construction needs an injective encoding of arbitrary words, provided
+here by position-indexed primes:
+
+    enc(w) = product over i of  prime(i * |Sigma| + index(w_i))
+
+Unique factorization makes ``enc`` injective and efficiently decodable,
+and ``enc(w . s) = enc(w) * prime(len(w) * |Sigma| + index(s))`` means
+each symbol is one multiplication — exactly the shape an affine-in-time
+latency can realize.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.automata.alphabet import Alphabet
+from repro.errors import ConstructionError
+
+_PRIME_CACHE: list[int] = [2, 3, 5, 7, 11, 13]
+
+
+def _extend_primes(minimum_count: int) -> None:
+    candidate = _PRIME_CACHE[-1]
+    while len(_PRIME_CACHE) < minimum_count:
+        candidate += 2
+        limit = int(candidate**0.5)
+        for p in _PRIME_CACHE:
+            if p > limit:
+                _PRIME_CACHE.append(candidate)
+                break
+            if candidate % p == 0:
+                break
+
+
+def primes(count: int) -> list[int]:
+    """The first ``count`` primes."""
+    if count < 0:
+        raise ConstructionError(f"prime count must be >= 0, got {count}")
+    _extend_primes(count)
+    return _PRIME_CACHE[:count]
+
+
+def nth_prime(index: int) -> int:
+    """The prime with 0-based ``index`` (``nth_prime(0) == 2``)."""
+    if index < 0:
+        raise ConstructionError(f"prime index must be >= 0, got {index}")
+    _extend_primes(index + 1)
+    return _PRIME_CACHE[index]
+
+
+class GodelEncoding:
+    """Injective word -> positive-integer encoding over a fixed alphabet.
+
+    >>> enc = GodelEncoding("ab")
+    >>> enc.encode("")
+    1
+    >>> enc.encode("ab")        # prime(0) * prime(3) = 2 * 7
+    14
+    >>> enc.decode(14)
+    'ab'
+    """
+
+    def __init__(self, alphabet: Alphabet | str) -> None:
+        self.alphabet = (
+            alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        )
+        self._index = {symbol: i for i, symbol in enumerate(self.alphabet)}
+
+    @property
+    def width(self) -> int:
+        """Number of primes consumed per word position."""
+        return len(self.alphabet)
+
+    def position_prime(self, position: int, symbol: str) -> int:
+        """The prime standing for ``symbol`` at ``position``."""
+        if symbol not in self._index:
+            raise ConstructionError(
+                f"symbol {symbol!r} not in alphabet {self.alphabet!r}"
+            )
+        return nth_prime(position * self.width + self._index[symbol])
+
+    def encode(self, word: str) -> int:
+        """``enc(w)`` — the clock value after reading ``w`` from 1."""
+        value = 1
+        for position, symbol in enumerate(word):
+            value *= self.position_prime(position, symbol)
+        return value
+
+    def extension_factor(self, word_length: int, symbol: str) -> int:
+        """The multiplier appending ``symbol`` to a length-``word_length``
+        word: ``enc(w . s) = enc(w) * extension_factor(len(w), s)``."""
+        return self.position_prime(word_length, symbol)
+
+    def decode(self, value: int) -> str | None:
+        """The word with ``enc(word) == value``, or ``None``.
+
+        Trial-divides by position primes in order; a valid code uses
+        exactly one prime from each position block 0..n-1, each once.
+        """
+        if value < 1:
+            return None
+        if value == 1:
+            return ""
+        symbols: list[str] = []
+        remaining = value
+        position = 0
+        ordered = self.alphabet.symbols
+        while remaining > 1:
+            hit: str | None = None
+            for symbol in ordered:
+                prime = self.position_prime(position, symbol)
+                if remaining % prime == 0:
+                    remaining //= prime
+                    if remaining % prime == 0:
+                        return None  # squared prime: not a code
+                    hit = symbol
+                    break
+            if hit is None:
+                return None  # no prime of this position block divides
+            symbols.append(hit)
+            position += 1
+        return "".join(symbols)
+
+    def is_code(self, value: int) -> bool:
+        """Whether ``value`` encodes some word."""
+        return self.decode(value) is not None
+
+    def extension_latency(self, value: int, symbol: str) -> int:
+        """The latency an edge labeled ``symbol`` must have at date
+        ``value`` so that the traversal lands on ``enc(w . symbol)``.
+
+        Only meaningful when ``value`` is a code; returns 1 elsewhere
+        (the edge will not be present there anyway).
+        """
+        word = self.decode(value)
+        if word is None:
+            return 1
+        return value * (self.extension_factor(len(word), symbol) - 1)
+
+    def __repr__(self) -> str:
+        return f"GodelEncoding({''.join(self.alphabet)!r})"
+
+
+@lru_cache(maxsize=None)
+def shared_encoding(symbols: str) -> GodelEncoding:
+    """A cached encoding per alphabet string (constructions share them)."""
+    return GodelEncoding(symbols)

@@ -1,0 +1,125 @@
+"""Theorem 2.1 — every computable language is a no-wait language.
+
+Given any total decision procedure ``D`` over alphabet ``Sigma``, build a
+TVG ``G`` with ``L_nowait(G) = L(D)``.  The construction generalizes the
+Figure 1 clockwork with the Gödel encoding of
+:mod:`repro.constructions.godel`.  Three nodes:
+
+* ``start`` — initial; accepting iff ``D`` accepts the empty word.  It
+  must be left by the first symbol (otherwise every readable word would
+  end on an accepting node), so it carries no self-loops.
+* ``v0`` — the *reader*.  For each symbol ``s`` a self-loop labeled
+  ``s`` is present exactly at dates ``t = enc(w)``, with latency
+  ``enc(w.s) - t``: under no-wait semantics the clock after reading
+  ``w`` is therefore *exactly* ``enc(w)``, always.
+* ``acc`` — accepting.  For each symbol ``s``, exit edges
+  ``start -> acc`` and ``v0 -> acc`` labeled ``s`` are present at
+  ``t = enc(w)`` iff ``D(w.s)`` accepts.
+
+A direct journey spelling ``w = u.s`` reaches ``acc`` iff the exit edge
+is present at ``enc(u)`` iff ``D(w)`` accepts; no other date is ever
+reachable without waiting.  The presence functions call ``D`` — they are
+computable precisely because the language is, which is the content of
+the theorem.
+
+Unlike Figure 1 the general construction is *nondeterministic* (the
+continue and exit edges can both be present); the theorem does not ask
+for determinism, and the acceptor runs set-of-configurations anyway.
+"""
+
+from __future__ import annotations
+
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.constructions.godel import GodelEncoding
+from repro.core.latency import function_latency
+from repro.core.presence import function_presence
+from repro.core.tvg import TimeVaryingGraph
+from repro.machines.decider import Decider
+
+START = "start"
+READER = "v0"
+ACCEPTOR = "acc"
+
+
+def nowait_graph_for(decider: Decider) -> TimeVaryingGraph:
+    """The Theorem 2.1 TVG for the decider's language."""
+    encoding = GodelEncoding(decider.alphabet)
+    graph = TimeVaryingGraph(name=f"thm2.1({decider.name})")
+    graph.add_nodes([START, READER, ACCEPTOR])
+    for symbol in decider.alphabet:
+        # First symbol: leave the start node, clock 1 -> enc(symbol).
+        graph.add_edge(
+            START,
+            READER,
+            label=symbol,
+            presence=function_presence(lambda t: t == 1, label="t=1"),
+            latency=function_latency(
+                lambda t, s=symbol: encoding.extension_latency(t, s),
+                label=f"enc({symbol})-1",
+            ),
+            key=f"first_{symbol}",
+        )
+        # Subsequent symbols: multiply the clock by the position prime.
+        graph.add_edge(
+            READER,
+            READER,
+            label=symbol,
+            presence=function_presence(encoding.is_code, label="t is a code"),
+            latency=function_latency(
+                lambda t, s=symbol: encoding.extension_latency(t, s),
+                label=f"enc(w.{symbol})-enc(w)",
+            ),
+            key=f"loop_{symbol}",
+        )
+        # Exits: present exactly when the word-so-far extended by the
+        # symbol belongs to the language.
+        graph.add_edge(
+            START,
+            ACCEPTOR,
+            label=symbol,
+            presence=function_presence(
+                lambda t, s=symbol: t == 1 and decider(s),
+                label=f"t=1 and D({symbol})",
+            ),
+            key=f"exit0_{symbol}",
+        )
+        graph.add_edge(
+            READER,
+            ACCEPTOR,
+            label=symbol,
+            presence=function_presence(
+                lambda t, s=symbol: _exit_present(encoding, decider, t, s),
+                label=f"D(w.{symbol}) accepts",
+            ),
+            key=f"exit_{symbol}",
+        )
+    return graph
+
+
+def _exit_present(
+    encoding: GodelEncoding, decider: Decider, time: int, symbol: str
+) -> bool:
+    if time <= 1:
+        return False  # t = 1 belongs to the start node's exits
+    word = encoding.decode(time)
+    if word is None:
+        return False
+    return decider(word + symbol)
+
+
+def nowait_automaton_for(decider: Decider) -> TVGAutomaton:
+    """The Theorem 2.1 acceptor: ``L_nowait`` equals the decider's language.
+
+    Reading starts at ``t = enc(empty word) = 1``; the start node is also
+    accepting iff the language contains the empty word (and no journey
+    returns to it, so this decides the empty word only).
+    """
+    graph = nowait_graph_for(decider)
+    accepting = {ACCEPTOR} | ({START} if decider("") else set())
+    return TVGAutomaton(graph, initial=START, accepting=accepting, start_time=1)
+
+
+def clock_after(decider: Decider, word: str) -> int:
+    """The date a direct journey holds after reading ``word`` — useful
+    for choosing horizons when probing the same graph under waiting."""
+    return GodelEncoding(decider.alphabet).encode(word)

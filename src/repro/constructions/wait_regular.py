@@ -1,0 +1,76 @@
+"""Theorem 2.2, constructive direction — regular languages are wait languages.
+
+Every regular language is ``L_wait(G)`` for some TVG ``G``: take any NFA
+for it and read the NFA *as* a TVG with always-present unit-latency
+edges.  On a static graph waiting changes nothing, so
+``L_wait = L_nowait = L(NFA)``.
+
+The more interesting witness is the *strict* embedding: the same edges
+present only at even dates.  With unit latencies every arrival lands on
+an odd date, so a direct journey can never take a second edge — the
+no-wait language collapses to the length-<=1 words — while waiting one
+unit recovers the full regular language.  One graph thus separates the
+two semantics as far as they can be separated within the regular world,
+and both of its languages are verified exactly by extraction (the graph
+is periodic with period 2).
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.presence import always, periodic_presence
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ConstructionError
+
+
+def automaton_to_tvg(
+    automaton: DFA | NFA, strict: bool = False
+) -> TVGAutomaton:
+    """Embed a finite automaton as a TVG-automaton.
+
+    ``strict=False``: edges always present — ``L_wait = L_nowait = L``.
+    ``strict=True``: edges present at even dates only — ``L_wait = L``
+    but ``L_nowait`` collapses (see module docstring).
+
+    Epsilon transitions of an NFA become unlabeled TVG edges, which the
+    acceptor and the extractor both treat as input-free moves.
+    """
+    nfa = automaton.to_nfa() if isinstance(automaton, DFA) else automaton
+    graph = TimeVaryingGraph(
+        period=2 if strict else 1,
+        name="regular-embedding" + ("-strict" if strict else ""),
+    )
+    presence = periodic_presence([0], 2) if strict else always()
+    node_of = {state: f"s{i}" for i, state in enumerate(sorted(nfa.states, key=repr))}
+    graph.add_nodes(node_of.values())
+    index = 0
+    for (state, symbol), targets in nfa.transitions.items():
+        for target in sorted(targets, key=repr):
+            graph.add_edge(
+                node_of[state],
+                node_of[target],
+                label=symbol,
+                presence=presence,
+                key=f"t{index}",
+            )
+            index += 1
+    if not graph.alphabet:
+        raise ConstructionError(
+            "the automaton has no labeled transitions; its language is "
+            "trivial and the embedding would have no alphabet"
+        )
+    return TVGAutomaton(
+        graph,
+        initial={node_of[s] for s in nfa.initial},
+        accepting={node_of[s] for s in nfa.accepting},
+        start_time=0,
+    )
+
+
+def regex_to_tvg(pattern: str, strict: bool = False) -> TVGAutomaton:
+    """Regex -> Thompson NFA -> TVG embedding, in one call."""
+    from repro.automata.regex import regex_to_nfa
+
+    return automaton_to_tvg(regex_to_nfa(pattern), strict=strict)

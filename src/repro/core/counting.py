@@ -1,0 +1,113 @@
+"""Journey counting without enumeration.
+
+Dynamic programming over temporal states: the number of feasible
+journeys (per destination, per hop count) from a source configuration,
+under any waiting semantics.  Counts grow exponentially where journeys
+branch, so results are exact Python integers.
+
+Counting is the quantitative sibling of the expressivity work: the
+number of *words* spelled by journeys bounds the language growth rate,
+and the benchmarks use the counts to size enumerations before running
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.semantics import NO_WAIT, WaitingSemantics
+from repro.core.traversal import _resolve_horizon, edge_departures
+from repro.core.tvg import TimeVaryingGraph
+
+
+def count_journeys(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    start_time: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+    max_hops: int = 8,
+) -> dict[Hashable, int]:
+    """Number of feasible journeys (1..max_hops hops) to each node.
+
+    Two journeys are distinct when any hop differs in edge *or*
+    departure date — the same resolution the enumerator uses, so
+    ``sum(counts.values()) == len(list(enumerate_journeys(...)))``.
+    """
+    horizon = _resolve_horizon(graph, horizon)
+    # occupancy[(node, ready)] = number of distinct journey prefixes
+    # currently parked at that temporal state.
+    occupancy: dict[tuple[Hashable, int], int] = {(source, start_time): 1}
+    totals: dict[Hashable, int] = {}
+    for _hop in range(max_hops):
+        advanced: dict[tuple[Hashable, int], int] = {}
+        for (node, ready), ways in occupancy.items():
+            for edge in graph.out_edges(node):
+                for departure in edge_departures(edge, ready, semantics, horizon):
+                    arrival = departure + edge.latency(departure)
+                    state = (edge.target, arrival)
+                    advanced[state] = advanced.get(state, 0) + ways
+        if not advanced:
+            break
+        for (node, _time), ways in advanced.items():
+            totals[node] = totals.get(node, 0) + ways
+        occupancy = advanced
+    return totals
+
+
+def count_journeys_by_hops(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    start_time: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+    max_hops: int = 8,
+) -> list[int]:
+    """``result[k]`` = number of feasible journeys of exactly ``k`` hops.
+
+    ``result[0]`` is always 1 (the empty prefix, not itself a journey).
+    """
+    horizon = _resolve_horizon(graph, horizon)
+    occupancy: dict[tuple[Hashable, int], int] = {(source, start_time): 1}
+    per_hop = [1]
+    for _hop in range(max_hops):
+        advanced: dict[tuple[Hashable, int], int] = {}
+        for (node, ready), ways in occupancy.items():
+            for edge in graph.out_edges(node):
+                for departure in edge_departures(edge, ready, semantics, horizon):
+                    arrival = departure + edge.latency(departure)
+                    state = (edge.target, arrival)
+                    advanced[state] = advanced.get(state, 0) + ways
+        per_hop.append(sum(advanced.values()))
+        if not advanced:
+            break
+        occupancy = advanced
+    return per_hop
+
+
+def count_words(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    start_time: int,
+    accepting: set[Hashable],
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+    max_length: int = 8,
+) -> list[int]:
+    """``result[n]`` = number of distinct length-``n`` words spelled by
+    feasible journeys from the source ending in ``accepting``.
+
+    Word-level (not journey-level) counting: distinct journeys spelling
+    the same word count once.  Runs the configuration-set construction
+    per word, so cost is proportional to the number of live words.
+    """
+    from repro.automata.tvg_automaton import TVGAutomaton
+
+    automaton = TVGAutomaton(
+        graph, initial=source, accepting=accepting, start_time=start_time
+    )
+    sample = automaton.language(max_length, semantics, horizon)
+    counts = [0] * (max_length + 1)
+    for word in sample:
+        counts[len(word)] += 1
+    return counts

@@ -1,0 +1,170 @@
+"""Temporal distance metrics.
+
+The three classical journey metrics over TVGs:
+
+* **foremost** — arrive as early as possible;
+* **shortest** — use as few hops as possible;
+* **fastest** — minimize elapsed time (arrival - departure), choosing the
+  best departure date.
+
+All are computed per waiting semantics, which is where the paper's theme
+shows up quantitatively: with waiting, foremost distances only improve.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.core.journeys import Hop, Journey
+from repro.core.semantics import NO_WAIT, WaitingSemantics
+from repro.core.traversal import (
+    _resolve_horizon,
+    earliest_arrivals,
+    edge_departures,
+)
+from repro.core.tvg import TimeVaryingGraph
+
+
+def temporal_distance(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    target: Hashable,
+    start_time: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+) -> int | None:
+    """Foremost delay: earliest arrival at ``target`` minus ``start_time``.
+
+    ``None`` when no feasible journey exists before the horizon.  The
+    distance from a node to itself is 0.
+    """
+    if source == target:
+        return 0
+    arrivals = earliest_arrivals(graph, source, start_time, semantics, horizon)
+    if target not in arrivals:
+        return None
+    return arrivals[target] - start_time
+
+
+def shortest_journey(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    target: Hashable,
+    start_time: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+    max_hops: int = 64,
+) -> Journey | None:
+    """A feasible journey with the minimum number of hops.
+
+    Breadth-first over hop count; among journeys of minimal hop count the
+    one found first is returned.
+    """
+    horizon = _resolve_horizon(graph, horizon)
+    start_state = (source, start_time)
+    parents: dict[tuple[Hashable, int], tuple[tuple[Hashable, int], Hop] | None] = {
+        start_state: None
+    }
+    queue: deque[tuple[Hashable, int, int]] = deque([(source, start_time, 0)])
+    while queue:
+        node, ready, hops = queue.popleft()
+        if hops >= max_hops:
+            continue
+        for edge in graph.out_edges(node):
+            for departure in edge_departures(edge, ready, semantics, horizon):
+                arrival = departure + edge.latency(departure)
+                state = (edge.target, arrival)
+                if state in parents:
+                    continue
+                parents[state] = ((node, ready), Hop(edge, departure))
+                if edge.target == target:
+                    return _rebuild(parents, state)
+                queue.append((edge.target, arrival, hops + 1))
+    return None
+
+
+def fastest_journey(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    target: Hashable,
+    window_start: int,
+    window_end: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+    max_hops: int = 64,
+) -> Journey | None:
+    """A feasible journey minimizing elapsed time over departure dates.
+
+    Scans each candidate start date in ``[window_start, window_end)``,
+    computes a foremost journey from it, and keeps the quickest.  This is
+    the textbook reduction of *fastest* to repeated *foremost*.
+    """
+    from repro.core.traversal import foremost_journey
+
+    best: Journey | None = None
+    for start in range(window_start, window_end):
+        journey = foremost_journey(
+            graph, source, target, start, semantics, horizon, max_hops
+        )
+        if journey is None:
+            continue
+        if best is None or journey.duration < best.duration:
+            best = journey
+    return best
+
+
+def eccentricity(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    start_time: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+) -> int | None:
+    """Largest foremost delay from ``source`` to any other node.
+
+    ``None`` if some node is unreachable before the horizon.
+    """
+    arrivals = earliest_arrivals(graph, source, start_time, semantics, horizon)
+    worst = 0
+    for node in graph.nodes:
+        if node == source:
+            continue
+        if node not in arrivals:
+            return None
+        worst = max(worst, arrivals[node] - start_time)
+    return worst
+
+
+def temporal_diameter(
+    graph: TimeVaryingGraph,
+    start_time: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+) -> int | None:
+    """Largest foremost delay over all ordered node pairs.
+
+    ``None`` if the graph is not temporally connected from ``start_time``
+    within the horizon.
+    """
+    worst = 0
+    for source in graph.nodes:
+        ecc = eccentricity(graph, source, start_time, semantics, horizon)
+        if ecc is None:
+            return None
+        worst = max(worst, ecc)
+    return worst
+
+
+def _rebuild(parents, state) -> Journey:
+    hops: list[Hop] = []
+    cursor = state
+    while True:
+        entry = parents[cursor]
+        if entry is None:
+            break
+        previous, hop = entry
+        hops.append(hop)
+        cursor = previous
+    hops.reverse()
+    return Journey(hops)

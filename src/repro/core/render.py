@@ -1,0 +1,118 @@
+"""ASCII rendering of TVG schedules and journeys.
+
+Plain-text timelines for terminals, docstrings, and bug reports: one row
+per edge, one column per date, ``#`` where the edge is present; journeys
+are overlaid as departure markers.  Rendering is pure string building —
+no terminal control codes — so the output is stable for golden tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.intervals import Interval
+from repro.core.journeys import Journey
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ReproError
+
+
+def render_schedule(
+    graph: TimeVaryingGraph,
+    start: int | None = None,
+    end: int | None = None,
+    mark: str = "#",
+    gap: str = ".",
+) -> str:
+    """A presence timeline, one row per edge.
+
+    >>> from repro.core.builders import TVGBuilder
+    >>> g = (TVGBuilder().lifetime(0, 6)
+    ...      .edge("a", "b", present={0, 1, 4}, key="ab")
+    ...      .edge("b", "c", present={2}, key="bc").build())
+    >>> print(render_schedule(g))
+    t         012345
+    ab  a->b  ##..#.
+    bc  b->c  ..#...
+    """
+    start, end = _window(graph, start, end)
+    if not graph.edges:
+        raise ReproError("nothing to render: the graph has no edges")
+    key_width = max(len(e.key) for e in graph.edges)
+    arrow_width = max(len(_arrow(e)) for e in graph.edges)
+    header = f"{'t'.ljust(key_width)}  {''.ljust(arrow_width)}" + "".join(
+        str(t % 10) for t in range(start, end)
+    )
+    lines = [header.rstrip()]
+    window = Interval(start, end)
+    for edge in graph.edges:
+        support = edge.presence.support(window)
+        cells = "".join(
+            mark if t in support else gap for t in range(start, end)
+        )
+        lines.append(
+            f"{edge.key.ljust(key_width)}  {_arrow(edge).ljust(arrow_width)}{cells}"
+        )
+    return "\n".join(lines)
+
+
+def render_journey(journey: Journey, graph: TimeVaryingGraph | None = None) -> str:
+    """A one-line itinerary: nodes, departure dates, and pauses.
+
+    >>> # doctest-free example:  a @0 --ab--> b (wait 3) @4 --bc--> c @5
+    """
+    parts = [f"{journey.source!r}@{journey.departure}"]
+    previous_arrival = None
+    for hop in journey:
+        if previous_arrival is not None:
+            pause = hop.start - previous_arrival
+            if pause:
+                parts.append(f"(wait {pause})")
+        parts.append(f"--{hop.edge.key or hop.edge.label or '?'}-->")
+        parts.append(f"{hop.edge.target!r}@{hop.arrival}")
+        previous_arrival = hop.arrival
+    return " ".join(parts)
+
+
+def render_journey_over_schedule(
+    journey: Journey,
+    graph: TimeVaryingGraph,
+    start: int | None = None,
+    end: int | None = None,
+) -> str:
+    """The schedule timeline with the journey's departures marked ``@``."""
+    start, end = _window(graph, start, end)
+    base = render_schedule(graph, start, end).splitlines()
+    key_width = max(len(e.key) for e in graph.edges)
+    arrow_width = max(len(_arrow(e)) for e in graph.edges)
+    offset = key_width + 2 + arrow_width
+    departures = {(hop.edge.key, hop.start) for hop in journey}
+    rows = [base[0]]
+    for line, edge in zip(base[1:], graph.edges):
+        cells = list(line)
+        for time in range(start, end):
+            if (edge.key, time) in departures:
+                cells[offset + (time - start)] = "@"
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def _arrow(edge) -> str:
+    label = "" if edge.label is None else f":{edge.label}"
+    return f"{edge.source}->{edge.target}{label}  "
+
+
+def _window(
+    graph: TimeVaryingGraph, start: int | None, end: int | None
+) -> tuple[int, int]:
+    if start is None:
+        start = graph.lifetime.start
+    if end is None:
+        if graph.period is not None:
+            end = start + 2 * graph.period
+        elif graph.lifetime.bounded:
+            end = int(graph.lifetime.end)
+        else:
+            raise ReproError(
+                "an explicit end is required to render an unbounded graph"
+            )
+    if end <= start:
+        raise ReproError(f"empty window [{start}, {end})")
+    return start, end

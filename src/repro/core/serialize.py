@@ -1,0 +1,232 @@
+"""JSON (de)serialization of time-varying graphs.
+
+Round-trippable persistence for the schedule shapes that have an exact
+finite description — interval sets, periodic patterns, constant/affine
+latencies.  Black-box callables (the Theorem 2.1 clockwork) have no
+finite description by design; serializing them raises, with a pointer
+to sampling into intervals via :func:`sampled` instead.
+
+Format (version 1)::
+
+    {
+      "format": "repro-tvg",
+      "version": 1,
+      "name": "...", "lifetime": [0, 60] | [0, null], "period": 6 | null,
+      "nodes": [...],
+      "edges": [
+        {"key": "e0", "source": "a", "target": "b", "label": "x",
+         "presence": {"kind": "intervals", "pairs": [[0, 3], [8, 9]]},
+         "latency": {"kind": "constant", "value": 1}},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.latency import (
+    AffineLatency,
+    ConstantLatency,
+    LatencyFunction,
+    TableLatency,
+    affine_latency,
+    constant_latency,
+    table_latency,
+)
+from repro.core.presence import (
+    IntervalPresence,
+    PeriodicPresence,
+    PresenceFunction,
+    _AlwaysPresence,
+    _NeverPresence,
+    always,
+    interval_presence,
+    never,
+    periodic_presence,
+)
+from repro.core.time_domain import INFINITY, Lifetime
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ReproError, TraceFormatError
+
+FORMAT = "repro-tvg"
+VERSION = 1
+
+
+# -- schedule encoders ----------------------------------------------------------------
+
+
+def encode_presence(presence: PresenceFunction) -> dict[str, Any]:
+    if isinstance(presence, _AlwaysPresence):
+        return {"kind": "always"}
+    if isinstance(presence, _NeverPresence):
+        return {"kind": "never"}
+    if isinstance(presence, IntervalPresence):
+        return {
+            "kind": "intervals",
+            "pairs": [[iv.start, iv.end] for iv in presence.intervals],
+        }
+    if isinstance(presence, PeriodicPresence):
+        return {
+            "kind": "periodic",
+            "pattern": sorted(presence.pattern),
+            "period": presence.period,
+        }
+    raise ReproError(
+        f"{type(presence).__name__} has no finite description; sample it "
+        "into intervals first (repro.core.serialize.sampled)"
+    )
+
+
+def decode_presence(data: dict[str, Any]) -> PresenceFunction:
+    kind = data.get("kind")
+    if kind == "always":
+        return always()
+    if kind == "never":
+        return never()
+    if kind == "intervals":
+        return interval_presence([tuple(pair) for pair in data["pairs"]])
+    if kind == "periodic":
+        return periodic_presence(data["pattern"], data["period"])
+    raise TraceFormatError(0, f"unknown presence kind {kind!r}")
+
+
+def encode_latency(latency: LatencyFunction) -> dict[str, Any]:
+    if isinstance(latency, ConstantLatency):
+        return {"kind": "constant", "value": latency.value}
+    if isinstance(latency, AffineLatency):
+        return {
+            "kind": "affine",
+            "slope": latency.slope,
+            "intercept": latency.intercept,
+        }
+    if isinstance(latency, TableLatency):
+        return {
+            "kind": "table",
+            "entries": sorted(latency.table.items()),
+            "default": latency.default,
+        }
+    raise ReproError(
+        f"{type(latency).__name__} has no finite description; use a "
+        "constant/affine/table latency for serializable graphs"
+    )
+
+
+def decode_latency(data: dict[str, Any]) -> LatencyFunction:
+    kind = data.get("kind")
+    if kind == "constant":
+        return constant_latency(data["value"])
+    if kind == "affine":
+        return affine_latency(data["slope"], data["intercept"])
+    if kind == "table":
+        return table_latency(
+            {int(t): int(v) for t, v in data["entries"]}, data["default"]
+        )
+    raise TraceFormatError(0, f"unknown latency kind {kind!r}")
+
+
+# -- graph level ----------------------------------------------------------------------
+
+
+def to_dict(graph: TimeVaryingGraph) -> dict[str, Any]:
+    """The JSON-ready dictionary form of a graph."""
+    end = None if not graph.lifetime.bounded else int(graph.lifetime.end)
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": graph.name,
+        "lifetime": [graph.lifetime.start, end],
+        "period": graph.period,
+        "nodes": [str(node) for node in graph.nodes],
+        "edges": [
+            {
+                "key": edge.key,
+                "source": str(edge.source),
+                "target": str(edge.target),
+                "label": edge.label,
+                "presence": encode_presence(edge.presence),
+                "latency": encode_latency(edge.latency),
+            }
+            for edge in graph.edges
+        ],
+    }
+
+
+def from_dict(data: dict[str, Any]) -> TimeVaryingGraph:
+    """Rebuild a graph from its dictionary form."""
+    if data.get("format") != FORMAT:
+        raise TraceFormatError(0, f"not a {FORMAT} document")
+    if data.get("version") != VERSION:
+        raise TraceFormatError(0, f"unsupported version {data.get('version')!r}")
+    start, end = data["lifetime"]
+    lifetime = Lifetime(start, INFINITY if end is None else end)
+    graph = TimeVaryingGraph(
+        lifetime=lifetime, period=data.get("period"), name=data.get("name", "")
+    )
+    graph.add_nodes(data.get("nodes", []))
+    for entry in data.get("edges", []):
+        graph.add_edge(
+            entry["source"],
+            entry["target"],
+            label=entry.get("label"),
+            presence=decode_presence(entry["presence"]),
+            latency=decode_latency(entry["latency"]),
+            key=entry["key"],
+        )
+    return graph
+
+
+def dumps(graph: TimeVaryingGraph, indent: int | None = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> TimeVaryingGraph:
+    """Deserialize from a JSON string."""
+    return from_dict(json.loads(text))
+
+
+def save(graph: TimeVaryingGraph, path: str | Path) -> None:
+    """Write the JSON form to disk."""
+    Path(path).write_text(dumps(graph), encoding="utf-8")
+
+
+def load(path: str | Path) -> TimeVaryingGraph:
+    """Read a JSON graph from disk."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def sampled(
+    graph: TimeVaryingGraph, start: int, end: int, name: str | None = None
+) -> TimeVaryingGraph:
+    """A serializable snapshot of any graph over a window.
+
+    Black-box presences are sampled into interval sets and latencies into
+    tables over the present dates — the lossless finite view of the
+    window, and the escape hatch for persisting clockwork graphs.
+    """
+    if end <= start:
+        raise ReproError(f"empty window [{start}, {end})")
+    window = Interval(start, end)
+    result = TimeVaryingGraph(
+        lifetime=Lifetime(start, end),
+        period=graph.period,
+        name=name if name is not None else f"{graph.name}@[{start},{end})",
+    )
+    result.add_nodes(graph.nodes)
+    for edge in graph.edges:
+        support = edge.presence.support(window)
+        latencies = {t: edge.latency(t) for t in support.times()}
+        result.add_edge(
+            edge.source,
+            edge.target,
+            label=edge.label,
+            presence=IntervalPresence(IntervalSet(list(support))),
+            latency=table_latency(latencies, default=1),
+            key=edge.key,
+        )
+    return result

@@ -1,0 +1,149 @@
+"""Structural and temporal transforms of TVGs.
+
+The load-bearing transform is :func:`dilate` — the time expansion at the
+heart of Theorem 2.3: spacing all schedule events a factor ``d`` apart so
+that a waiting budget below ``d`` opens no journey that a direct journey
+could not already take.  The others (shift, relabel, subgraph, union,
+reverse) are the standard algebra used by generators and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.core.time_domain import INFINITY, Lifetime
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ReproError, TimeDomainError
+
+
+def dilate(graph: TimeVaryingGraph, factor: int) -> TimeVaryingGraph:
+    """Sparse time dilation by ``factor`` (Theorem 2.3's expansion).
+
+    Every presence date ``t`` becomes ``t * factor`` and latencies scale
+    by ``factor``, so each direct journey of the original maps to a direct
+    journey of the dilated graph and *vice versa*; between consecutive
+    events there are now ``factor - 1`` empty dates, which is what defeats
+    bounded waiting below ``factor``.
+    """
+    if factor <= 0:
+        raise TimeDomainError(f"dilation factor must be positive, got {factor}")
+    lifetime = graph.lifetime
+    end = INFINITY if not lifetime.bounded else int(lifetime.end) * factor
+    dilated = TimeVaryingGraph(
+        lifetime=Lifetime(lifetime.start * factor, end),
+        period=None if graph.period is None else graph.period * factor,
+        name=f"{graph.name}*{factor}" if graph.name else f"dilated*{factor}",
+    )
+    dilated.add_nodes(graph.nodes)
+    for edge in graph.edges:
+        dilated.add_edge_object(edge.dilated(factor))
+    return dilated
+
+
+def shift(graph: TimeVaryingGraph, delta: int) -> TimeVaryingGraph:
+    """Translate the whole schedule by ``delta`` time units."""
+    lifetime = graph.lifetime
+    end = INFINITY if not lifetime.bounded else int(lifetime.end) + delta
+    shifted = TimeVaryingGraph(
+        lifetime=Lifetime(lifetime.start + delta, end),
+        period=graph.period,
+        name=f"{graph.name}+{delta}" if graph.name else f"shifted+{delta}",
+    )
+    shifted.add_nodes(graph.nodes)
+    for edge in graph.edges:
+        shifted.add_edge_object(edge.shifted(delta))
+    return shifted
+
+
+def relabel(
+    graph: TimeVaryingGraph,
+    mapping: dict[str, str] | Callable[[str], str],
+) -> TimeVaryingGraph:
+    """Rename edge labels through a dict or callable (schedules unchanged).
+
+    A dict must cover every label in use; a callable is applied to each.
+    This implements alphabetic morphisms on the expressed language.
+    """
+    if callable(mapping):
+        rename = mapping
+    else:
+        missing = graph.alphabet - set(mapping)
+        if missing:
+            raise ReproError(f"relabel mapping misses labels {sorted(missing)}")
+        rename = mapping.__getitem__
+    result = graph_like(graph, name=f"{graph.name}~relabel")
+    for edge in graph.edges:
+        new_label = None if edge.label is None else rename(edge.label)
+        result.add_edge_object(edge.relabeled(new_label))
+    return result
+
+
+def subgraph(graph: TimeVaryingGraph, nodes: Iterable[Hashable]) -> TimeVaryingGraph:
+    """The induced sub-TVG on the given nodes (schedules unchanged)."""
+    keep = set(nodes)
+    unknown = keep - set(graph.nodes)
+    if unknown:
+        raise ReproError(f"unknown nodes {sorted(map(repr, unknown))}")
+    result = graph_like(graph, name=f"{graph.name}~sub")
+    result.add_nodes(n for n in graph.nodes if n in keep)
+    for edge in graph.edges:
+        if edge.source in keep and edge.target in keep:
+            result.add_edge_object(edge)
+    return result
+
+
+def reverse(graph: TimeVaryingGraph) -> TimeVaryingGraph:
+    """Every edge reversed, schedules unchanged.
+
+    Note this does *not* reverse the expressed language — journeys are
+    directed in time — but it is the right tool for "who can have heard
+    from me" reachability queries.
+    """
+    result = graph_like(graph, name=f"{graph.name}~rev")
+    result.add_nodes(graph.nodes)
+    for edge in graph.edges:
+        result.add_edge_object(edge.reversed(key=edge.key))
+    return result
+
+
+def disjoint_union(
+    first: TimeVaryingGraph,
+    second: TimeVaryingGraph,
+    rename: tuple[str, str] = ("0:", "1:"),
+) -> TimeVaryingGraph:
+    """Side-by-side union with node names prefixed to avoid collisions.
+
+    Lifetime is the envelope of the two; a common period survives only if
+    both declare the same one.
+    """
+    start = min(first.lifetime.start, second.lifetime.start)
+    if first.lifetime.bounded and second.lifetime.bounded:
+        end: float = max(int(first.lifetime.end), int(second.lifetime.end))
+    else:
+        end = INFINITY
+    period = first.period if first.period == second.period else None
+    result = TimeVaryingGraph(
+        lifetime=Lifetime(start, end),
+        period=period,
+        name=f"{first.name}|{second.name}",
+    )
+    for prefix, graph in zip(rename, (first, second)):
+        tag = lambda n: f"{prefix}{n}"  # noqa: E731 - tiny local closure
+        result.add_nodes(tag(n) for n in graph.nodes)
+        for edge in graph.edges:
+            result.add_edge(
+                tag(edge.source),
+                tag(edge.target),
+                label=edge.label,
+                presence=edge.presence,
+                latency=edge.latency,
+                key=f"{prefix}{edge.key}",
+            )
+    return result
+
+
+def graph_like(graph: TimeVaryingGraph, name: str = "") -> TimeVaryingGraph:
+    """An empty TVG with the same lifetime/period as ``graph``."""
+    return TimeVaryingGraph(
+        lifetime=graph.lifetime, period=graph.period, name=name or graph.name
+    )

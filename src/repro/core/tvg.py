@@ -1,0 +1,244 @@
+"""The time-varying graph container.
+
+``G = (V, E, T, rho, zeta)``: nodes, labeled edges, a lifetime, and the
+presence/latency functions (stored per edge).  The container is a plain
+adjacency structure; journey search lives in
+:mod:`repro.core.traversal`, snapshots in :mod:`repro.core.snapshots`,
+and structural transforms in :mod:`repro.core.transforms`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.edges import Edge
+from repro.core.latency import LatencyFunction, constant_latency
+from repro.core.presence import PresenceFunction, always
+from repro.core.time_domain import Lifetime
+from repro.errors import ReproError, TimeDomainError
+
+
+class TimeVaryingGraph:
+    """A directed time-varying multigraph with labeled edges.
+
+    Attributes:
+        lifetime: The time span over which the graph is studied.
+        period: Optional declared period.  When set, every presence
+            function is promised to satisfy ``rho(t) = rho(t + period)``
+            and every latency ``zeta(t) = zeta(t + period)``; the
+            wait-language extractor relies on this promise.
+        name: Optional human-readable name used in reports.
+    """
+
+    def __init__(
+        self,
+        lifetime: Lifetime | None = None,
+        period: int | None = None,
+        name: str = "",
+    ) -> None:
+        if period is not None and period <= 0:
+            raise TimeDomainError(f"period must be positive, got {period}")
+        self.lifetime = lifetime if lifetime is not None else Lifetime()
+        self.period = period
+        self.name = name
+        self._nodes: dict[Hashable, None] = {}
+        self._edges: dict[str, Edge] = {}
+        self._out: dict[Hashable, list[Edge]] = {}
+        self._in: dict[Hashable, list[Edge]] = {}
+        self._key_counter = 0
+
+    # -- nodes --------------------------------------------------------------------
+
+    def add_node(self, node: Hashable) -> Hashable:
+        """Add a node (idempotent); returns the node."""
+        if node not in self._nodes:
+            self._nodes[node] = None
+            self._out[node] = []
+            self._in[node] = []
+        return node
+
+    def add_nodes(self, nodes: Iterable[Hashable]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> tuple[Hashable, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._nodes)
+
+    def has_node(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    # -- edges --------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source: Hashable,
+        target: Hashable,
+        label: str | None = None,
+        presence: PresenceFunction | None = None,
+        latency: LatencyFunction | None = None,
+        key: str | None = None,
+    ) -> Edge:
+        """Add a directed edge; endpoints are created as needed.
+
+        ``presence`` defaults to always-present and ``latency`` to the
+        unit latency, so a plain static graph needs no schedule at all.
+        ``key`` must be unique; omitted keys are auto-generated.
+        """
+        self.add_node(source)
+        self.add_node(target)
+        if key is None:
+            key = f"e{self._key_counter}"
+            self._key_counter += 1
+        if key in self._edges:
+            raise ReproError(f"duplicate edge key {key!r}")
+        edge = Edge(
+            source=source,
+            target=target,
+            label=label,
+            key=key,
+            presence=presence if presence is not None else always(),
+            latency=latency if latency is not None else constant_latency(1),
+        )
+        self._insert(edge)
+        return edge
+
+    def add_edge_object(self, edge: Edge) -> Edge:
+        """Add a pre-built :class:`Edge` (used by transforms)."""
+        self.add_node(edge.source)
+        self.add_node(edge.target)
+        if not edge.key:
+            raise ReproError("edge objects added directly must carry a key")
+        if edge.key in self._edges:
+            raise ReproError(f"duplicate edge key {edge.key!r}")
+        self._insert(edge)
+        return edge
+
+    def add_contact(
+        self,
+        u: Hashable,
+        v: Hashable,
+        presence: PresenceFunction | None = None,
+        latency: LatencyFunction | None = None,
+        label: str | None = None,
+        key: str | None = None,
+    ) -> tuple[Edge, Edge]:
+        """Add an undirected contact as a symmetric pair of edges.
+
+        Contact networks (the DTN setting of the paper's introduction)
+        are undirected; both directions share the same schedule.
+        """
+        forward = self.add_edge(u, v, label=label, presence=presence, latency=latency, key=key)
+        backward = self.add_edge_object(forward.reversed())
+        return forward, backward
+
+    def _insert(self, edge: Edge) -> None:
+        self._edges[edge.key] = edge
+        self._out[edge.source].append(edge)
+        self._in[edge.target].append(edge)
+
+    def remove_edge(self, key: str) -> Edge:
+        """Remove and return the edge with the given key."""
+        try:
+            edge = self._edges.pop(key)
+        except KeyError:
+            raise ReproError(f"no edge with key {key!r}") from None
+        self._out[edge.source].remove(edge)
+        self._in[edge.target].remove(edge)
+        return edge
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        """All edges, in insertion order."""
+        return tuple(self._edges.values())
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def edge(self, key: str) -> Edge:
+        """The edge with the given key."""
+        try:
+            return self._edges[key]
+        except KeyError:
+            raise ReproError(f"no edge with key {key!r}") from None
+
+    def has_edge(self, key: str) -> bool:
+        return key in self._edges
+
+    def out_edges(self, node: Hashable) -> tuple[Edge, ...]:
+        """Edges leaving ``node``."""
+        self._require_node(node)
+        return tuple(self._out[node])
+
+    def in_edges(self, node: Hashable) -> tuple[Edge, ...]:
+        """Edges entering ``node``."""
+        self._require_node(node)
+        return tuple(self._in[node])
+
+    def edges_between(self, source: Hashable, target: Hashable) -> tuple[Edge, ...]:
+        """All parallel edges from ``source`` to ``target``."""
+        self._require_node(source)
+        return tuple(e for e in self._out[source] if e.target == target)
+
+    def _require_node(self, node: Hashable) -> None:
+        if node not in self._nodes:
+            raise ReproError(f"unknown node {node!r}")
+
+    # -- time-indexed queries -------------------------------------------------------
+
+    def edges_at(self, time: int) -> Iterator[Edge]:
+        """All edges present at the given date."""
+        self.lifetime.require(time)
+        for edge in self._edges.values():
+            if edge.present_at(time):
+                yield edge
+
+    def out_edges_at(self, node: Hashable, time: int) -> Iterator[Edge]:
+        """Edges leaving ``node`` that are present at ``time``."""
+        self._require_node(node)
+        for edge in self._out[node]:
+            if edge.present_at(time):
+                yield edge
+
+    def degree_at(self, node: Hashable, time: int) -> int:
+        """Number of present out-edges at ``time``."""
+        return sum(1 for _ in self.out_edges_at(node, time))
+
+    # -- alphabet ---------------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        """All edge labels in use (the ``Sigma`` of the TVG-automaton view)."""
+        return frozenset(
+            e.label for e in self._edges.values() if e.label is not None
+        )
+
+    # -- copies --------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "TimeVaryingGraph":
+        """A structural copy sharing the (immutable) edge objects."""
+        clone = TimeVaryingGraph(
+            lifetime=self.lifetime,
+            period=self.period,
+            name=self.name if name is None else name,
+        )
+        clone.add_nodes(self._nodes)
+        for edge in self._edges.values():
+            clone.add_edge_object(edge)
+        clone._key_counter = self._key_counter
+        return clone
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        period = f", period={self.period}" if self.period else ""
+        return (
+            f"TimeVaryingGraph({label.strip()} |V|={self.node_count}, "
+            f"|E|={self.edge_count}, lifetime=[{self.lifetime.start}, "
+            f"{self.lifetime.end}){period})"
+        )

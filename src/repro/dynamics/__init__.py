@@ -1,0 +1,36 @@
+"""Dynamic-network simulation substrate.
+
+The paper's introduction motivates waiting as *store-carry-forward*
+buffering in infrastructure-less networks.  This package makes that
+concrete: a deterministic discrete-event, message-passing simulator over
+time-varying graphs, protocol implementations with and without
+buffering, and the mobility/contact generators producing the
+"disconnected at every instant" networks the paper describes.
+
+The bridge to the theory: a bufferless flood informs exactly the
+no-wait-reachable nodes, a buffered flood exactly the wait-reachable
+ones — and the tests check the operational simulator against the
+declarative journey search on both counts.
+"""
+
+from repro.dynamics.messages import Message
+from repro.dynamics.network import Simulator, SimulationReport
+from repro.dynamics.nodes import NodeContext, Protocol
+from repro.dynamics.protocols.broadcast import (
+    BroadcastOutcome,
+    BufferedFlood,
+    BufferlessFlood,
+    simulate_broadcast,
+)
+
+__all__ = [
+    "BroadcastOutcome",
+    "BufferedFlood",
+    "BufferlessFlood",
+    "Message",
+    "NodeContext",
+    "Protocol",
+    "SimulationReport",
+    "Simulator",
+    "simulate_broadcast",
+]

@@ -1,0 +1,82 @@
+"""Node-failure injection.
+
+A node that is *down* at date ``t`` can neither transmit, receive, nor
+run its tick at ``t`` (its buffer survives — the device reboots with its
+storage intact).  Failures are specified per node as any container of
+dates (a ``set`` or an :class:`~repro.core.intervals.IntervalSet`).
+
+The theory side: failing node ``n`` during ``F`` is *equivalent* to the
+TVG in which every edge out of ``n`` is absent while ``n`` is down and
+every edge into ``n`` is unusable when its traversal would arrive while
+``n`` is down.  :func:`with_node_failures` builds exactly that graph, so
+journey reachability on it predicts what the failing simulation
+delivers — the bridge the integration tests drive.
+"""
+
+from __future__ import annotations
+
+from typing import Container, Hashable, Mapping
+
+from repro.core.presence import function_presence
+from repro.core.transforms import graph_like
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import SimulationError
+
+FailureSchedule = Mapping[Hashable, Container[int]]
+
+
+def validate_failures(graph: TimeVaryingGraph, failures: FailureSchedule) -> None:
+    """Reject schedules naming unknown nodes."""
+    unknown = [node for node in failures if not graph.has_node(node)]
+    if unknown:
+        raise SimulationError(f"failure schedule names unknown nodes {unknown!r}")
+
+
+def is_down(failures: FailureSchedule, node: Hashable, time: int) -> bool:
+    """Whether ``node`` is failed at ``time``."""
+    schedule = failures.get(node)
+    return schedule is not None and time in schedule
+
+
+def with_node_failures(
+    graph: TimeVaryingGraph, failures: FailureSchedule
+) -> TimeVaryingGraph:
+    """The TVG whose journeys are exactly the failure-surviving ones.
+
+    An edge ``u -> v`` is usable at departure ``t`` iff it was usable
+    before, ``u`` is up at ``t``, and ``v`` is up at the arrival date
+    ``t + zeta(t)`` (a traversal landing on a down node is lost).
+    """
+    validate_failures(graph, failures)
+    filtered = graph_like(graph, name=f"{graph.name}~failures")
+    filtered.add_nodes(graph.nodes)
+    for edge in graph.edges:
+        source_schedule = failures.get(edge.source)
+        target_schedule = failures.get(edge.target)
+        if source_schedule is None and target_schedule is None:
+            filtered.add_edge_object(edge)
+            continue
+
+        def usable(
+            t: int,
+            e=edge,
+            down_source=source_schedule,
+            down_target=target_schedule,
+        ) -> bool:
+            if not e.present_at(t):
+                return False
+            if down_source is not None and t in down_source:
+                return False
+            if down_target is not None and t + e.latency(t) in down_target:
+                return False
+            return True
+
+        filtered.add_edge(
+            edge.source,
+            edge.target,
+            label=edge.label,
+            presence=function_presence(usable, label=f"{edge.key} sans failures"),
+            latency=edge.latency,
+            key=edge.key,
+        )
+    return filtered

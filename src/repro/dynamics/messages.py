@@ -1,0 +1,33 @@
+"""Messages carried by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message.
+
+    Forwarding produces new :class:`Message` objects via :meth:`forwarded`
+    so the provenance fields (``hops``, ``path``) stay truthful even when
+    a message fans out along several edges at once.
+    """
+
+    uid: int
+    origin: Hashable
+    payload: object
+    created: int
+    hops: int = 0
+    path: tuple[Hashable, ...] = field(default_factory=tuple)
+
+    def forwarded(self, via: Hashable) -> "Message":
+        """The copy of this message after one hop through ``via``."""
+        return replace(self, hops=self.hops + 1, path=self.path + (via,))
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.uid} from {self.origin!r} at {self.created}, "
+            f"hops={self.hops})"
+        )

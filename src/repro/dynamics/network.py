@@ -1,0 +1,170 @@
+"""The deterministic round-based message-passing simulator.
+
+Each round ``t`` of the window ``[start, end)``:
+
+1. messages whose traversal completes at ``t`` are delivered
+   (:meth:`Protocol.on_receive`), in deterministic (send-order) sequence;
+2. every node gets a :meth:`Protocol.on_tick` with its current buffer.
+
+Sends are validated against the TVG — transmitting over an absent edge
+is a :class:`~repro.errors.SimulationError`, and a message sent at ``t``
+arrives at ``t + zeta(e, t)``, exactly the journey arithmetic of the
+core model.  The simulator is completely deterministic: no randomness,
+stable orderings everywhere, so every report is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.core.tvg import TimeVaryingGraph
+from repro.dynamics.messages import Message
+from repro.dynamics.nodes import NodeContext, Protocol
+from repro.errors import SimulationError
+
+
+@dataclass
+class SimulationReport:
+    """What happened during a run."""
+
+    start: int
+    end: int
+    transmissions: int = 0
+    deliveries: list[tuple[int, Hashable, Message]] = field(default_factory=list)
+    dropped_after_horizon: int = 0
+    #: Traversals that completed while the receiving node was failed.
+    dropped_by_failure: int = 0
+    #: Earliest delivery time of each message uid at each node.
+    first_arrival: dict[tuple[int, Hashable], int] = field(default_factory=dict)
+
+    def informed_nodes(self, uid: int) -> set[Hashable]:
+        """Nodes that received message ``uid`` (origin not included)."""
+        return {node for (mid, node) in self.first_arrival if mid == uid}
+
+    def arrival_time(self, uid: int, node: Hashable) -> int | None:
+        return self.first_arrival.get((uid, node))
+
+
+class Simulator:
+    """Drive a protocol over a TVG for a bounded window."""
+
+    def __init__(
+        self,
+        graph: TimeVaryingGraph,
+        protocol_factory: Callable[[Hashable], Protocol],
+        start: int | None = None,
+        end: int | None = None,
+        failures: dict | None = None,
+    ) -> None:
+        """``failures`` maps nodes to date containers during which the
+        node is down: it cannot send, receive, or tick then (deliveries
+        arriving while down are lost; the buffer itself survives)."""
+        self.graph = graph
+        self.failures = failures or {}
+        if self.failures:
+            from repro.dynamics.failures import validate_failures
+
+            validate_failures(graph, self.failures)
+        lifetime = graph.lifetime
+        self.start = lifetime.start if start is None else start
+        if end is None:
+            if not lifetime.bounded:
+                raise SimulationError(
+                    "an explicit end is required on graphs with unbounded lifetime"
+                )
+            end = int(lifetime.end)
+        self.end = end
+        if self.end < self.start:
+            raise SimulationError(f"end {self.end} precedes start {self.start}")
+        self.protocols: dict[Hashable, Protocol] = {
+            node: protocol_factory(node) for node in graph.nodes
+        }
+        self._buffers: dict[Hashable, list[Message]] = {n: [] for n in graph.nodes}
+        self._in_flight: dict[int, list[tuple[Hashable, Message]]] = {}
+        self._uid_counter = 0
+        self.report = SimulationReport(self.start, self.end)
+
+    # -- message plumbing -----------------------------------------------------------
+
+    def new_message(self, origin: Hashable, payload: object, time: int) -> Message:
+        """Mint a fresh message (uid assigned by the simulator)."""
+        self._uid_counter += 1
+        return Message(
+            uid=self._uid_counter,
+            origin=origin,
+            payload=payload,
+            created=time,
+            path=(origin,),
+        )
+
+    def _is_down(self, node: Hashable, time: int) -> bool:
+        schedule = self.failures.get(node)
+        return schedule is not None and time in schedule
+
+    def _context(self, node: Hashable, time: int) -> NodeContext:
+        protocol = self.protocols[node]
+        if self._is_down(node, time):
+            present = []
+        else:
+            present = list(self.graph.out_edges_at(node, time))
+
+        def send(edge, message: Message) -> None:
+            if edge not in present:
+                raise SimulationError(
+                    f"node {node!r} sent over edge {edge!r} absent at {time}"
+                )
+            arrival = time + edge.latency(time)
+            self.report.transmissions += 1
+            if arrival >= self.end:
+                self.report.dropped_after_horizon += 1
+                return
+            self._in_flight.setdefault(arrival, []).append(
+                (edge.target, message.forwarded(node))
+            )
+
+        def store(message: Message) -> None:
+            if message not in self._buffers[node]:
+                self._buffers[node].append(message)
+
+        return NodeContext(
+            node=node,
+            time=time,
+            present_edges=present,
+            send=send,
+            store=store,
+            allow_store=protocol.buffering,
+        )
+
+    def discard(self, node: Hashable, message: Message) -> None:
+        """Remove a message from a node's buffer (protocols call this
+        through their stored reference to the simulator, if given one)."""
+        try:
+            self._buffers[node].remove(message)
+        except ValueError:
+            pass
+
+    # -- the main loop ----------------------------------------------------------------
+
+    def run(self) -> SimulationReport:
+        """Execute the window and return the report."""
+        for node in self.graph.nodes:
+            if not self._is_down(node, self.start):
+                self.protocols[node].on_start(self._context(node, self.start))
+        for time in range(self.start, self.end):
+            for node, message in self._in_flight.pop(time, []):
+                if self._is_down(node, time):
+                    self.report.dropped_by_failure += 1
+                    continue  # the traversal completes into a dead radio
+                self.report.deliveries.append((time, node, message))
+                key = (message.uid, node)
+                if key not in self.report.first_arrival:
+                    self.report.first_arrival[key] = time
+                self.protocols[node].on_receive(self._context(node, time), message)
+            for node in self.graph.nodes:
+                if self._is_down(node, time):
+                    continue
+                self.protocols[node].on_tick(
+                    self._context(node, time), tuple(self._buffers[node])
+                )
+        return self.report

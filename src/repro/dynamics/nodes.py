@@ -1,0 +1,88 @@
+"""The protocol/node programming model.
+
+A :class:`Protocol` is the per-node program; the simulator instantiates
+one object per node and invokes its hooks.  All interaction with the
+world goes through the :class:`NodeContext` handed to each hook — nodes
+cannot see the graph, the future, or other nodes' state, which keeps
+protocol code honest about what a distributed algorithm may know.
+
+The buffering distinction the paper studies is enforced here: a protocol
+declares ``buffering = False`` to model environments without
+store-carry-forward, and the simulator then refuses ``store`` calls, so
+a bufferless protocol physically cannot hold a message across a round.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.dynamics.messages import Message
+from repro.errors import SimulationError
+
+
+class NodeContext:
+    """The window a node has onto the simulation at one instant."""
+
+    def __init__(
+        self,
+        node: Hashable,
+        time: int,
+        present_edges: Iterable,
+        send: Callable[[object, object], None],
+        store: Callable[[Message], None],
+        allow_store: bool,
+    ) -> None:
+        self.node = node
+        self.time = time
+        self.present_edges = tuple(present_edges)
+        self._send = send
+        self._store = store
+        self._allow_store = allow_store
+
+    @property
+    def neighbors(self) -> tuple[Hashable, ...]:
+        """Targets of currently-present out-edges."""
+        return tuple(edge.target for edge in self.present_edges)
+
+    def send(self, edge, message: Message) -> None:
+        """Transmit over a present edge; arrival after the edge latency."""
+        self._send(edge, message)
+
+    def broadcast(self, message: Message) -> None:
+        """Transmit over every currently-present out-edge."""
+        for edge in self.present_edges:
+            self._send(edge, message)
+
+    def store(self, message: Message) -> None:
+        """Buffer a message for future rounds (store-carry-forward).
+
+        Raises :class:`SimulationError` for protocols that declared
+        ``buffering = False`` — waiting is exactly the capability such
+        environments lack.
+        """
+        if not self._allow_store:
+            raise SimulationError(
+                f"protocol at node {self.node!r} is bufferless but tried to "
+                "store a message"
+            )
+        self._store(message)
+
+
+class Protocol:
+    """Base class for per-node programs.
+
+    Subclasses override any of the hooks.  ``buffering`` declares whether
+    the environment provides local storage across rounds.
+    """
+
+    #: Whether this protocol may buffer messages between rounds.
+    buffering: bool = True
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Called once at the simulation start time."""
+
+    def on_receive(self, ctx: NodeContext, message: Message) -> None:
+        """Called when a message arrives at this node."""
+
+    def on_tick(self, ctx: NodeContext, buffered: tuple[Message, ...]) -> None:
+        """Called every round after deliveries, with the current buffer."""

@@ -1,0 +1,32 @@
+"""Protocol implementations for the dynamics simulator."""
+
+from repro.dynamics.protocols.broadcast import (
+    BroadcastOutcome,
+    BufferedFlood,
+    BufferlessFlood,
+    simulate_broadcast,
+)
+from repro.dynamics.protocols.routing import (
+    RoutingOutcome,
+    route_direct,
+    route_epidemic,
+)
+from repro.dynamics.protocols.gossip import GossipCounter, run_gossip
+from repro.dynamics.protocols.prophet import ProphetOutcome, route_prophet
+from repro.dynamics.protocols.spray_and_wait import SprayOutcome, spray_and_wait
+
+__all__ = [
+    "BroadcastOutcome",
+    "BufferedFlood",
+    "BufferlessFlood",
+    "GossipCounter",
+    "ProphetOutcome",
+    "RoutingOutcome",
+    "SprayOutcome",
+    "route_direct",
+    "route_epidemic",
+    "route_prophet",
+    "run_gossip",
+    "simulate_broadcast",
+    "spray_and_wait",
+]

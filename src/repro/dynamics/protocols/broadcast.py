@@ -1,0 +1,208 @@
+"""Flooding broadcast, with and without store-carry-forward.
+
+The operational face of the paper's dichotomy:
+
+* :class:`BufferlessFlood` — a node can forward a message only at the
+  instant it arrives; if no edge is present right then, the copy dies.
+  The informed set is exactly the *no-wait*-reachable set.
+* :class:`BufferedFlood` — store-carry-forward: copies are buffered and
+  transmitted whenever a contact appears.  The informed set is exactly
+  the *wait*-reachable set.
+
+Tests cross-validate both equalities against the declarative journey
+search; the E6 benchmark sweeps edge density and reports the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.core.tvg import TimeVaryingGraph
+from repro.dynamics.messages import Message
+from repro.dynamics.network import Simulator
+from repro.dynamics.nodes import NodeContext, Protocol
+
+
+class BufferlessFlood(Protocol):
+    """Forward on arrival or never — the no-buffering environment.
+
+    A storage-less node relays *every* arrival, because a copy arriving
+    later departs later and can reach places the first copy could not
+    (direct journeys through later dates).  Relaying twice from the same
+    instant is idempotent, so duplicates are collapsed per
+    ``(message, arrival date)`` — an optimization, not a semantic change.
+    """
+
+    buffering = False
+
+    def __init__(self, node: Hashable, origin: Hashable) -> None:
+        self.node = node
+        self.origin = origin
+        self.simulator: Simulator | None = None  # injected by the runner
+        self._relayed: set[tuple[int, int]] = set()
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.node != self.origin:
+            return
+        assert self.simulator is not None
+        message = self.simulator.new_message(self.node, "flood", ctx.time)
+        self._relayed.add((message.uid, ctx.time))
+        ctx.broadcast(message)
+
+    def on_receive(self, ctx: NodeContext, message: Message) -> None:
+        stamp = (message.uid, ctx.time)
+        if stamp in self._relayed:
+            return
+        self._relayed.add(stamp)
+        # The only chance to relay is right now; no storage exists.
+        ctx.broadcast(message)
+
+
+class BufferedFlood(Protocol):
+    """Store-carry-forward flooding (epidemic broadcast)."""
+
+    buffering = True
+
+    def __init__(self, node: Hashable, origin: Hashable) -> None:
+        self.node = node
+        self.origin = origin
+        self.simulator: Simulator | None = None
+        self._seen: set[int] = set()
+        #: (message uid, edge key) pairs already transmitted.
+        self._sent: set[tuple[int, str]] = set()
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.node != self.origin:
+            return
+        assert self.simulator is not None
+        message = self.simulator.new_message(self.node, "flood", ctx.time)
+        self._seen.add(message.uid)
+        ctx.store(message)
+
+    def on_receive(self, ctx: NodeContext, message: Message) -> None:
+        if message.uid in self._seen:
+            return
+        self._seen.add(message.uid)
+        ctx.store(message)
+
+    def on_tick(self, ctx: NodeContext, buffered: tuple[Message, ...]) -> None:
+        for message in buffered:
+            for edge in ctx.present_edges:
+                stamp = (message.uid, edge.key)
+                if stamp not in self._sent:
+                    self._sent.add(stamp)
+                    ctx.send(edge, message)
+
+
+class PersistentFlood(BufferedFlood):
+    """Buffered flood that retransmits at every contact instant.
+
+    The per-edge send-once optimization of :class:`BufferedFlood` assumes
+    the receiver hears what is sent; under failure injection a copy can
+    land on a dead radio, so robustness requires retrying at each present
+    instant.  Dedup is per ``(message, edge, date)``: exactly the
+    idempotence the journey semantics grants.
+    """
+
+    def on_tick(self, ctx: NodeContext, buffered: tuple[Message, ...]) -> None:
+        for message in buffered:
+            for edge in ctx.present_edges:
+                stamp = (message.uid, edge.key, ctx.time)
+                if stamp not in self._sent:
+                    self._sent.add(stamp)
+                    ctx.send(edge, message)
+
+
+@dataclass(frozen=True)
+class BroadcastOutcome:
+    """Summary of one broadcast run."""
+
+    origin: Hashable
+    buffering: bool
+    informed: frozenset[Hashable]
+    arrival_times: dict[Hashable, int]
+    transmissions: int
+    node_count: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Informed nodes (origin included) over all nodes."""
+        return (len(self.informed) + 1) / self.node_count
+
+    @property
+    def completion_time(self) -> int | None:
+        """Date the last node was informed; None unless all were."""
+        if len(self.informed) + 1 < self.node_count:
+            return None
+        return max(self.arrival_times.values(), default=None)
+
+
+def simulate_broadcast(
+    graph: TimeVaryingGraph,
+    origin: Hashable,
+    buffering: bool,
+    start: int | None = None,
+    end: int | None = None,
+    failures: dict | None = None,
+    persistent: bool = False,
+) -> BroadcastOutcome:
+    """Run one flood from ``origin`` and summarize it.
+
+    ``failures`` injects node downtime (see
+    :mod:`repro.dynamics.failures`); with failures present, pass
+    ``persistent=True`` to retransmit at every contact instant —
+    otherwise a copy lost to a dead radio is never retried and the
+    outcome undershoots the surviving-journey reachability.
+    """
+    if buffering:
+        factory = PersistentFlood if persistent else BufferedFlood
+    else:
+        factory = BufferlessFlood
+    simulator = Simulator(
+        graph, lambda node: factory(node, origin), start, end, failures=failures
+    )
+    for protocol in simulator.protocols.values():
+        protocol.simulator = simulator
+    report = simulator.run()
+    uid = 1  # the single message minted by the origin
+    # The origin may hear its own flood echoed back; it was informed from
+    # the start, so it is excluded from the informed set and the times.
+    informed = frozenset(report.informed_nodes(uid)) - {origin}
+    arrivals = {
+        node: time
+        for (mid, node), time in report.first_arrival.items()
+        if mid == uid and node != origin
+    }
+    return BroadcastOutcome(
+        origin=origin,
+        buffering=buffering,
+        informed=informed,
+        arrival_times=arrivals,
+        transmissions=report.transmissions,
+        node_count=graph.node_count,
+    )
+
+
+def reachability_prediction(
+    graph: TimeVaryingGraph,
+    origin: Hashable,
+    buffering: bool,
+    start: int,
+    end: int,
+) -> set[Hashable]:
+    """The informed set the theory predicts for :func:`simulate_broadcast`.
+
+    No-wait reachability for the bufferless flood, wait reachability for
+    the buffered one — the bridge the tests drive across.  Arrivals at or
+    beyond ``end`` are excluded, matching the simulator's horizon rule
+    (a traversal completing after the window is never delivered).  The
+    equality assumes non-overtaking latencies (constant latencies — the
+    dynamics generators' default — always qualify).
+    """
+    from repro.core.traversal import reachable_states
+
+    semantics = WAIT if buffering else NO_WAIT
+    states = reachable_states(graph, [(origin, start)], semantics, horizon=end)
+    return {node for node, time in states if time < end} - {origin}

@@ -1,0 +1,92 @@
+"""Token-counting gossip: how much information mixes over time.
+
+Every node starts with one token (its own id).  Whenever a contact is
+present, nodes exchange their full token sets (buffered — this protocol
+inherently needs store-carry-forward).  The per-round histogram of token
+counts measures how quickly the dynamic network mixes information; on
+"disconnected at every instant" graphs it visualizes exactly the
+temporal-connectivity phenomenon the paper opens with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.tvg import TimeVaryingGraph
+from repro.dynamics.messages import Message
+from repro.dynamics.network import Simulator
+from repro.dynamics.nodes import NodeContext, Protocol
+
+
+class GossipCounter(Protocol):
+    """Exchange known-token sets over every present contact."""
+
+    buffering = True
+
+    def __init__(self, node: Hashable) -> None:
+        self.node = node
+        self.simulator: Simulator | None = None
+        self.known: set[Hashable] = {node}
+        self._advertised: dict[str, frozenset[Hashable]] = {}
+
+    def on_receive(self, ctx: NodeContext, message: Message) -> None:
+        self.known |= set(message.payload)
+
+    def on_tick(self, ctx: NodeContext, buffered: tuple[Message, ...]) -> None:
+        assert self.simulator is not None
+        snapshot = frozenset(self.known)
+        for edge in ctx.present_edges:
+            # Re-advertise only when the known set grew since the last
+            # transmission over this edge.
+            if self._advertised.get(edge.key) == snapshot:
+                continue
+            self._advertised[edge.key] = snapshot
+            ctx.send(edge, self.simulator.new_message(self.node, snapshot, ctx.time))
+
+
+@dataclass
+class GossipReport:
+    """Evolution of knowledge across the run."""
+
+    counts_over_time: list[tuple[int, list[int]]] = field(default_factory=list)
+    final_counts: dict[Hashable, int] = field(default_factory=dict)
+
+    @property
+    def fully_mixed(self) -> bool:
+        """Whether every node ended up knowing every token."""
+        if not self.final_counts:
+            return False
+        total = len(self.final_counts)
+        return all(count == total for count in self.final_counts.values())
+
+
+def run_gossip(
+    graph: TimeVaryingGraph,
+    start: int | None = None,
+    end: int | None = None,
+    sample_every: int = 1,
+) -> GossipReport:
+    """Run the gossip protocol and sample knowledge counts over time."""
+    simulator = Simulator(graph, GossipCounter, start, end)
+    for protocol in simulator.protocols.values():
+        protocol.simulator = simulator
+
+    report = GossipReport()
+    # Sample by stepping the simulator window in chunks: simplest exact
+    # approach is to run fully, then reconstruct counts from deliveries.
+    simulation = simulator.run()
+    knowledge: dict[Hashable, set[Hashable]] = {n: {n} for n in graph.nodes}
+    deliveries = sorted(simulation.deliveries, key=lambda item: item[0])
+    cursor = 0
+    for time in range(simulator.start, simulator.end):
+        while cursor < len(deliveries) and deliveries[cursor][0] == time:
+            _t, node, message = deliveries[cursor]
+            knowledge[node] |= set(message.payload)
+            cursor += 1
+        if (time - simulator.start) % sample_every == 0:
+            report.counts_over_time.append(
+                (time, sorted(len(k) for k in knowledge.values()))
+            )
+    report.final_counts = {node: len(known) for node, known in knowledge.items()}
+    return report

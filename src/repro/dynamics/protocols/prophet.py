@@ -1,0 +1,205 @@
+"""PRoPHET routing (Lindgren, Doria, Schelén, 2003).
+
+Probabilistic Routing Protocol using History of Encounters and
+Transitivity — the classic *informed* store-carry-forward scheme: each
+node maintains delivery predictabilities ``P(a, b)`` updated on every
+encounter (direct boost, aging, transitivity) and forwards a copy only
+to relays with a higher predictability for the destination.
+
+Why it is in this reproduction: PRoPHET is the waiting-enabled protocol
+family's "smart" member, sitting between the single-copy direct wait
+and the flood.  On the paper's never-connected networks it exercises
+the store-carry-forward machinery with state that *itself* evolves over
+the time-varying graph.
+
+Floating-point predictabilities are used as the original paper defines
+them; determinism is preserved because updates depend only on the
+(seeded) contact schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.tvg import TimeVaryingGraph
+from repro.dynamics.messages import Message
+from repro.dynamics.network import Simulator
+from repro.dynamics.nodes import NodeContext, Protocol
+from repro.errors import SimulationError
+
+#: Canonical constants from the PRoPHET paper.
+P_INIT = 0.75
+GAMMA = 0.98
+BETA = 0.25
+
+
+class ProphetNode(Protocol):
+    """One PRoPHET agent."""
+
+    buffering = True
+
+    def __init__(
+        self, node: Hashable, source: Hashable, destination: Hashable
+    ) -> None:
+        self.node = node
+        self.source = source
+        self.destination = destination
+        self.simulator: Simulator | None = None
+        self.predictability: dict[Hashable, float] = {}
+        self.carrying = node == source
+        self._last_aged: int | None = None
+        self._handed_to: set[Hashable] = set()
+
+    # -- predictability maintenance ------------------------------------------------
+
+    def _age(self, now: int) -> None:
+        if self._last_aged is None:
+            self._last_aged = now
+            return
+        elapsed = now - self._last_aged
+        if elapsed <= 0:
+            return
+        factor = GAMMA**elapsed
+        self.predictability = {
+            peer: value * factor for peer, value in self.predictability.items()
+        }
+        self._last_aged = now
+
+    def _met(self, peer: Hashable) -> None:
+        current = self.predictability.get(peer, 0.0)
+        self.predictability[peer] = current + (1.0 - current) * P_INIT
+
+    def _transit(self, peer: Hashable, peer_table: dict[Hashable, float]) -> None:
+        p_meet = self.predictability.get(peer, 0.0)
+        for target, p_peer in peer_table.items():
+            if target == self.node:
+                continue
+            current = self.predictability.get(target, 0.0)
+            self.predictability[target] = max(
+                current, current + (1.0 - current) * p_meet * p_peer * BETA
+            )
+
+    # -- protocol hooks ----------------------------------------------------------------
+
+    def on_receive(self, ctx: NodeContext, message: Message) -> None:
+        kind = message.payload[0]
+        if kind == "summary":
+            _kind, sender, table = message.payload
+            self._age(ctx.time)
+            self._met(sender)
+            self._transit(sender, table)
+        elif kind == "data":
+            self.carrying = True
+
+    def on_tick(self, ctx: NodeContext, buffered: tuple[Message, ...]) -> None:
+        assert self.simulator is not None
+        self._age(ctx.time)
+        for edge in ctx.present_edges:
+            # Beacon our summary vector to every present neighbour.
+            ctx.send(
+                edge,
+                self.simulator.new_message(
+                    self.node,
+                    ("summary", self.node, dict(self.predictability)),
+                    ctx.time,
+                ),
+            )
+        if not self.carrying:
+            return
+        my_p = self.predictability.get(self.destination, 0.0)
+        for edge in ctx.present_edges:
+            peer = edge.target
+            if peer in self._handed_to:
+                continue
+            if peer == self.destination:
+                self._handed_to.add(peer)
+                ctx.send(
+                    edge,
+                    self.simulator.new_message(self.node, ("data",), ctx.time),
+                )
+                continue
+            # Forward a copy only to strictly better relays.
+            peer_p = self.peer_estimate(peer)
+            if peer_p > my_p:
+                self._handed_to.add(peer)
+                ctx.send(
+                    edge,
+                    self.simulator.new_message(self.node, ("data",), ctx.time),
+                )
+
+    def peer_estimate(self, peer: Hashable) -> float:
+        """Our latest knowledge of the peer's P(peer, destination).
+
+        Gleaned from their most recent summary via the transitivity
+        table; conservatively 0 when we have never heard from them.
+        """
+        return self._peer_tables.get(peer, {}).get(self.destination, 0.0)
+
+    @property
+    def _peer_tables(self) -> dict[Hashable, dict[Hashable, float]]:
+        if not hasattr(self, "_tables"):
+            self._tables: dict[Hashable, dict[Hashable, float]] = {}
+        return self._tables
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._last_aged = ctx.time
+
+
+class _ProphetWithTables(ProphetNode):
+    """ProphetNode that records peer summaries for forwarding decisions."""
+
+    def on_receive(self, ctx: NodeContext, message: Message) -> None:
+        if message.payload[0] == "summary":
+            _kind, sender, table = message.payload
+            self._peer_tables[sender] = dict(table)
+        super().on_receive(ctx, message)
+
+
+@dataclass(frozen=True)
+class ProphetOutcome:
+    """Result of one PRoPHET unicast."""
+
+    source: Hashable
+    destination: Hashable
+    delivered: bool
+    delay: int | None
+    transmissions: int
+    data_copies: int
+
+
+def route_prophet(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    destination: Hashable,
+    start: int | None = None,
+    end: int | None = None,
+) -> ProphetOutcome:
+    """Run one PRoPHET unicast and summarize it."""
+    if source == destination:
+        raise SimulationError("source and destination must differ")
+    simulator = Simulator(
+        graph,
+        lambda node: _ProphetWithTables(node, source, destination),
+        start,
+        end,
+    )
+    for protocol in simulator.protocols.values():
+        protocol.simulator = simulator
+    report = simulator.run()
+    arrival: int | None = None
+    data_copies = 0
+    for time, node, message in report.deliveries:
+        if message.payload[0] != "data":
+            continue
+        data_copies += 1
+        if node == destination and arrival is None:
+            arrival = time
+    return ProphetOutcome(
+        source=source,
+        destination=destination,
+        delivered=arrival is not None,
+        delay=None if arrival is None else arrival - simulator.start,
+        transmissions=report.transmissions,
+        data_copies=data_copies,
+    )

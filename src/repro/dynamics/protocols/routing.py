@@ -1,0 +1,131 @@
+"""Unicast routing over time-varying graphs.
+
+Two ends of the DTN routing spectrum:
+
+* :func:`route_direct` — source routing along a precomputed journey
+  under a chosen waiting semantics; with :data:`~repro.core.semantics.NO_WAIT`
+  this is the fragile "hot-potato" regime, with
+  :data:`~repro.core.semantics.WAIT` the store-carry-forward regime;
+* :func:`route_epidemic` — epidemic (flooding) routing with per-copy
+  TTL, the classic robust-but-costly baseline.
+
+Both return a :class:`RoutingOutcome` with delivery status, delay, and
+transmission cost, the three columns DTN papers tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.semantics import WaitingSemantics, NO_WAIT
+from repro.core.traversal import foremost_journey
+from repro.core.tvg import TimeVaryingGraph
+from repro.dynamics.messages import Message
+from repro.dynamics.network import Simulator
+from repro.dynamics.nodes import NodeContext, Protocol
+
+
+@dataclass(frozen=True)
+class RoutingOutcome:
+    """Result of one unicast attempt."""
+
+    source: Hashable
+    destination: Hashable
+    delivered: bool
+    delay: int | None
+    transmissions: int
+    hops: int | None
+
+
+def route_direct(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    destination: Hashable,
+    start: int,
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+) -> RoutingOutcome:
+    """Source-route along a foremost journey under ``semantics``.
+
+    The journey search *is* the routing table: if no feasible journey
+    exists the attempt is undeliverable and reported as such.
+    """
+    journey = foremost_journey(graph, source, destination, start, semantics, horizon)
+    if journey is None:
+        return RoutingOutcome(source, destination, False, None, 0, None)
+    return RoutingOutcome(
+        source=source,
+        destination=destination,
+        delivered=True,
+        delay=journey.arrival - start,
+        transmissions=len(journey),
+        hops=len(journey),
+    )
+
+
+class _EpidemicNode(Protocol):
+    buffering = True
+
+    def __init__(self, node: Hashable, source: Hashable, ttl: int) -> None:
+        self.node = node
+        self.source = source
+        self.ttl = ttl
+        self.simulator: Simulator | None = None
+        self._seen: set[int] = set()
+        self._sent: set[tuple[int, str]] = set()
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.node != self.source:
+            return
+        assert self.simulator is not None
+        message = self.simulator.new_message(self.node, "unicast", ctx.time)
+        self._seen.add(message.uid)
+        ctx.store(message)
+
+    def on_receive(self, ctx: NodeContext, message: Message) -> None:
+        if message.uid in self._seen:
+            return
+        self._seen.add(message.uid)
+        if message.hops < self.ttl:
+            ctx.store(message)
+
+    def on_tick(self, ctx: NodeContext, buffered: tuple[Message, ...]) -> None:
+        for message in buffered:
+            for edge in ctx.present_edges:
+                stamp = (message.uid, edge.key)
+                if stamp not in self._sent:
+                    self._sent.add(stamp)
+                    ctx.send(edge, message)
+
+
+def route_epidemic(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    destination: Hashable,
+    start: int | None = None,
+    end: int | None = None,
+    ttl: int = 64,
+) -> RoutingOutcome:
+    """Epidemic routing: flood with TTL, report the destination's copy."""
+    simulator = Simulator(
+        graph, lambda node: _EpidemicNode(node, source, ttl), start, end
+    )
+    for protocol in simulator.protocols.values():
+        protocol.simulator = simulator
+    report = simulator.run()
+    arrival = report.arrival_time(1, destination)
+    hops = None
+    if arrival is not None:
+        for time, node, message in report.deliveries:
+            if node == destination and message.uid == 1:
+                hops = message.hops
+                break
+    return RoutingOutcome(
+        source=source,
+        destination=destination,
+        delivered=arrival is not None,
+        delay=None if arrival is None else arrival - simulator.start,
+        transmissions=report.transmissions,
+        hops=hops,
+    )

@@ -1,0 +1,137 @@
+"""Named workload scenarios.
+
+One registry of the dynamic-network scenarios the examples and
+benchmarks exercise, so every harness draws the same graphs from the
+same seeds.  Each factory returns a fully-built TVG plus the metadata a
+harness needs (suggested source/destination, window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.core.builders import TVGBuilder
+from repro.core.generators import (
+    bernoulli_tvg,
+    edge_markovian_tvg,
+    periodic_random_tvg,
+    transit_tvg,
+)
+from repro.core.tvg import TimeVaryingGraph
+from repro.dynamics.mobility import random_waypoint_tvg
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A ready-to-run scenario."""
+
+    name: str
+    graph: TimeVaryingGraph
+    source: Hashable
+    destination: Hashable
+    start: int
+    end: int
+
+    @property
+    def window(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+
+def sparse_dtn(seed: int = 0) -> Workload:
+    """Sparse edge-Markovian contacts: the paper's 'disconnected at every
+    instant' regime (delivery needs store-carry-forward)."""
+    horizon = 60
+    graph = edge_markovian_tvg(
+        12, horizon=horizon, birth=0.03, death=0.6, seed=seed, name="sparse-dtn"
+    )
+    return Workload("sparse-dtn", graph, 0, 11, 0, horizon)
+
+
+def dense_manet(seed: int = 0) -> Workload:
+    """Dense, flickering connectivity: waiting helps little."""
+    horizon = 40
+    graph = edge_markovian_tvg(
+        10, horizon=horizon, birth=0.3, death=0.3, seed=seed, name="dense-manet"
+    )
+    return Workload("dense-manet", graph, 0, 9, 0, horizon)
+
+
+def campus_walkers(seed: int = 0) -> Workload:
+    """Random-waypoint proximity contacts on a small grid."""
+    horizon = 40
+    graph = random_waypoint_tvg(8, 5, 5, horizon, seed=seed)
+    return Workload("campus-walkers", graph, 0, 7, 0, horizon)
+
+
+def night_bus(seed: int = 0) -> Workload:
+    """A deterministic periodic transit network (two circular lines)."""
+    graph = transit_tvg(
+        [
+            (["hub", "north", "loop", "hub"], 0, 8),
+            (["hub", "south", "hub"], 4, 8),
+        ],
+        latency=1,
+        name="night-bus",
+    )
+    return Workload("night-bus", graph, "hub", "loop", 0, 32)
+
+
+def flaky_backbone(seed: int = 0) -> Workload:
+    """A ring whose links are up at rotating instants — never a connected
+    snapshot, always temporally connected."""
+    n = 6
+    builder = TVGBuilder(name="flaky-backbone").lifetime(0, 36)
+    for i in range(n):
+        builder.contact(i, (i + 1) % n, period=(i % 3, 3), key=f"ring{i}")
+    return Workload("flaky-backbone", builder.build(), 0, n // 2, 0, 36)
+
+
+def random_periodic_acceptor(seed: int = 0) -> Workload:
+    """A labeled periodic TVG for language experiments."""
+    graph = periodic_random_tvg(
+        4, period=4, density=0.5, labels="ab", seed=seed, name="periodic-acceptor"
+    )
+    return Workload("periodic-acceptor", graph, 0, 3, 0, 32)
+
+
+def bernoulli_cloud(seed: int = 0) -> Workload:
+    """Memoryless random contacts at moderate density."""
+    horizon = 30
+    graph = bernoulli_tvg(
+        9, horizon=horizon, density=0.08, seed=seed, name="bernoulli-cloud"
+    )
+    return Workload("bernoulli-cloud", graph, 0, 8, 0, horizon)
+
+
+_REGISTRY: dict[str, Callable[[int], Workload]] = {
+    "sparse-dtn": sparse_dtn,
+    "dense-manet": dense_manet,
+    "campus-walkers": campus_walkers,
+    "night-bus": night_bus,
+    "flaky-backbone": flaky_backbone,
+    "periodic-acceptor": random_periodic_acceptor,
+    "bernoulli-cloud": bernoulli_cloud,
+}
+
+
+def workload_names() -> list[str]:
+    """All registered scenario names."""
+    return sorted(_REGISTRY)
+
+
+def make_workload(name: str, seed: int = 0) -> Workload:
+    """Build a named scenario with the given seed."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
+        ) from None
+    return factory(seed)
+
+
+def all_workloads(seed: int = 0) -> list[Workload]:
+    """One instance of every scenario."""
+    return [make_workload(name, seed) for name in workload_names()]

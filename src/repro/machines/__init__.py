@@ -1,0 +1,36 @@
+"""Computability substrate: Turing machines, counter machines, deciders.
+
+Theorem 2.1 quantifies over *computable languages*, so the reproduction
+needs a stock of decision procedures that are visibly Turing-complete
+computations rather than automata in disguise.  This package provides a
+deterministic Turing machine simulator, a library of machines for the
+classic non-regular and non-context-free languages, Minsky counter
+machines, and the :class:`Decider` wrapper that gives all of them (and
+plain Python predicates) one interface with an explicit step budget.
+"""
+
+from repro.machines.tape import Tape
+from repro.machines.turing import (
+    ACCEPT,
+    HaltReason,
+    REJECT,
+    TuringMachine,
+    TMResult,
+)
+from repro.machines.decider import Decider, predicate_decider, tm_decider
+from repro.machines.counter import CounterMachine
+from repro.machines import programs
+
+__all__ = [
+    "ACCEPT",
+    "CounterMachine",
+    "Decider",
+    "HaltReason",
+    "REJECT",
+    "TMResult",
+    "Tape",
+    "TuringMachine",
+    "predicate_decider",
+    "programs",
+    "tm_decider",
+]

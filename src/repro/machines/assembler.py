@@ -1,0 +1,145 @@
+"""A macro assembler for Turing machines.
+
+Hand-writing transition tables gets error-prone past a dozen states;
+the assembler provides the classic building blocks — scan until a
+symbol, write-and-move, branch on the scanned symbol, chain fragments —
+and compiles them into a flat :class:`TuringMachine`.  The stock
+machines in :mod:`repro.machines.programs` stay hand-written (they are
+documentation), while tests use the assembler to build larger deciders
+and cross-check them.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterable, Mapping
+
+from repro.errors import MachineError
+from repro.machines.tape import BLANK
+from repro.machines.turing import ACCEPT, REJECT, TuringMachine
+
+
+class TMAssembler:
+    """Accumulates transitions; fragment methods return entry labels."""
+
+    def __init__(self, symbols: Iterable[str]) -> None:
+        self.symbols = list(symbols)
+        if BLANK not in self.symbols:
+            self.symbols.append(BLANK)
+        self.transitions: dict[tuple[str, str], tuple[str, str, str]] = {}
+        self._ids = count()
+
+    def fresh(self, hint: str = "s") -> str:
+        """A fresh state label."""
+        return f"{hint}{next(self._ids)}"
+
+    def on(self, state: str, symbol: str, target: str, write: str | None = None,
+           move: str = "S") -> None:
+        """One explicit transition (write defaults to re-writing symbol)."""
+        key = (state, symbol)
+        if key in self.transitions:
+            raise MachineError(f"duplicate transition for {key}")
+        self.transitions[key] = (target, write if write is not None else symbol, move)
+
+    # -- fragments --------------------------------------------------------------------
+
+    def scan(self, direction: str, until: Iterable[str], then: str,
+             hint: str = "scan") -> str:
+        """Move in ``direction`` until one of ``until`` is under the head,
+        then continue at ``then`` (head on the found symbol)."""
+        state = self.fresh(hint)
+        stops = set(until)
+        for symbol in self.symbols:
+            if symbol in stops:
+                self.on(state, symbol, then)
+            else:
+                self.on(state, symbol, state, move=direction)
+        return state
+
+    def step(self, direction: str, then: str, hint: str = "step") -> str:
+        """Move one cell in ``direction`` regardless of the symbol."""
+        state = self.fresh(hint)
+        for symbol in self.symbols:
+            self.on(state, symbol, then, move=direction)
+        return state
+
+    def write_here(self, symbol: str, then: str, hint: str = "write") -> str:
+        """Overwrite the current cell with ``symbol``."""
+        state = self.fresh(hint)
+        for scanned in self.symbols:
+            self.on(state, scanned, then, write=symbol)
+        return state
+
+    def branch(self, cases: Mapping[str, str], otherwise: str = REJECT,
+               hint: str = "branch") -> str:
+        """Dispatch on the scanned symbol: ``cases[symbol] -> label``."""
+        state = self.fresh(hint)
+        for symbol in self.symbols:
+            self.on(state, symbol, cases.get(symbol, otherwise))
+        return state
+
+    def build(self, start: str, name: str = "") -> TuringMachine:
+        """Compile to a machine (halting states are ACCEPT/REJECT)."""
+        return TuringMachine(
+            self.transitions, initial=start,
+            accept_states={ACCEPT}, reject_states={REJECT}, name=name,
+        )
+
+
+def assemble_marker_matcher(left: str, right: str, alphabet: str) -> TuringMachine:
+    """``{ left^n right^n : n >= 0 }`` over two designated symbols.
+
+    The classic cancel-ends machine, expressed through the assembler —
+    the generalization of :func:`repro.machines.programs.tm_anbn` to any
+    two symbols of any alphabet.  Words containing other symbols reject.
+    """
+    if left == right:
+        raise MachineError("left and right markers must differ")
+    if left not in alphabet or right not in alphabet:
+        raise MachineError("markers must be in the alphabet")
+    asm = TMAssembler(list(alphabet) + ["X", "Y"])
+
+    # Plan (standard marking sweep):
+    #   start: on left -> mark X, find the leftmost unmarked right, mark Y,
+    #          rewind to the marker X, advance; on Y -> verify tail; on
+    #          blank -> accept.
+    verify_tail = asm.fresh("verify")
+    back = asm.scan("L", ["X"], then="PLACEHOLDER_BACK")  # patched below
+    mark_right = asm.write_here("Y", then=back)
+    find_right = asm.scan("R", [right, BLANK], then="PLACEHOLDER_FIND")
+    start = asm.fresh("start")
+
+    # start dispatch
+    for symbol in asm.symbols:
+        if symbol == left:
+            asm.on(start, symbol, find_right, write="X", move="R")
+        elif symbol == "Y":
+            asm.on(start, symbol, verify_tail, move="R")
+        elif symbol == BLANK:
+            asm.on(start, symbol, ACCEPT)
+        else:
+            asm.on(start, symbol, REJECT)
+
+    # find_right lands on `right` or blank: only `right` is acceptable.
+    for symbol in [right, BLANK]:
+        target, write, move = asm.transitions[(find_right, symbol)]
+        if symbol == right:
+            asm.transitions[(find_right, symbol)] = (mark_right, write, move)
+        else:
+            asm.transitions[(find_right, symbol)] = (REJECT, write, move)
+
+    # back lands on X: step right back to the dispatch state.
+    advance = asm.step("R", then=start)
+    target, write, move = asm.transitions[(back, "X")]
+    asm.transitions[(back, "X")] = (advance, write, move)
+
+    # verify_tail: only Y until blank.
+    for symbol in asm.symbols:
+        if symbol == "Y":
+            asm.on(verify_tail, symbol, verify_tail, move="R")
+        elif symbol == BLANK:
+            asm.on(verify_tail, symbol, ACCEPT)
+        else:
+            asm.on(verify_tail, symbol, REJECT)
+
+    return asm.build(start, name=f"{left}^n{right}^n")

@@ -1,0 +1,135 @@
+"""Minsky counter machines with one-way input.
+
+A second, visibly different model of computation for Theorem 2.1 inputs:
+finitely many non-negative counters, increment / test-and-decrement, and
+a one-way read head.  Two counters already give Turing power, so a
+counter-machine decider exercises the "any computable language"
+quantifier from another angle than the TM simulator.
+
+Programs are label -> instruction maps.  Instructions:
+
+* ``("inc", register, goto)``
+* ``("jzdec", register, goto_if_zero, goto_after_decrement)``
+* ``("read", {symbol: goto, ..., None: goto_at_end_of_input})``
+* ``("accept",)`` / ``("reject",)``
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import MachineError, MachineTimeoutError
+
+
+class CounterMachine:
+    """A deterministic counter machine over a finite instruction set."""
+
+    def __init__(
+        self,
+        program: Mapping[str, tuple],
+        start: str,
+        registers: int = 2,
+        name: str = "",
+    ) -> None:
+        self.program = dict(program)
+        self.start = start
+        self.registers = registers
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.start not in self.program:
+            raise MachineError(f"start label {self.start!r} not in program")
+        for label, instruction in self.program.items():
+            kind = instruction[0]
+            if kind == "inc":
+                _, register, goto = instruction
+                self._check_register(label, register)
+                self._check_label(label, goto)
+            elif kind == "jzdec":
+                _, register, if_zero, after_dec = instruction
+                self._check_register(label, register)
+                self._check_label(label, if_zero)
+                self._check_label(label, after_dec)
+            elif kind == "read":
+                _, branches = instruction
+                for goto in branches.values():
+                    self._check_label(label, goto)
+            elif kind in ("accept", "reject"):
+                pass
+            else:
+                raise MachineError(f"unknown instruction {kind!r} at {label!r}")
+
+    def _check_register(self, label: str, register: int) -> None:
+        if not 0 <= register < self.registers:
+            raise MachineError(
+                f"instruction at {label!r} uses register {register}, "
+                f"machine has {self.registers}"
+            )
+
+    def _check_label(self, label: str, goto: str) -> None:
+        if goto not in self.program:
+            raise MachineError(f"instruction at {label!r} jumps to unknown {goto!r}")
+
+    def accepts(self, word: str, max_steps: int = 100_000) -> bool:
+        """Run on ``word``; True iff the run reaches ``accept``.
+
+        Falling off the input (a ``read`` with no branch for the current
+        symbol) rejects.  Budget overruns raise
+        :class:`~repro.errors.MachineTimeoutError`.
+        """
+        counters = [0] * self.registers
+        position = 0
+        label = self.start
+        for _step in range(max_steps):
+            instruction = self.program[label]
+            kind = instruction[0]
+            if kind == "accept":
+                return True
+            if kind == "reject":
+                return False
+            if kind == "inc":
+                _, register, label = instruction
+                counters[register] += 1
+            elif kind == "jzdec":
+                _, register, if_zero, after_dec = instruction
+                if counters[register] == 0:
+                    label = if_zero
+                else:
+                    counters[register] -= 1
+                    label = after_dec
+            else:  # read
+                _, branches = instruction
+                symbol = word[position] if position < len(word) else None
+                if symbol is not None:
+                    position += 1
+                if symbol not in branches:
+                    return False
+                label = branches[symbol]
+        raise MachineTimeoutError(max_steps)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"CounterMachine({label.strip()} |program|={len(self.program)}, "
+            f"registers={self.registers})"
+        )
+
+
+def anbn_counter_machine() -> CounterMachine:
+    """A two-state-of-mind counter machine for ``{a^n b^n : n >= 0}``.
+
+    Counts the ``a`` block into register 0, then cancels against the
+    ``b`` block — the textbook one-counter recognizer.
+    """
+    program = {
+        "A": ("read", {"a": "A+", "b": "B?", None: "ok0"}),
+        "A+": ("inc", 0, "A"),
+        "B?": ("jzdec", 0, "no", "B"),
+        "B": ("read", {"b": "B?", None: "end"}),
+        "end": ("jzdec", 0, "yes", "no"),
+        "ok0": ("jzdec", 0, "yes", "no"),
+        "yes": ("accept",),
+        "no": ("reject",),
+    }
+    return CounterMachine(program, start="A", registers=1, name="anbn-counter")

@@ -1,0 +1,145 @@
+"""Deciders: one interface for every decision procedure.
+
+Theorem 2.1's construction consumes a *computable language*; concretely
+it needs only a total decision procedure.  :class:`Decider` wraps a
+Turing machine, counter machine, or plain predicate together with its
+alphabet and a step budget, so the construction and the benchmarks treat
+all of them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.automata.alphabet import Alphabet
+from repro.errors import MachineError
+from repro.machines.counter import CounterMachine
+from repro.machines.turing import TuringMachine
+
+
+class Decider:
+    """A total decision procedure over a finite alphabet."""
+
+    def __init__(
+        self,
+        predicate: Callable[[str], bool],
+        alphabet: Alphabet | str,
+        name: str = "",
+        max_steps: int = 100_000,
+    ) -> None:
+        self._predicate = predicate
+        self.alphabet = (
+            alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        )
+        self.name = name or getattr(predicate, "__name__", "decider")
+        self.max_steps = max_steps
+
+    def __call__(self, word: str) -> bool:
+        """Decide membership.
+
+        Raises :class:`~repro.errors.MachineTimeoutError` if the wrapped
+        machine exceeds its budget — timeouts never masquerade as
+        rejections.
+        """
+        self.alphabet.validate_word(word)
+        return bool(self._predicate(word))
+
+    def accepts(self, word: str) -> bool:
+        return self(word)
+
+    def language_upto(self, max_length: int) -> frozenset[str]:
+        """The finite sample ``L ∩ Sigma^{<=max_length}``."""
+        return frozenset(w for w in self.alphabet.words_upto(max_length) if self(w))
+
+    def words(self, max_length: int) -> Iterator[str]:
+        """Accepted words up to the length bound, shortest first."""
+        for word in self.alphabet.words_upto(max_length):
+            if self(word):
+                yield word
+
+    def restricted(self, minimum_length: int = 1) -> "Decider":
+        """The same language minus words shorter than ``minimum_length``.
+
+        Figure 1's language is ``a^n b^n`` for ``n >= 1``; this adapter
+        turns the natural ``n >= 0`` decider into that variant.
+        """
+        base = self._predicate
+
+        def clipped(word: str) -> bool:
+            return len(word) >= minimum_length and base(word)
+
+        return Decider(
+            clipped,
+            self.alphabet,
+            name=f"{self.name}[len>={minimum_length}]",
+            max_steps=self.max_steps,
+        )
+
+    def __repr__(self) -> str:
+        return f"Decider({self.name!r}, Sigma={''.join(self.alphabet)!r})"
+
+
+def tm_decider(
+    machine: TuringMachine,
+    alphabet: Alphabet | str,
+    name: str = "",
+    max_steps: int = 100_000,
+) -> Decider:
+    """Wrap a Turing machine as a decider (budget enforced per word)."""
+    return Decider(
+        lambda word: machine.accepts(word, max_steps),
+        alphabet,
+        name=name or machine.name or "tm",
+        max_steps=max_steps,
+    )
+
+
+def cm_decider(
+    machine: CounterMachine,
+    alphabet: Alphabet | str,
+    name: str = "",
+    max_steps: int = 100_000,
+) -> Decider:
+    """Wrap a counter machine as a decider."""
+    return Decider(
+        lambda word: machine.accepts(word, max_steps),
+        alphabet,
+        name=name or machine.name or "counter",
+        max_steps=max_steps,
+    )
+
+
+def predicate_decider(
+    predicate: Callable[[str], bool],
+    alphabet: Alphabet | str,
+    name: str = "",
+) -> Decider:
+    """Wrap a plain Python predicate as a decider."""
+    return Decider(predicate, alphabet, name=name)
+
+
+def cross_check(
+    deciders: Iterable[Decider], max_length: int
+) -> None:
+    """Assert that several deciders agree on all words up to a bound.
+
+    Used by tests to confirm that the TM, counter-machine, and predicate
+    versions of the same language truly coincide.
+    """
+    deciders = list(deciders)
+    if len(deciders) < 2:
+        raise MachineError("cross_check needs at least two deciders")
+    reference = deciders[0]
+    sample = reference.language_upto(max_length)
+    for other in deciders[1:]:
+        if other.alphabet != reference.alphabet:
+            raise MachineError(
+                f"alphabet mismatch between {reference.name} and {other.name}"
+            )
+        theirs = other.language_upto(max_length)
+        if theirs != sample:
+            difference = sorted(sample ^ theirs, key=lambda w: (len(w), w))
+            raise MachineError(
+                f"deciders {reference.name} and {other.name} disagree on "
+                f"{difference[:5]!r}"
+            )

@@ -1,0 +1,186 @@
+"""A library of concrete machines and deciders.
+
+The stock languages of the reproduction, each witnessing a different
+rung of the Chomsky ladder (all are *computable*, so all fall under
+Theorem 2.1):
+
+==================  ==========================  ========================
+language            class                        machine provided
+==================  ==========================  ========================
+``a^n b^n``         context-free, not regular    Turing + counter machine
+``a^n b^n c^n``     context-sensitive, not CF    Turing machine
+palindromes         context-free, not regular    Turing machine
+``w w``             context-sensitive, not CF    predicate
+unary primes        decidable, not CF            predicate
+balanced ``a``/``b``  context-free (Dyck-like)   predicate
+==================  ==========================  ========================
+"""
+
+from __future__ import annotations
+
+from repro.machines.counter import anbn_counter_machine
+from repro.machines.decider import (
+    Decider,
+    cm_decider,
+    predicate_decider,
+    tm_decider,
+)
+from repro.machines.turing import ACCEPT, TuringMachine
+
+# -- Turing machines ------------------------------------------------------------------
+
+
+def tm_anbn() -> TuringMachine:
+    """Accepts ``{a^n b^n : n >= 0}`` by the classic marking sweep."""
+    transitions = {
+        ("q0", "a"): ("q1", "X", "R"),
+        ("q0", "Y"): ("q3", "Y", "R"),
+        ("q0", "_"): (ACCEPT, "_", "S"),
+        ("q1", "a"): ("q1", "a", "R"),
+        ("q1", "Y"): ("q1", "Y", "R"),
+        ("q1", "b"): ("q2", "Y", "L"),
+        ("q2", "a"): ("q2", "a", "L"),
+        ("q2", "Y"): ("q2", "Y", "L"),
+        ("q2", "X"): ("q0", "X", "R"),
+        ("q3", "Y"): ("q3", "Y", "R"),
+        ("q3", "_"): (ACCEPT, "_", "S"),
+    }
+    return TuringMachine(transitions, initial="q0", name="anbn")
+
+
+def tm_anbncn() -> TuringMachine:
+    """Accepts ``{a^n b^n c^n : n >= 0}`` — beyond context-free."""
+    transitions = {
+        ("q0", "a"): ("q1", "X", "R"),
+        ("q0", "Y"): ("q4", "Y", "R"),
+        ("q0", "_"): (ACCEPT, "_", "S"),
+        ("q1", "a"): ("q1", "a", "R"),
+        ("q1", "Y"): ("q1", "Y", "R"),
+        ("q1", "b"): ("q2", "Y", "R"),
+        ("q2", "b"): ("q2", "b", "R"),
+        ("q2", "Z"): ("q2", "Z", "R"),
+        ("q2", "c"): ("q3", "Z", "L"),
+        ("q3", "a"): ("q3", "a", "L"),
+        ("q3", "b"): ("q3", "b", "L"),
+        ("q3", "Y"): ("q3", "Y", "L"),
+        ("q3", "Z"): ("q3", "Z", "L"),
+        ("q3", "X"): ("q0", "X", "R"),
+        ("q4", "Y"): ("q4", "Y", "R"),
+        ("q4", "Z"): ("q4", "Z", "R"),
+        ("q4", "_"): (ACCEPT, "_", "S"),
+    }
+    return TuringMachine(transitions, initial="q0", name="anbncn")
+
+
+def tm_palindrome() -> TuringMachine:
+    """Accepts palindromes over ``{a, b}`` by cancelling end pairs."""
+    transitions = {
+        ("q0", "a"): ("scan_a", "_", "R"),
+        ("q0", "b"): ("scan_b", "_", "R"),
+        ("q0", "_"): (ACCEPT, "_", "S"),
+        ("scan_a", "a"): ("scan_a", "a", "R"),
+        ("scan_a", "b"): ("scan_a", "b", "R"),
+        ("scan_a", "_"): ("check_a", "_", "L"),
+        ("scan_b", "a"): ("scan_b", "a", "R"),
+        ("scan_b", "b"): ("scan_b", "b", "R"),
+        ("scan_b", "_"): ("check_b", "_", "L"),
+        ("check_a", "a"): ("back", "_", "L"),
+        ("check_a", "_"): (ACCEPT, "_", "S"),
+        ("check_b", "b"): ("back", "_", "L"),
+        ("check_b", "_"): (ACCEPT, "_", "S"),
+        ("back", "a"): ("back", "a", "L"),
+        ("back", "b"): ("back", "b", "L"),
+        ("back", "_"): ("q0", "_", "R"),
+    }
+    return TuringMachine(transitions, initial="q0", name="palindrome")
+
+
+# -- reference predicates -----------------------------------------------------------------
+
+
+def is_anbn(word: str) -> bool:
+    """``a^n b^n`` with ``n >= 0``."""
+    n = len(word) // 2
+    return len(word) % 2 == 0 and word == "a" * n + "b" * n
+
+
+def is_anbn_positive(word: str) -> bool:
+    """``a^n b^n`` with ``n >= 1`` — exactly Figure 1's language."""
+    return bool(word) and is_anbn(word)
+
+
+def is_anbncn(word: str) -> bool:
+    """``a^n b^n c^n`` with ``n >= 0``."""
+    n = len(word) // 3
+    return len(word) % 3 == 0 and word == "a" * n + "b" * n + "c" * n
+
+
+def is_palindrome(word: str) -> bool:
+    return word == word[::-1]
+
+
+def is_ww(word: str) -> bool:
+    """``{w w : w in {a,b}*}`` — the copy language, not context-free."""
+    half = len(word) // 2
+    return len(word) % 2 == 0 and word[:half] == word[half:]
+
+
+def is_unary_prime(word: str) -> bool:
+    """``{1^p : p prime}`` in unary — decidable, far from context-free."""
+    n = len(word)
+    if word != "1" * n or n < 2:
+        return False
+    return all(n % k for k in range(2, int(n**0.5) + 1))
+
+
+def is_balanced(word: str) -> bool:
+    """Dyck-like balance with ``a`` opening and ``b`` closing."""
+    depth = 0
+    for symbol in word:
+        depth += 1 if symbol == "a" else -1
+        if depth < 0:
+            return False
+    return depth == 0
+
+
+# -- canonical deciders -----------------------------------------------------------------------
+
+
+def decider_anbn() -> Decider:
+    return tm_decider(tm_anbn(), "ab", name="anbn")
+
+
+def decider_anbn_counter() -> Decider:
+    return cm_decider(anbn_counter_machine(), "ab", name="anbn-counter")
+
+
+def decider_anbncn() -> Decider:
+    return tm_decider(tm_anbncn(), "abc", name="anbncn")
+
+
+def decider_palindrome() -> Decider:
+    return tm_decider(tm_palindrome(), "ab", name="palindrome")
+
+
+def decider_ww() -> Decider:
+    return predicate_decider(is_ww, "ab", name="ww")
+
+
+def decider_unary_primes() -> Decider:
+    return predicate_decider(is_unary_prime, "1", name="unary-primes")
+
+
+def decider_balanced() -> Decider:
+    return predicate_decider(is_balanced, "ab", name="balanced")
+
+
+def standard_deciders() -> dict[str, Decider]:
+    """The benchmark suite's stock of computable languages."""
+    return {
+        "anbn": decider_anbn(),
+        "anbncn": decider_anbncn(),
+        "palindrome": decider_palindrome(),
+        "ww": decider_ww(),
+        "unary-primes": decider_unary_primes(),
+        "balanced": decider_balanced(),
+    }

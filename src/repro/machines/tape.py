@@ -1,0 +1,73 @@
+"""An unbounded two-way Turing machine tape.
+
+Sparse dict representation: only visited non-blank cells are stored, so
+the tape is as unbounded as memory allows while staying cheap for the
+short inputs language sampling uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: The blank symbol. Machines may use it in transitions.
+BLANK = "_"
+
+
+class Tape:
+    """A bi-infinite tape of single-character symbols."""
+
+    __slots__ = ("_cells", "head")
+
+    def __init__(self, content: str = "", head: int = 0) -> None:
+        self._cells: dict[int, str] = {
+            index: symbol for index, symbol in enumerate(content) if symbol != BLANK
+        }
+        self.head = head
+
+    def read(self) -> str:
+        """Symbol under the head (blank if never written)."""
+        return self._cells.get(self.head, BLANK)
+
+    def write(self, symbol: str) -> None:
+        """Write under the head; writing blank erases the cell."""
+        if symbol == BLANK:
+            self._cells.pop(self.head, None)
+        else:
+            self._cells[self.head] = symbol
+
+    def move(self, direction: str) -> None:
+        """Move the head: 'L', 'R', or 'S' (stay)."""
+        if direction == "L":
+            self.head -= 1
+        elif direction == "R":
+            self.head += 1
+        elif direction != "S":
+            raise ValueError(f"unknown direction {direction!r}")
+
+    @property
+    def extent(self) -> tuple[int, int]:
+        """Closed range [lo, hi] of non-blank cells (head included)."""
+        positions = set(self._cells) | {self.head}
+        return min(positions), max(positions)
+
+    def content(self) -> str:
+        """Non-blank content between the extremes, blanks inside kept."""
+        lo, hi = self.extent
+        return "".join(self._cells.get(i, BLANK) for i in range(lo, hi + 1)).strip(BLANK)
+
+    def cells(self) -> Iterator[tuple[int, str]]:
+        """All written cells as (position, symbol), sorted by position."""
+        for position in sorted(self._cells):
+            yield position, self._cells[position]
+
+    def copy(self) -> "Tape":
+        clone = Tape()
+        clone._cells = dict(self._cells)
+        clone.head = self.head
+        return clone
+
+    def __repr__(self) -> str:
+        lo, hi = self.extent
+        window = "".join(self._cells.get(i, BLANK) for i in range(lo, hi + 1))
+        marker = self.head - lo
+        return f"Tape({window!r}, head at {marker})"

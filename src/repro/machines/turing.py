@@ -1,0 +1,147 @@
+"""Deterministic single-tape Turing machines.
+
+The transition table maps ``(state, symbol) -> (new_state, write, move)``
+with moves in ``{'L', 'R', 'S'}``.  Missing transitions halt the machine
+rejecting — the common convention that keeps tables short.  Runs are
+step-budgeted; exceeding the budget raises
+:class:`~repro.errors.MachineTimeoutError` rather than silently deciding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import MachineError, MachineTimeoutError
+from repro.machines.tape import BLANK, Tape
+
+#: Conventional accepting/rejecting halt state names.
+ACCEPT = "accept"
+REJECT = "reject"
+
+
+class HaltReason(enum.Enum):
+    """Why a run stopped."""
+
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    NO_TRANSITION = "no-transition"
+
+
+@dataclass(frozen=True)
+class TMResult:
+    """Outcome of a completed (halted) run."""
+
+    accepted: bool
+    reason: HaltReason
+    steps: int
+    final_state: str
+    tape: str
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A full machine configuration (for step-by-step inspection)."""
+
+    state: str
+    tape_window: str
+    head: int
+    step: int
+
+
+class TuringMachine:
+    """A deterministic Turing machine over single-character alphabets."""
+
+    def __init__(
+        self,
+        transitions: Mapping[tuple[str, str], tuple[str, str, str]],
+        initial: str,
+        accept_states: frozenset[str] | set[str] = frozenset({ACCEPT}),
+        reject_states: frozenset[str] | set[str] = frozenset({REJECT}),
+        name: str = "",
+    ) -> None:
+        self.transitions = dict(transitions)
+        self.initial = initial
+        self.accept_states = frozenset(accept_states)
+        self.reject_states = frozenset(reject_states)
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        overlap = self.accept_states & self.reject_states
+        if overlap:
+            raise MachineError(f"states {sorted(overlap)} both accept and reject")
+        for (state, symbol), (target, write, move) in self.transitions.items():
+            if state in self.accept_states or state in self.reject_states:
+                raise MachineError(f"halting state {state!r} has outgoing transitions")
+            if move not in ("L", "R", "S"):
+                raise MachineError(f"bad move {move!r} in transition from {state!r}")
+            for sym, role in ((symbol, "read"), (write, "write")):
+                if not isinstance(sym, str) or len(sym) != 1:
+                    raise MachineError(
+                        f"{role} symbol {sym!r} must be a single character"
+                    )
+
+    # -- running --------------------------------------------------------------------
+
+    def run(self, word: str, max_steps: int = 100_000) -> TMResult:
+        """Run to halting; raise :class:`MachineTimeoutError` past the budget."""
+        tape = Tape(word)
+        state = self.initial
+        steps = 0
+        while True:
+            if state in self.accept_states:
+                return TMResult(True, HaltReason.ACCEPTED, steps, state, tape.content())
+            if state in self.reject_states:
+                return TMResult(False, HaltReason.REJECTED, steps, state, tape.content())
+            if steps >= max_steps:
+                raise MachineTimeoutError(max_steps)
+            action = self.transitions.get((state, tape.read()))
+            if action is None:
+                return TMResult(
+                    False, HaltReason.NO_TRANSITION, steps, state, tape.content()
+                )
+            state, write, move = action
+            tape.write(write)
+            tape.move(move)
+            steps += 1
+
+    def accepts(self, word: str, max_steps: int = 100_000) -> bool:
+        """Convenience wrapper for :meth:`run`."""
+        return self.run(word, max_steps).accepted
+
+    def trace(self, word: str, max_steps: int = 10_000) -> Iterator[Configuration]:
+        """Yield each configuration of the run (for debugging/examples)."""
+        tape = Tape(word)
+        state = self.initial
+        for step in range(max_steps + 1):
+            lo, hi = tape.extent
+            window = "".join(
+                dict(tape.cells()).get(i, BLANK) for i in range(lo, hi + 1)
+            )
+            yield Configuration(state, window, tape.head - lo, step)
+            if state in self.accept_states or state in self.reject_states:
+                return
+            action = self.transitions.get((state, tape.read()))
+            if action is None:
+                return
+            state, write, move = action
+            tape.write(write)
+            tape.move(move)
+        raise MachineTimeoutError(max_steps)
+
+    @property
+    def states(self) -> frozenset[str]:
+        found = {self.initial} | self.accept_states | self.reject_states
+        for (state, _symbol), (target, _write, _move) in self.transitions.items():
+            found.add(state)
+            found.add(target)
+        return frozenset(found)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"TuringMachine({label.strip()} |Q|={len(self.states)}, "
+            f"|delta|={len(self.transitions)})"
+        )

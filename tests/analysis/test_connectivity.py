@@ -1,0 +1,65 @@
+"""Tests for temporal connectivity classification."""
+
+from repro.analysis.connectivity import classify_connectivity, is_temporally_connected
+from repro.core.builders import TVGBuilder, static_graph
+from repro.core.semantics import NO_WAIT, WAIT
+
+
+def rotor():
+    return (
+        TVGBuilder(name="rotor")
+        .lifetime(0, 12)
+        .contact("a", "b", period=(0, 3), key="ab")
+        .contact("b", "c", period=(1, 3), key="bc")
+        .contact("c", "a", period=(2, 3), key="ca")
+        .build()
+    )
+
+
+class TestTemporalConnectivity:
+    def test_rotor_connected_with_waiting(self):
+        assert is_temporally_connected(rotor(), 0, WAIT)
+
+    def test_rotor_not_connected_without(self):
+        assert not is_temporally_connected(rotor(), 0, NO_WAIT)
+
+    def test_static_complete(self):
+        g = static_graph([("a", "b"), ("b", "a")])
+        assert is_temporally_connected(g, 0, NO_WAIT, horizon=5)
+
+
+class TestClassifier:
+    def test_paper_regime_detected(self):
+        report = classify_connectivity(rotor(), 0, 12)
+        assert report.never_snapshot_connected
+        assert report.wait_ratio == 1.0
+        assert report.paper_regime
+        assert report.label() == "never-connected-yet-temporally-connected"
+
+    def test_always_connected_label(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 4)
+            .contact("a", "b")
+            .contact("b", "c")
+            .build()
+        )
+        report = classify_connectivity(g, 0, 4)
+        assert report.always_snapshot_connected
+        assert report.label() == "always-connected"
+
+    def test_partial_label(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 4)
+            .contact("a", "b", present={0})
+            .node("z")
+            .build()
+        )
+        report = classify_connectivity(g, 0, 4)
+        assert report.wait_ratio < 1.0
+        assert report.label() == "partially-connected"
+
+    def test_nowait_ratio_leq_wait_ratio(self):
+        report = classify_connectivity(rotor(), 0, 12)
+        assert report.nowait_ratio <= report.wait_ratio

@@ -1,0 +1,90 @@
+"""Tests for time-series analyses."""
+
+import pytest
+
+from repro.analysis.evolution import (
+    component_curve,
+    density_curve,
+    reachability_growth,
+    value_of_waiting,
+)
+from repro.core.builders import TVGBuilder, static_graph
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.errors import ReproError
+
+
+def rotor():
+    return (
+        TVGBuilder(name="rotor")
+        .lifetime(0, 12)
+        .contact("a", "b", period=(0, 3), key="ab")
+        .contact("b", "c", period=(1, 3), key="bc")
+        .contact("c", "a", period=(2, 3), key="ca")
+        .build()
+    )
+
+
+class TestCurves:
+    def test_density_rotor(self):
+        curve = density_curve(rotor(), 0, 6)
+        # one of three contacts (two directed edges of six) up each date
+        assert all(value == pytest.approx(1 / 3) for _t, value in curve)
+
+    def test_density_empty_graph(self):
+        g = TVGBuilder().lifetime(0, 3).node("a").build()
+        assert density_curve(g, 0, 3) == [(0, 0.0), (1, 0.0), (2, 0.0)]
+
+    def test_component_curve(self):
+        curve = component_curve(rotor(), 0, 3)
+        # one contact up -> two components (pair + isolated node)
+        assert [c for _t, c in curve] == [2, 2, 2]
+
+    def test_window_validation(self):
+        with pytest.raises(ReproError):
+            density_curve(rotor(), 4, 4)
+
+
+class TestReachabilityGrowth:
+    def test_monotone_and_saturating(self):
+        curve = reachability_growth(rotor(), 0, 12, WAIT)
+        values = [v for _t, v in curve]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_nowait_below_wait(self):
+        wait = reachability_growth(rotor(), 0, 12, WAIT)
+        nowait = reachability_growth(rotor(), 0, 12, NO_WAIT)
+        for (_t, w), (_t2, n) in zip(wait, nowait):
+            assert n <= w
+
+    def test_static_graph_saturates_fast(self):
+        g = static_graph([("a", "b"), ("b", "a")])
+        curve = reachability_growth(g, 0, 5, NO_WAIT)
+        assert curve[-1][1] == 1.0
+        assert curve[0][1] == 0.0  # nothing has arrived at t=0 yet
+
+    def test_single_node(self):
+        g = TVGBuilder().lifetime(0, 3).node("solo").build()
+        assert reachability_growth(g, 0, 3, WAIT) == [
+            (0, 1.0), (1, 1.0), (2, 1.0)
+        ]
+
+
+class TestValueOfWaiting:
+    def test_rotor_value_positive(self):
+        value = value_of_waiting(rotor(), 0, 12)
+        assert value.area > 0
+        assert value.wait_saturation_time is not None
+        assert value.final_gap >= 0
+
+    def test_static_graph_value_zero(self):
+        g = static_graph([("a", "b"), ("b", "a")])
+        from repro.core.transforms import graph_like
+
+        bounded = graph_like(g)
+        bounded.lifetime = type(bounded.lifetime)(0, 6)
+        for edge in g.edges:
+            bounded.add_edge_object(edge)
+        value = value_of_waiting(bounded, 0, 6)
+        assert value.area == pytest.approx(0.0)
+        assert value.final_gap == pytest.approx(0.0)

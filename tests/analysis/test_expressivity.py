@@ -1,0 +1,84 @@
+"""Tests for expressivity measurements."""
+
+from repro.analysis.expressivity import (
+    language_gap,
+    nerode_lower_bound,
+    regularity_certificate,
+)
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.constructions.figure1 import figure1_automaton
+from repro.core.builders import TVGBuilder
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.machines.programs import is_anbn_positive
+
+
+class TestNerodeLowerBound:
+    def test_regular_sample_small_bound(self):
+        # (ab)* sampled: prefixes fall into few classes.
+        sample = {"", "ab", "abab", "ababab"}
+        assert nerode_lower_bound(sample, 6) <= 4
+
+    def test_anbn_bound_grows(self):
+        def sample(depth):
+            from repro.automata.alphabet import Alphabet
+
+            return {
+                w for w in Alphabet("ab").words_upto(depth) if is_anbn_positive(w)
+            }
+
+        shallow = nerode_lower_bound(sample(4), 4)
+        deep = nerode_lower_bound(sample(8), 8)
+        assert deep > shallow  # the finite shadow of non-regularity
+
+    def test_empty_sample(self):
+        assert nerode_lower_bound(set(), 4) <= 1
+
+    def test_sound_on_truncated_sample(self):
+        # A sample of a* up to 3: every DFA for a* has 1 live state; the
+        # bound may see the truncation boundary but stays small.
+        sample = {"", "a", "aa", "aaa"}
+        assert nerode_lower_bound(sample, 3) <= 2
+
+
+class TestRegularityCertificate:
+    def test_periodic_graph_certificate(self):
+        g = (
+            TVGBuilder()
+            .periodic(2)
+            .edge("s", "s", label="x", period=(0, 2), key="x")
+            .edge("s", "s", label="y", period=(1, 2), key="y")
+            .build()
+        )
+        auto = TVGAutomaton(g, initial="s", accepting="s", start_time=0)
+        wait_cert = regularity_certificate(auto, WAIT)
+        nowait_cert = regularity_certificate(auto, NO_WAIT)
+        assert wait_cert.state_count >= 1
+        assert nowait_cert.state_count >= 1
+        # Under wait everything is readable: the minimal DFA is tiny.
+        assert wait_cert.state_count <= 2
+        # Certificate automata agree with direct sampling.
+        sample = auto.language(4, WAIT, horizon=32)
+        for word in sample:
+            assert wait_cert.minimal_dfa.accepts(word)
+
+
+class TestLanguageGap:
+    def test_figure1_gap(self):
+        report = language_gap(figure1_automaton(), max_length=4, horizon=300)
+        assert report.nowait_sample < report.wait_sample
+        assert "b" in report.wait_only_words
+        assert 0 < report.gap_ratio < 1
+
+    def test_static_graph_no_gap(self):
+        g = TVGBuilder().lifetime(0, 16).edge("a", "b", label="x").build()
+        auto = TVGAutomaton(g, initial="a", accepting="b")
+        report = language_gap(auto, max_length=2, horizon=16)
+        assert report.wait_only_words == frozenset()
+        assert report.gap_ratio == 0.0
+
+    def test_nerode_contrast(self):
+        report = language_gap(figure1_automaton(), max_length=5, horizon=600)
+        # The wait sample is regular (6-state minimal DFA) so its bound
+        # is small and stable; the no-wait bound keeps growing with depth.
+        assert report.wait_nerode <= 6
+        assert report.nowait_nerode <= report.wait_nerode + 2

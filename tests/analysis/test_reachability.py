@@ -1,0 +1,74 @@
+"""Tests for reachability matrices."""
+
+import numpy as np
+
+from repro.analysis.reachability import (
+    reachability_matrix,
+    reachability_ratio,
+    semantics_gap_matrix,
+)
+from repro.core.builders import TVGBuilder
+from repro.core.semantics import NO_WAIT, WAIT
+
+
+def chain():
+    return (
+        TVGBuilder(name="chain")
+        .lifetime(0, 10)
+        .edge("a", "b", present={1}, key="ab")
+        .edge("b", "c", present={6}, key="bc")
+        .build()
+    )
+
+
+class TestMatrix:
+    def test_diagonal_true(self):
+        nodes, matrix = reachability_matrix(chain(), 0, WAIT)
+        assert np.all(np.diag(matrix))
+
+    def test_wait_entries(self):
+        nodes, matrix = reachability_matrix(chain(), 0, WAIT)
+        idx = {n: i for i, n in enumerate(nodes)}
+        assert matrix[idx["a"], idx["c"]]
+        assert not matrix[idx["c"], idx["a"]]
+
+    def test_nowait_entries(self):
+        nodes, matrix = reachability_matrix(chain(), 0, NO_WAIT)
+        idx = {n: i for i, n in enumerate(nodes)}
+        assert not matrix[idx["a"], idx["b"]]  # edge opens at 1, start is 0
+
+    def test_start_time_changes_matrix(self):
+        nodes, matrix = reachability_matrix(chain(), 1, NO_WAIT)
+        idx = {n: i for i, n in enumerate(nodes)}
+        assert matrix[idx["a"], idx["b"]]
+
+
+class TestRatio:
+    def test_wait_ratio(self):
+        # Reachable ordered pairs with waiting: a->b, a->c, b->c of 6.
+        assert reachability_ratio(chain(), 0, WAIT) == 3 / 6
+
+    def test_nowait_ratio(self):
+        # From start 0 nothing is nowait-reachable (ab opens at 1).
+        assert reachability_ratio(chain(), 0, NO_WAIT) == 0.0
+
+    def test_single_node(self):
+        g = TVGBuilder().lifetime(0, 5).node("only").build()
+        assert reachability_ratio(g, 0, WAIT) == 1.0
+
+
+class TestGap:
+    def test_gap_entries(self):
+        nodes, gap = semantics_gap_matrix(chain(), 0)
+        idx = {n: i for i, n in enumerate(nodes)}
+        assert gap[idx["a"], idx["c"]]
+        assert gap[idx["a"], idx["b"]]
+        assert not gap[idx["c"], idx["a"]]
+        assert not gap.diagonal().any()
+
+    def test_gap_empty_on_static_graph(self):
+        from repro.core.builders import static_graph
+
+        g = static_graph([("a", "b"), ("b", "c")])
+        _nodes, gap = semantics_gap_matrix(g, 0, horizon=10)
+        assert not gap.any()

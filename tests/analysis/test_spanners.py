@@ -1,0 +1,87 @@
+"""Tests for foremost broadcast trees and temporal spanners."""
+
+import pytest
+
+from repro.analysis.spanners import (
+    foremost_broadcast_tree,
+    spanner_savings,
+    tree_subgraph,
+)
+from repro.core.builders import TVGBuilder
+from repro.core.generators import edge_markovian_tvg
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.core.traversal import earliest_arrivals
+
+
+@pytest.fixture()
+def chain():
+    return (
+        TVGBuilder()
+        .lifetime(0, 12)
+        .contact("a", "b", present={1}, key="ab")
+        .contact("b", "c", present={6}, key="bc")
+        .contact("a", "c", present={9}, key="ac")
+        .build()
+    )
+
+
+class TestBroadcastTree:
+    def test_entry_hops_realize_foremost_times(self, chain):
+        tree = foremost_broadcast_tree(chain, "a", 0, WAIT)
+        foremost = earliest_arrivals(chain, "a", 0, WAIT)
+        assert tree.informed_at == foremost
+        for node, hop in tree.entry_hop.items():
+            assert hop.arrival == foremost[node]
+
+    def test_one_entry_per_reached_node(self, chain):
+        tree = foremost_broadcast_tree(chain, "a", 0, WAIT)
+        assert set(tree.entry_hop) == tree.reached - {"a"}
+
+    def test_completion_time(self, chain):
+        tree = foremost_broadcast_tree(chain, "a", 0, WAIT)
+        # b informed at 2; c at 7 (via b, earlier than the direct 10).
+        assert tree.completion_time == 7
+
+    def test_depths(self, chain):
+        tree = foremost_broadcast_tree(chain, "a", 0, WAIT)
+        assert tree.depth_of("b") == 1
+        assert tree.depth_of("c") == 2
+        assert tree.depth_of("a") == 0
+
+    def test_nowait_tree_smaller(self, chain):
+        tree = foremost_broadcast_tree(chain, "a", 0, NO_WAIT)
+        assert tree.reached == {"a"}  # nothing present at t=0
+        assert tree.completion_time is None
+
+    def test_edges_sorted_by_arrival(self, chain):
+        tree = foremost_broadcast_tree(chain, "a", 0, WAIT)
+        arrivals = [hop.arrival for hop in tree.edges()]
+        assert arrivals == sorted(arrivals)
+
+
+class TestSpanner:
+    def test_pruned_graph_preserves_foremost_times(self, chain):
+        tree = foremost_broadcast_tree(chain, "a", 0, WAIT)
+        pruned = tree_subgraph(chain, tree)
+        original = earliest_arrivals(chain, "a", 0, WAIT)
+        again = earliest_arrivals(pruned, "a", 0, WAIT, horizon=12)
+        assert again == original
+
+    def test_savings_on_random_graphs(self):
+        for seed in range(3):
+            g = edge_markovian_tvg(10, horizon=30, birth=0.1, death=0.4, seed=seed)
+            tree = foremost_broadcast_tree(g, 0, 0, WAIT, horizon=30)
+            kept, total, dropped = spanner_savings(g, tree)
+            assert kept <= len(tree.reached) - 1 + 1
+            assert kept <= total
+            if total > 20:
+                assert dropped > 0.3  # trees are much sparser than floods
+
+    def test_pruned_spanner_random(self):
+        g = edge_markovian_tvg(8, horizon=25, birth=0.12, death=0.4, seed=4)
+        tree = foremost_broadcast_tree(g, 0, 0, WAIT, horizon=25)
+        pruned = tree_subgraph(g, tree)
+        original = earliest_arrivals(g, 0, 0, WAIT, horizon=25)
+        again = earliest_arrivals(pruned, 0, 0, WAIT, horizon=25)
+        for node in tree.reached:
+            assert again[node] == original[node]

@@ -1,0 +1,51 @@
+"""Tests for benchmark statistics helpers."""
+
+import pytest
+
+from repro.analysis.statistics import Summary, format_table, ratio, summarize
+from repro.errors import ReproError
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1 and s.maximum == 4
+
+    def test_single_value(self):
+        s = summarize([7])
+        assert s.stdev == 0.0
+        assert s.stderr == 0.0
+
+    def test_stdev_sample(self):
+        s = summarize([1, 3])
+        assert s.stdev == pytest.approx(2**0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "n=3" in str(summarize([1, 2, 3]))
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(3, 4) == 0.75
+
+    def test_guarded(self):
+        assert ratio(3, 0) == 0.0
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "v"], [["alpha", 1], ["b", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+
+    def test_row_length_checked(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])

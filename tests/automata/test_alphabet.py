@@ -1,0 +1,52 @@
+"""Tests for alphabets."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.errors import AutomatonError
+
+
+class TestAlphabet:
+    def test_ordered_dedup(self):
+        sigma = Alphabet("abca")
+        assert sigma.symbols == ("a", "b", "c")
+        assert len(sigma) == 3
+
+    def test_membership(self):
+        sigma = Alphabet("ab")
+        assert "a" in sigma and "c" not in sigma
+
+    def test_rejects_multichar(self):
+        with pytest.raises(AutomatonError):
+            Alphabet(["ab"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(AutomatonError):
+            Alphabet("")
+
+    def test_validate_word(self):
+        sigma = Alphabet("ab")
+        assert sigma.validate_word("abba") == "abba"
+        with pytest.raises(AutomatonError):
+            sigma.validate_word("abc")
+
+    def test_validate_empty_word(self):
+        assert Alphabet("a").validate_word("") == ""
+
+    def test_words_of_length(self):
+        sigma = Alphabet("ab")
+        assert list(sigma.words_of_length(0)) == [""]
+        assert list(sigma.words_of_length(2)) == ["aa", "ab", "ba", "bb"]
+
+    def test_words_upto(self):
+        sigma = Alphabet("ab")
+        words = list(sigma.words_upto(2))
+        assert words == ["", "a", "b", "aa", "ab", "ba", "bb"]
+
+    def test_equality_ignores_order(self):
+        assert Alphabet("ab") == Alphabet("ba")
+        assert hash(Alphabet("ab")) == hash(Alphabet("ba"))
+
+    def test_merged(self):
+        merged = Alphabet("ab").merged(Alphabet("bc"))
+        assert merged.symbols == ("a", "b", "c")

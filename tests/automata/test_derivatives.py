@@ -1,0 +1,89 @@
+"""Tests for Brzozowski derivatives."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.derivatives import (
+    EMPTY,
+    derivative,
+    derivative_dfa,
+    matches,
+    nullable,
+)
+from repro.automata.equivalence import equivalent
+from repro.automata.regex import Epsilon, Literal, parse_regex, regex_to_nfa
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [("", True), ("a", False), ("a*", True), ("a|", True),
+         ("ab", False), ("a?b*", True), ("(ab)*", True)],
+    )
+    def test_cases(self, pattern, expected):
+        assert nullable(parse_regex(pattern)) == expected
+
+    def test_empty_language_not_nullable(self):
+        assert not nullable(EMPTY)
+
+
+class TestDerivative:
+    def test_literal(self):
+        assert derivative(Literal("a"), "a") == Epsilon()
+        assert derivative(Literal("a"), "b") == EMPTY
+
+    def test_star_unfolds(self):
+        node = parse_regex("(ab)*")
+        after_a = derivative(node, "a")
+        assert matches(after_a, "b")
+        assert matches(after_a, "bab")
+        assert not matches(after_a, "a")
+
+    def test_derivative_of_empty(self):
+        assert derivative(EMPTY, "a") == EMPTY
+
+
+class TestMatches:
+    @pytest.mark.parametrize(
+        "pattern,accepted,rejected",
+        [
+            ("a*b", ["b", "ab", "aab"], ["", "a", "ba"]),
+            ("(a|b)*abb", ["abb", "babb"], ["ab", "bba"]),
+            ("a+b?", ["a", "ab", "aa"], ["", "b"]),
+        ],
+    )
+    def test_membership(self, pattern, accepted, rejected):
+        for word in accepted:
+            assert matches(pattern, word), word
+        for word in rejected:
+            assert not matches(pattern, word), word
+
+    def test_agreement_with_thompson(self):
+        from repro.automata.regex import random_regex
+
+        for seed in range(15):
+            node = random_regex("ab", depth=3, seed=seed)
+            nfa = regex_to_nfa(node, alphabet="ab")
+            for word in Alphabet("ab").words_upto(4):
+                assert matches(node, word) == nfa.accepts(word), (str(node), word)
+
+
+class TestDerivativeDfa:
+    @pytest.mark.parametrize("pattern", ["a", "(ab)*", "a(b|c)*", "(a|b)*abb"])
+    def test_equivalent_to_thompson_pipeline(self, pattern):
+        via_derivatives = derivative_dfa(pattern)
+        via_thompson = regex_to_nfa(pattern, via_derivatives.alphabet).to_dfa()
+        assert equivalent(via_derivatives, via_thompson)
+
+    def test_random_equivalence(self):
+        from repro.automata.regex import random_regex
+
+        for seed in range(10):
+            node = random_regex("ab", depth=3, seed=seed)
+            via_derivatives = derivative_dfa(node, alphabet="ab")
+            via_thompson = regex_to_nfa(node, alphabet="ab").to_dfa()
+            assert equivalent(via_derivatives, via_thompson), str(node)
+
+    def test_state_counts_reasonable(self):
+        dfa = derivative_dfa("(a|b)*abb")
+        assert len(dfa.states) <= 8  # minimal is 4; similarity keeps it near

@@ -1,0 +1,116 @@
+"""Tests for DFAs."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.errors import AutomatonError
+
+
+def even_as():
+    """DFA for words over {a, b} with an even number of a's."""
+    return DFA(
+        alphabet="ab",
+        states={"even", "odd"},
+        initial="even",
+        accepting={"even"},
+        transitions={
+            ("even", "a"): "odd",
+            ("odd", "a"): "even",
+            ("even", "b"): "even",
+            ("odd", "b"): "odd",
+        },
+    )
+
+
+def partial_ab():
+    """Partial DFA accepting exactly 'ab'."""
+    return DFA(
+        alphabet="ab",
+        states={0, 1, 2},
+        initial=0,
+        accepting={2},
+        transitions={(0, "a"): 1, (1, "b"): 2},
+    )
+
+
+class TestValidation:
+    def test_unknown_initial(self):
+        with pytest.raises(AutomatonError):
+            DFA("a", {0}, initial=1, accepting=set(), transitions={})
+
+    def test_unknown_accepting(self):
+        with pytest.raises(AutomatonError):
+            DFA("a", {0}, initial=0, accepting={9}, transitions={})
+
+    def test_foreign_symbol(self):
+        with pytest.raises(AutomatonError):
+            DFA("a", {0}, initial=0, accepting=set(), transitions={(0, "z"): 0})
+
+    def test_unknown_transition_target(self):
+        with pytest.raises(AutomatonError):
+            DFA("a", {0}, initial=0, accepting=set(), transitions={(0, "a"): 7})
+
+
+class TestRunning:
+    def test_accepts(self):
+        dfa = even_as()
+        assert dfa.accepts("")
+        assert dfa.accepts("aa")
+        assert dfa.accepts("bab" + "a")
+        assert not dfa.accepts("a")
+        assert not dfa.accepts("baa" + "a")
+
+    def test_partial_run_dies(self):
+        dfa = partial_ab()
+        assert dfa.accepts("ab")
+        assert not dfa.accepts("ba")
+        assert not dfa.accepts("abb")
+        assert dfa.run("b") is None
+
+    def test_word_validated(self):
+        with pytest.raises(AutomatonError):
+            even_as().accepts("xyz")
+
+
+class TestStructure:
+    def test_is_total(self):
+        assert even_as().is_total
+        assert not partial_ab().is_total
+
+    def test_reachable_states(self):
+        dfa = DFA(
+            alphabet="a",
+            states={0, 1, 99},
+            initial=0,
+            accepting={1},
+            transitions={(0, "a"): 1, (99, "a"): 99},
+        )
+        assert dfa.reachable_states() == {0, 1}
+
+    def test_trim_drops_unreachable(self):
+        dfa = DFA(
+            alphabet="a",
+            states={0, 1, 99},
+            initial=0,
+            accepting={1, 99},
+            transitions={(0, "a"): 1, (99, "a"): 99},
+        )
+        trimmed = dfa.trim()
+        assert trimmed.states == {0, 1}
+        assert trimmed.accepting == {1}
+        assert trimmed.accepts("a")
+
+    def test_is_empty(self):
+        dead = DFA("a", {0, 1}, 0, {1}, {})
+        assert dead.is_empty()
+        assert not partial_ab().is_empty()
+
+    def test_renumbered_preserves_language(self):
+        dfa = even_as().renumbered()
+        assert dfa.initial == 0
+        assert dfa.accepts("aa") and not dfa.accepts("a")
+
+    def test_to_nfa_same_language(self):
+        nfa = even_as().to_nfa()
+        for word in ("", "a", "aa", "ab", "bb", "aba"):
+            assert nfa.accepts(word) == even_as().accepts(word)

@@ -1,0 +1,68 @@
+"""Tests for language enumeration and counting."""
+
+from repro.automata.enumeration import (
+    count_words_by_length,
+    enumerate_language,
+    language_of_predicate,
+    language_upto,
+)
+from repro.automata.regex import regex_to_nfa
+
+
+def dfa_of(pattern: str, alphabet: str = "ab"):
+    return regex_to_nfa(pattern, alphabet).to_dfa()
+
+
+class TestEnumerate:
+    def test_shortest_first(self):
+        words = list(enumerate_language(dfa_of("a*"), 3))
+        assert words == ["", "a", "aa", "aaa"]
+
+    def test_sparse_language(self):
+        words = list(enumerate_language(dfa_of("(ab)*"), 6))
+        assert words == ["", "ab", "abab", "ababab"]
+
+    def test_nfa_input(self):
+        words = list(enumerate_language(regex_to_nfa("a|bb", "ab"), 3))
+        assert words == ["a", "bb"]
+
+    def test_empty_language(self):
+        # 'a' intersected away: a pattern that can never complete.
+        from repro.automata.dfa import DFA
+
+        dead = DFA("a", {0, 1}, 0, {1}, {})
+        assert list(enumerate_language(dead, 5)) == []
+
+    def test_language_upto_set(self):
+        sample = language_upto(dfa_of("a+b"), 4)
+        assert sample == {"ab", "aab", "aaab"}
+
+
+class TestPredicateSample:
+    def test_matches_regex_sample(self):
+        sample = language_of_predicate(
+            lambda w: w.count("a") % 2 == 0, "ab", 3
+        )
+        reference = {
+            w
+            for w in language_upto(dfa_of("(b|ab*a)*"), 3)
+        }
+        assert sample == reference
+
+
+class TestCounting:
+    def test_counts_match_enumeration(self):
+        dfa = dfa_of("(a|b)*abb")
+        counts = count_words_by_length(dfa, 7)
+        by_len = {}
+        for word in enumerate_language(dfa, 7):
+            by_len[len(word)] = by_len.get(len(word), 0) + 1
+        assert counts == [by_len.get(n, 0) for n in range(8)]
+
+    def test_full_binary_counts(self):
+        counts = count_words_by_length(dfa_of("(a|b)*"), 4)
+        assert counts == [1, 2, 4, 8, 16]
+
+    def test_counts_of_finite_language(self):
+        counts = count_words_by_length(dfa_of("ab|ba"), 4)
+        assert counts == [0, 0, 2, 0, 0]

@@ -1,0 +1,69 @@
+"""Tests for language equivalence and inclusion."""
+
+from repro.automata.equivalence import (
+    equivalent,
+    find_distinguishing_word,
+    inclusion_counterexample,
+    is_subset,
+)
+from repro.automata.regex import regex_to_nfa
+
+
+def dfa_of(pattern: str, alphabet: str = "ab"):
+    return regex_to_nfa(pattern, alphabet).to_dfa()
+
+
+class TestEquivalence:
+    def test_syntactically_different_same_language(self):
+        assert equivalent(dfa_of("(a|b)*"), dfa_of("(a*b*)*"))
+
+    def test_plus_desugar_equivalence(self):
+        assert equivalent(dfa_of("aa*"), dfa_of("a+"))
+
+    def test_different_languages(self):
+        assert not equivalent(dfa_of("a*"), dfa_of("a+"))
+
+    def test_nfa_inputs_accepted(self):
+        assert equivalent(regex_to_nfa("(ab)*", "ab"), dfa_of("(ab)*"))
+
+    def test_empty_vs_epsilon(self):
+        assert not equivalent(dfa_of("a"), dfa_of(""))
+
+
+class TestDistinguishingWord:
+    def test_none_when_equivalent(self):
+        assert find_distinguishing_word(dfa_of("a|b"), dfa_of("b|a")) is None
+
+    def test_witness_actually_distinguishes(self):
+        left, right = dfa_of("a*"), dfa_of("a+")
+        word = find_distinguishing_word(left, right)
+        assert word is not None
+        assert left.accepts(word) != right.accepts(word)
+
+    def test_witness_minimal_for_epsilon_gap(self):
+        assert find_distinguishing_word(dfa_of("a*"), dfa_of("a+")) == ""
+
+
+class TestInclusion:
+    def test_subset_holds(self):
+        assert is_subset(dfa_of("(ab)*"), dfa_of("(a|b)*"))
+
+    def test_subset_fails(self):
+        assert not is_subset(dfa_of("(a|b)*"), dfa_of("(ab)*"))
+
+    def test_reflexive(self):
+        dfa = dfa_of("a*bb")
+        assert is_subset(dfa, dfa)
+
+    def test_counterexample_in_gap(self):
+        big, small = dfa_of("(a|b)*"), dfa_of("a*")
+        witness = inclusion_counterexample(big, small)
+        assert witness is not None
+        assert big.accepts(witness) and not small.accepts(witness)
+
+    def test_counterexample_none_when_included(self):
+        assert inclusion_counterexample(dfa_of("aa"), dfa_of("a*")) is None
+
+    def test_counterexample_is_shortest(self):
+        witness = inclusion_counterexample(dfa_of("(a|b)*"), dfa_of("a*"))
+        assert witness == "b"

@@ -1,0 +1,91 @@
+"""Tests for context-free grammars and CYK."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.grammars import (
+    ContextFreeGrammar,
+    cfg_anbn,
+    cfg_balanced,
+    cfg_palindromes,
+)
+from repro.errors import AutomatonError
+from repro.machines.programs import is_anbn, is_anbn_positive, is_balanced, is_palindrome
+
+
+class TestValidation:
+    def test_start_needs_productions(self):
+        with pytest.raises(AutomatonError):
+            ContextFreeGrammar("S", [("T", ["a"])])
+
+    def test_terminals_single_char(self):
+        with pytest.raises(AutomatonError):
+            ContextFreeGrammar("S", [("S", ["ab"])])
+
+    def test_needs_terminals(self):
+        with pytest.raises(AutomatonError):
+            ContextFreeGrammar("S", [("S", ["S"])])
+
+
+class TestStockGrammars:
+    @pytest.mark.parametrize("depth", [6])
+    def test_anbn_positive(self, depth):
+        grammar = cfg_anbn(minimum_one=True)
+        for word in Alphabet("ab").words_upto(depth):
+            assert grammar.accepts(word) == is_anbn_positive(word), word
+
+    def test_anbn_with_epsilon(self):
+        grammar = cfg_anbn(minimum_one=False)
+        for word in Alphabet("ab").words_upto(6):
+            assert grammar.accepts(word) == is_anbn(word), word
+
+    def test_palindromes(self):
+        grammar = cfg_palindromes()
+        for word in Alphabet("ab").words_upto(6):
+            assert grammar.accepts(word) == is_palindrome(word), word
+
+    def test_balanced(self):
+        grammar = cfg_balanced()
+        for word in Alphabet("ab").words_upto(6):
+            assert grammar.accepts(word) == is_balanced(word), word
+
+    def test_language_upto(self):
+        sample = cfg_anbn().language_upto(6)
+        assert sample == {"ab", "aabb", "aaabbb"}
+
+
+class TestCnf:
+    def test_epsilon_only_at_start(self):
+        cnf = cfg_anbn(minimum_one=False).to_cnf()
+        assert cnf.accepts_epsilon
+        cnf2 = cfg_anbn(minimum_one=True).to_cnf()
+        assert not cnf2.accepts_epsilon
+
+    def test_cnf_bodies_well_formed(self):
+        cnf = cfg_palindromes().to_cnf()
+        for head, pairs in cnf.binary.items():
+            for left, right in pairs:
+                assert isinstance(left, str) and isinstance(right, str)
+        for head, symbols in cnf.lexical.items():
+            for symbol in symbols:
+                assert len(symbol) == 1
+
+    def test_unit_chains_eliminated(self):
+        grammar = ContextFreeGrammar(
+            "S",
+            [("S", ["T"]), ("T", ["U"]), ("U", ["a"])],
+        )
+        assert grammar.accepts("a")
+        assert not grammar.accepts("")
+        assert not grammar.accepts("aa")
+
+
+class TestFigure1Claim:
+    def test_figure1_language_is_this_cfg(self):
+        """The paper's sentence, executable: Figure 1's no-wait language
+        equals the context-free grammar's language (up to the bound)."""
+        from repro import NO_WAIT, figure1_automaton
+
+        fig1_sample = figure1_automaton().language(8, NO_WAIT)
+        cfg_sample = cfg_anbn(minimum_one=True).language_upto(8)
+        assert fig1_sample == cfg_sample

@@ -1,0 +1,148 @@
+"""Tests for wait/no-wait language extraction."""
+
+import pytest
+
+from repro.automata.enumeration import language_upto
+from repro.automata.language_compute import (
+    bounded_wait_language_automaton,
+    language_automaton,
+    nowait_language_automaton,
+    verify_period,
+    wait_language_automaton,
+)
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.builders import TVGBuilder
+from repro.core.generators import periodic_random_tvg
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.errors import ExtractionError
+
+
+@pytest.fixture()
+def toggler():
+    g = (
+        TVGBuilder(name="toggler")
+        .periodic(2)
+        .edge("s", "s", label="x", period=(0, 2), key="x")
+        .edge("s", "s", label="y", period=(1, 2), key="y")
+        .build()
+    )
+    return TVGAutomaton(g, initial="s", accepting="s", start_time=0)
+
+
+@pytest.fixture()
+def finite_chain():
+    g = (
+        TVGBuilder(name="chain")
+        .lifetime(0, 6)
+        .edge("a", "b", label="x", present={0, 3}, key="ab")
+        .edge("b", "c", label="y", present={4}, key="bc")
+        .build()
+    )
+    return TVGAutomaton(g, initial="a", accepting="c", start_time=0)
+
+
+class TestVerifyPeriod:
+    def test_honest_period_passes(self, toggler):
+        assert verify_period(toggler.graph)
+
+    def test_wrong_period_caught(self):
+        g = (
+            TVGBuilder()
+            .periodic(3)  # lie: the schedule has period 2
+            .edge("s", "s", label="x", period=(0, 2))
+            .build()
+        )
+        assert not verify_period(g)
+
+    def test_no_period_declared(self, finite_chain):
+        with pytest.raises(ExtractionError):
+            verify_period(finite_chain.graph)
+
+
+class TestPeriodicExtraction:
+    def test_wait_language_matches_direct_sampling(self, toggler):
+        nfa = wait_language_automaton(toggler)
+        extracted = language_upto(nfa, 4)
+        sampled = toggler.language(4, WAIT, horizon=32)
+        assert extracted == sampled
+
+    def test_nowait_language_matches_direct_sampling(self, toggler):
+        nfa = nowait_language_automaton(toggler)
+        extracted = language_upto(nfa, 5)
+        sampled = toggler.language(5, NO_WAIT, horizon=32)
+        assert extracted == sampled
+
+    def test_bounded_wait_matches_direct_sampling(self, toggler):
+        for d in (1, 2):
+            nfa = bounded_wait_language_automaton(toggler, d)
+            extracted = language_upto(nfa, 4)
+            sampled = toggler.language(4, bounded_wait(d), horizon=32)
+            assert extracted == sampled, d
+
+    def test_random_periodic_graphs_agree(self):
+        for seed in range(4):
+            g = periodic_random_tvg(4, period=3, density=0.4, labels="ab", seed=seed)
+            if not g.alphabet:
+                continue
+            auto = TVGAutomaton(g, initial=0, accepting=list(g.nodes), start_time=0)
+            nfa = wait_language_automaton(auto)
+            assert language_upto(nfa, 3) == auto.language(
+                3, WAIT, horizon=24, alphabet="".join(sorted(g.alphabet))
+            )
+
+    def test_dishonest_period_rejected(self):
+        g = (
+            TVGBuilder()
+            .periodic(3)
+            .edge("s", "s", label="x", period=(0, 2))
+            .build()
+        )
+        auto = TVGAutomaton(g, initial="s", accepting="s")
+        with pytest.raises(ExtractionError):
+            wait_language_automaton(auto)
+
+    def test_state_count_bound(self, toggler):
+        nfa = wait_language_automaton(toggler)
+        assert nfa.size <= toggler.graph.node_count * toggler.graph.period
+
+
+class TestFiniteExtraction:
+    def test_wait_language(self, finite_chain):
+        nfa = wait_language_automaton(finite_chain)
+        assert language_upto(nfa, 3) == {"xy"}
+
+    def test_nowait_language_empty(self, finite_chain):
+        # Direct journeys: x at 0 arrives 1, y only at 4 — never direct.
+        nfa = nowait_language_automaton(finite_chain)
+        assert language_upto(nfa, 3) == set()
+
+    def test_bounded_wait_threshold(self, finite_chain):
+        # x at 3 arrives 4, y at 4: pause 0 after an initial pause of 3.
+        lax = bounded_wait_language_automaton(finite_chain, 3)
+        tight = bounded_wait_language_automaton(finite_chain, 2)
+        assert language_upto(lax, 3) == {"xy"}
+        assert language_upto(tight, 3) == set()
+
+    def test_matches_direct_sampling(self, finite_chain):
+        for d in (0, 1, 3):
+            nfa = bounded_wait_language_automaton(finite_chain, d)
+            sampled = finite_chain.language(3, bounded_wait(d))
+            assert language_upto(nfa, 3) == sampled, d
+
+    def test_unbounded_graph_without_period_rejected(self):
+        g = TVGBuilder().edge("a", "b", label="x").build()
+        auto = TVGAutomaton(g, initial="a", accepting="b")
+        with pytest.raises(ExtractionError):
+            wait_language_automaton(auto)
+
+
+class TestDispatcher:
+    def test_language_automaton_dispatch(self, toggler):
+        for semantics in (WAIT, NO_WAIT, bounded_wait(2)):
+            nfa = language_automaton(toggler, semantics)
+            sampled = toggler.language(3, semantics, horizon=32)
+            assert language_upto(nfa, 3) == sampled, semantics
+
+    def test_negative_bound_rejected(self, toggler):
+        with pytest.raises(ExtractionError):
+            bounded_wait_language_automaton(toggler, -1)

@@ -1,0 +1,86 @@
+"""Tests for RPNI DFA learning."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.enumeration import language_upto
+from repro.automata.equivalence import equivalent
+from repro.automata.learning import learn_dfa, learn_from_language_sample
+from repro.automata.operations import minimize
+from repro.automata.regex import regex_to_nfa
+from repro.errors import AutomatonError
+
+
+def complete_sample(pattern: str, depth: int):
+    reference = regex_to_nfa(pattern, "ab").to_dfa()
+    positive = [w for w in Alphabet("ab").words_upto(depth) if reference.accepts(w)]
+    negative = [w for w in Alphabet("ab").words_upto(depth) if not reference.accepts(w)]
+    return reference, positive, negative
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("pattern", ["(ab)*", "a*b*", "(a|b)*abb", "a+"])
+    def test_always_consistent_with_sample(self, pattern):
+        _reference, positive, negative = complete_sample(pattern, 5)
+        learned = learn_dfa(positive, negative, "ab")
+        for word in positive:
+            assert learned.accepts(word), word
+        for word in negative:
+            assert not learned.accepts(word), word
+
+    def test_contradictory_sample_rejected(self):
+        with pytest.raises(AutomatonError):
+            learn_dfa(["ab"], ["ab"], "ab")
+
+    def test_empty_negative_set(self):
+        learned = learn_dfa(["", "a", "aa"], [], "a")
+        assert learned.accepts("aaa")  # everything merges into one state
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("pattern", ["(ab)*", "a*b*", "(a|b)*abb"])
+    def test_recovers_target_from_deep_sample(self, pattern):
+        reference, positive, negative = complete_sample(pattern, 7)
+        learned = learn_dfa(positive, negative, "ab")
+        assert equivalent(learned, reference), pattern
+
+    def test_learn_from_language_sample(self):
+        reference = regex_to_nfa("(ab)*", "ab").to_dfa()
+        sample = language_upto(reference, 7)
+        learned = learn_from_language_sample(sample, "ab", 7)
+        assert equivalent(learned, reference)
+
+    def test_learned_size_matches_minimal(self):
+        reference, positive, negative = complete_sample("(a|b)*abb", 8)
+        learned = learn_dfa(positive, negative, "ab")
+        assert len(minimize(learned).states) == len(minimize(reference).states)
+
+
+class TestPaperContrast:
+    def test_wait_language_learnable(self):
+        """Theorem 2.2 as learnability: the wait language of Figure 1 is
+        learned exactly from a bounded sample."""
+        from repro import WAIT, figure1_automaton
+        from repro.automata.regex import regex_to_nfa as build
+        from repro.constructions.figure1 import figure1_wait_language_description
+
+        sample = figure1_automaton().language(6, WAIT, horizon=2600)
+        learned = learn_from_language_sample(sample, "ab", 6)
+        truth = build(figure1_wait_language_description(), "ab").to_dfa()
+        # Learned machine agrees with the true regular language well
+        # beyond the training depth.
+        for word in Alphabet("ab").words_upto(8):
+            assert learned.accepts(word) == truth.accepts(word), word
+
+    def test_nowait_language_not_learnable(self):
+        """Theorem 2.1's shadow: machines learned from deeper a^n b^n
+        samples keep growing — there is no finite target."""
+        from repro import NO_WAIT, figure1_automaton
+
+        fig1 = figure1_automaton()
+        sizes = []
+        for depth in (4, 6, 8):
+            sample = fig1.language(depth, NO_WAIT)
+            learned = learn_from_language_sample(sample, "ab", depth)
+            sizes.append(len(minimize(learned).states))
+        assert sizes[-1] > sizes[0]

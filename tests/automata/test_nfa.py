@@ -1,0 +1,102 @@
+"""Tests for NFAs with epsilon transitions."""
+
+import pytest
+
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+
+
+def ends_in_ab():
+    """Nondeterministic: words over {a, b} ending in 'ab'."""
+    return NFA(
+        alphabet="ab",
+        states={0, 1, 2},
+        initial={0},
+        accepting={2},
+        transitions={
+            (0, "a"): {0, 1},
+            (0, "b"): {0},
+            (1, "b"): {2},
+        },
+    )
+
+
+def with_epsilon():
+    """Epsilon chain: accepts 'a' or '' via silent moves."""
+    return NFA(
+        alphabet="a",
+        states={0, 1, 2},
+        initial={0},
+        accepting={2},
+        transitions={
+            (0, None): {1},
+            (1, "a"): {2},
+            (1, None): {2},
+        },
+    )
+
+
+class TestValidation:
+    def test_needs_initial(self):
+        with pytest.raises(AutomatonError):
+            NFA("a", {0}, initial=set(), accepting=set(), transitions={})
+
+    def test_foreign_symbol(self):
+        with pytest.raises(AutomatonError):
+            NFA("a", {0}, {0}, set(), {(0, "z"): {0}})
+
+    def test_unknown_target(self):
+        with pytest.raises(AutomatonError):
+            NFA("a", {0}, {0}, set(), {(0, "a"): {5}})
+
+
+class TestRunning:
+    def test_accepts(self):
+        nfa = ends_in_ab()
+        assert nfa.accepts("ab")
+        assert nfa.accepts("aab")
+        assert nfa.accepts("bbab")
+        assert not nfa.accepts("ba")
+        assert not nfa.accepts("")
+
+    def test_epsilon_closure(self):
+        nfa = with_epsilon()
+        assert nfa.epsilon_closure({0}) == {0, 1, 2}
+        assert nfa.accepts("")
+        assert nfa.accepts("a")
+        assert not nfa.accepts("aa")
+
+    def test_run_returns_state_set(self):
+        nfa = ends_in_ab()
+        assert nfa.run("a") == {0, 1}
+        assert nfa.run("ab") == {0, 2}
+
+
+class TestConversions:
+    def test_to_dfa_equivalent(self):
+        nfa = ends_in_ab()
+        dfa = nfa.to_dfa()
+        for length in range(5):
+            from repro.automata.alphabet import Alphabet
+
+            for word in Alphabet("ab").words_of_length(length):
+                assert dfa.accepts(word) == nfa.accepts(word), word
+
+    def test_to_dfa_epsilon(self):
+        dfa = with_epsilon().to_dfa()
+        assert dfa.accepts("") and dfa.accepts("a") and not dfa.accepts("aa")
+
+    def test_reversed_language(self):
+        nfa = ends_in_ab()
+        rev = nfa.reversed()
+        assert rev.accepts("ba")
+        assert rev.accepts("baab")
+        assert not rev.accepts("ab")
+
+    def test_relabel_states_isomorphic(self):
+        nfa = ends_in_ab().relabel_states()
+        assert nfa.accepts("ab") and not nfa.accepts("ba")
+        assert all(isinstance(s, int) for s in nfa.states)
+
+    def test_size(self):
+        assert ends_in_ab().size == 3

@@ -1,0 +1,138 @@
+"""Tests for automata operations (complete/complement/product/minimize)."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import DFA
+from repro.automata.operations import (
+    DEAD,
+    complement,
+    complete,
+    difference,
+    intersect,
+    minimize,
+    reverse_dfa,
+    state_count,
+    union,
+)
+from repro.automata.regex import regex_to_nfa
+from repro.errors import AutomatonError
+
+
+def dfa_of(pattern: str, alphabet: str = "ab") -> DFA:
+    return regex_to_nfa(pattern, alphabet).to_dfa()
+
+
+def sample_words(max_length: int = 5, alphabet: str = "ab"):
+    return list(Alphabet(alphabet).words_upto(max_length))
+
+
+class TestComplete:
+    def test_adds_dead_state(self):
+        partial = dfa_of("ab")
+        total = complete(partial)
+        assert total.is_total
+        assert DEAD in total.states
+        for word in sample_words():
+            assert total.accepts(word) == partial.accepts(word)
+
+    def test_total_input_returned_as_is(self):
+        total = complete(dfa_of("ab"))
+        assert complete(total) is total
+
+
+class TestComplement:
+    def test_flips_membership(self):
+        dfa = dfa_of("(ab)*")
+        comp = complement(dfa)
+        for word in sample_words():
+            assert comp.accepts(word) != dfa.accepts(word), word
+
+    def test_double_complement_identity(self):
+        dfa = dfa_of("a*b")
+        double = complement(complement(dfa))
+        for word in sample_words():
+            assert double.accepts(word) == dfa.accepts(word)
+
+
+class TestProducts:
+    def test_intersection(self):
+        left = dfa_of("a*b*")
+        right = dfa_of("(a|b)(a|b)")  # length exactly 2
+        both = intersect(left, right)
+        for word in sample_words():
+            assert both.accepts(word) == (left.accepts(word) and right.accepts(word))
+
+    def test_union(self):
+        left = dfa_of("aa*")
+        right = dfa_of("bb*")
+        either = union(left, right)
+        for word in sample_words():
+            assert either.accepts(word) == (left.accepts(word) or right.accepts(word))
+
+    def test_difference(self):
+        left = dfa_of("a*")
+        right = dfa_of("aa")
+        gap = difference(left, right)
+        assert gap.accepts("a") and gap.accepts("aaa") and gap.accepts("")
+        assert not gap.accepts("aa")
+
+    def test_alphabet_mismatch_rejected(self):
+        with pytest.raises(AutomatonError):
+            intersect(dfa_of("a", "a"), dfa_of("b", "b"))
+
+
+class TestReverse:
+    def test_reversed_language(self):
+        dfa = dfa_of("ab*")
+        rev = reverse_dfa(dfa)
+        for word in sample_words():
+            assert rev.accepts(word) == dfa.accepts(word[::-1]), word
+
+
+class TestMinimize:
+    def test_language_preserved(self):
+        dfa = dfa_of("(a|b)*abb")
+        minimal = minimize(dfa)
+        for word in sample_words(6):
+            assert minimal.accepts(word) == dfa.accepts(word), word
+
+    def test_known_minimal_size(self):
+        # (a|b)*abb needs exactly 4 states (the KMP automaton).
+        assert state_count(dfa_of("(a|b)*abb")) == 4
+
+    def test_even_as_two_states(self):
+        dfa = DFA(
+            alphabet="ab",
+            states={"e", "o", "e2"},
+            initial="e",
+            accepting={"e", "e2"},
+            transitions={
+                ("e", "a"): "o",
+                ("o", "a"): "e2",
+                ("e2", "a"): "o",
+                ("e", "b"): "e",
+                ("o", "b"): "o",
+                ("e2", "b"): "e2",
+            },
+        )
+        assert state_count(dfa) == 2
+
+    def test_canonical_form_identical_for_equivalent_dfas(self):
+        a = minimize(dfa_of("(ab)*"))
+        b = minimize(dfa_of("(ab)*|()"))  # same language, different build
+        assert a.states == b.states
+        assert a.initial == b.initial
+        assert a.accepting == b.accepting
+        assert a.transitions == b.transitions
+
+    def test_empty_language(self):
+        dfa = DFA("a", {0, 1}, 0, {1}, {})  # accepting unreachable
+        minimal = minimize(dfa)
+        assert minimal.is_empty()
+        assert len(minimal.states) == 1
+
+    def test_idempotent(self):
+        once = minimize(dfa_of("a(b|a)*"))
+        twice = minimize(once)
+        assert once.transitions == twice.transitions

@@ -1,0 +1,85 @@
+"""Tests for the pumping-lemma machinery."""
+
+from repro.automata.pumping import (
+    check_word_pumpable,
+    decompositions,
+    find_pumping_counterexample,
+    refuted_state_bound,
+    regularity_refutation_ladder,
+)
+from repro.machines.programs import is_anbn, is_anbn_positive
+
+
+def is_a_star(word: str) -> bool:
+    return all(symbol == "a" for symbol in word)
+
+
+def even_length(word: str) -> bool:
+    return len(word) % 2 == 0
+
+
+class TestDecompositions:
+    def test_all_splits(self):
+        splits = list(decompositions("abc", 2))
+        assert ("", "a", "bc") in splits
+        assert ("", "ab", "c") in splits
+        assert ("a", "b", "c") in splits
+        assert len(splits) == 3
+
+    def test_pumping_length_caps_xy(self):
+        for x, y, _z in decompositions("aaaa", 2):
+            assert len(x) + len(y) <= 2
+            assert y
+
+
+class TestCheckWord:
+    def test_regular_word_pumps(self):
+        assert check_word_pumpable(is_a_star, "aaaa", 2) is None
+
+    def test_anbn_word_fails_all_splits(self):
+        violation = check_word_pumpable(is_anbn, "aaabbb", 3)
+        assert violation is not None
+        assert not is_anbn(violation.pumped)
+
+    def test_violation_renders(self):
+        violation = check_word_pumpable(is_anbn, "aabb", 2)
+        assert violation is not None
+        assert "leaves the language" in str(violation)
+
+
+class TestCounterexampleSearch:
+    def test_finds_anbn_witness(self):
+        words = [w for w in ("ab", "aabb", "aaabbb", "aaaabbbb") if is_anbn(w)]
+        violation = find_pumping_counterexample(is_anbn, words, 3)
+        assert violation is not None
+        assert is_anbn(violation.word)
+
+    def test_regular_language_no_witness(self):
+        words = ["", "aa", "aaaa", "aaaaaa"]
+        assert find_pumping_counterexample(even_length, words, 2) is None
+
+
+class TestLadder:
+    def test_anbn_ladder_unbroken(self):
+        ladder = regularity_refutation_ladder(
+            is_anbn_positive, "ab", max_pumping_length=4, word_depth=10
+        )
+        assert all(violation is not None for _p, violation in ladder)
+
+    def test_regular_ladder_breaks(self):
+        ladder = regularity_refutation_ladder(
+            even_length, "a", max_pumping_length=4, word_depth=10
+        )
+        # Even-length unary words: a DFA with 2 states exists, so the
+        # ladder must break at or before pumping length 2.
+        broken_at = [p for p, violation in ladder if violation is None]
+        assert broken_at and min(broken_at) <= 2
+
+    def test_refuted_state_bound_growth(self):
+        shallow = refuted_state_bound(is_anbn_positive, "ab", 2, word_depth=6)
+        deep = refuted_state_bound(is_anbn_positive, "ab", 4, word_depth=10)
+        assert deep >= shallow >= 1
+
+    def test_refuted_state_bound_stalls_for_regular(self):
+        bound = refuted_state_bound(is_a_star, "a", 4, word_depth=10)
+        assert bound == 0  # every split of a^k pumps inside a*

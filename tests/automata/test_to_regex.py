@@ -1,0 +1,69 @@
+"""Tests for state elimination (automaton -> regex)."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.equivalence import equivalent
+from repro.automata.regex import random_regex, regex_to_nfa
+from repro.automata.to_regex import (
+    automaton_to_regex_string,
+    dfa_to_regex,
+    nfa_to_regex,
+)
+
+
+def round_trip_equivalent(pattern: str) -> bool:
+    source = regex_to_nfa(pattern)
+    rebuilt = regex_to_nfa(str(nfa_to_regex(source)), alphabet=source.alphabet)
+    return equivalent(source, rebuilt)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["a", "ab", "a|b", "a*", "(ab)*", "a+b?", "(a|b)*abb", "a(b|c)*c"],
+    )
+    def test_known_patterns(self, pattern):
+        assert round_trip_equivalent(pattern)
+
+    def test_random_patterns(self):
+        for seed in range(12):
+            node = random_regex("ab", depth=3, seed=seed)
+            source = regex_to_nfa(node, alphabet="ab")
+            if source.to_dfa().trim().is_empty():
+                continue
+            rebuilt = regex_to_nfa(str(nfa_to_regex(source)), alphabet="ab")
+            assert equivalent(source, rebuilt), str(node)
+
+    def test_empty_language_raises(self):
+        dead = DFA("a", {0, 1}, 0, {1}, {})
+        with pytest.raises(ValueError):
+            dfa_to_regex(dead)
+
+    def test_string_form_parses(self):
+        source = regex_to_nfa("(ab)*a")
+        text = automaton_to_regex_string(source)
+        rebuilt = regex_to_nfa(text, alphabet=source.alphabet)
+        assert equivalent(source, rebuilt)
+
+
+class TestEndToEndWithExtraction:
+    def test_periodic_wait_language_as_regex(self):
+        """The full Theorem 2.2 pipeline: periodic TVG -> extracted NFA ->
+        minimal DFA -> regex string -> parses back to the same language."""
+        from repro.automata.language_compute import wait_language_automaton
+        from repro.automata.operations import minimize
+        from repro.automata.tvg_automaton import TVGAutomaton
+        from repro.core.generators import periodic_random_tvg
+
+        for seed in range(4):
+            g = periodic_random_tvg(3, period=3, density=0.6, labels="ab", seed=seed)
+            if not g.alphabet:
+                continue
+            auto = TVGAutomaton(g, initial=0, accepting=list(g.nodes), start_time=0)
+            dfa = minimize(wait_language_automaton(auto).to_dfa())
+            if dfa.is_empty():
+                continue
+            text = automaton_to_regex_string(dfa)
+            rebuilt = regex_to_nfa(text, alphabet=dfa.alphabet)
+            assert equivalent(dfa, rebuilt.to_dfa()), (seed, text)

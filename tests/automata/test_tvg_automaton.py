@@ -1,0 +1,155 @@
+"""Tests for TVG-automata."""
+
+import pytest
+
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.builders import TVGBuilder
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.errors import AutomatonError, TimeDomainError
+
+
+@pytest.fixture()
+def toggler():
+    """x-edge at even dates, y-edge at odd dates, unit latencies.
+
+    Under no-wait from t=0 the only words are alternating x,y,...;
+    under wait every {x,y} word is readable.
+    """
+    g = (
+        TVGBuilder(name="toggler")
+        .lifetime(0, 12)
+        .edge("s", "s", label="x", period=(0, 2), key="x")
+        .edge("s", "s", label="y", period=(1, 2), key="y")
+        .build()
+    )
+    return TVGAutomaton(g, initial="s", accepting="s", start_time=0)
+
+
+class TestConstruction:
+    def test_unknown_nodes_rejected(self, toggler):
+        with pytest.raises(AutomatonError):
+            TVGAutomaton(toggler.graph, initial="nope", accepting="s")
+
+    def test_alphabet(self, toggler):
+        assert set(toggler.alphabet) == {"x", "y"}
+
+    def test_single_node_as_scalar(self, toggler):
+        assert toggler.initial == frozenset({"s"})
+
+
+class TestAcceptance:
+    def test_empty_word_initial_accepting(self, toggler):
+        assert toggler.accepts("", NO_WAIT)
+
+    def test_empty_word_not_accepting(self):
+        g = TVGBuilder().lifetime(0, 5).edge("a", "b", label="x").build()
+        auto = TVGAutomaton(g, initial="a", accepting="b")
+        assert not auto.accepts("", NO_WAIT)
+        assert auto.accepts("x", NO_WAIT)
+
+    def test_nowait_alternation(self, toggler):
+        assert toggler.accepts("xy", NO_WAIT)
+        assert toggler.accepts("xyxy", NO_WAIT)
+        assert not toggler.accepts("xx", NO_WAIT)
+        assert not toggler.accepts("y", NO_WAIT)
+
+    def test_wait_frees_the_order(self, toggler):
+        for word in ("xx", "y", "yyx", "xxyy"):
+            assert toggler.accepts(word, WAIT), word
+
+    def test_bounded_wait_one_suffices_here(self, toggler):
+        assert toggler.accepts("xx", bounded_wait(1))
+        assert not toggler.accepts("xx", NO_WAIT)
+
+    def test_horizon_cuts_wait(self, toggler):
+        # Reading 3 symbols needs dates 0,1,2 at least; horizon 2 blocks.
+        assert not toggler.accepts("xyx", WAIT, horizon=2)
+        assert toggler.accepts("xyx", WAIT, horizon=12)
+
+    def test_wait_requires_horizon_on_unbounded_graph(self):
+        g = TVGBuilder().edge("a", "b", label="x").build()  # unbounded lifetime
+        auto = TVGAutomaton(g, initial="a", accepting="b")
+        with pytest.raises(TimeDomainError):
+            auto.accepts("x", WAIT)
+        assert auto.accepts("x", WAIT, horizon=10)
+        assert auto.accepts("x", NO_WAIT)  # no horizon needed without waiting
+
+
+class TestConfigurations:
+    def test_initial_configurations(self, toggler):
+        assert toggler.initial_configurations(NO_WAIT) == {("s", 0)}
+
+    def test_configurations_track_time(self, toggler):
+        configs = toggler.configurations("xy", NO_WAIT)
+        assert configs == {("s", 2)}
+
+    def test_unreadable_word_empty(self, toggler):
+        assert toggler.configurations("yy", NO_WAIT) == set()
+
+    def test_epsilon_edges_extend_closure(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 10)
+            .edge("a", "b", label=None, key="silent")
+            .edge("b", "c", label="x", key="x")
+            .build()
+        )
+        auto = TVGAutomaton(g, initial="a", accepting="c")
+        # The unlabeled edge is crossed silently; 'x' alone reaches c.
+        assert auto.accepts("x", NO_WAIT)
+        configs = auto.initial_configurations(NO_WAIT)
+        assert ("b", 1) in configs
+
+
+class TestLanguage:
+    def test_nowait_language(self, toggler):
+        sample = toggler.language(4, NO_WAIT)
+        assert sample == {"", "x", "xy", "xyx", "xyxy"}
+
+    def test_wait_language_is_everything_short(self, toggler):
+        sample = toggler.language(3, WAIT, horizon=12)
+        assert sample == {
+            "",
+            "x", "y",
+            "xx", "xy", "yx", "yy",
+            "xxx", "xxy", "xyx", "xyy", "yxx", "yxy", "yyx", "yyy",
+        }
+
+    def test_language_respects_alphabet_override(self, toggler):
+        sample = toggler.language(2, NO_WAIT, alphabet="x")
+        assert sample == {"", "x"}
+
+
+class TestJourneysAndDeterminism:
+    def test_accepting_journeys_spell_word(self, toggler):
+        journeys = list(toggler.accepting_journeys("xy", NO_WAIT))
+        assert journeys
+        for journey in journeys:
+            assert journey.word_str == "xy"
+            assert journey.is_direct
+
+    def test_accepting_journeys_empty_for_rejected(self, toggler):
+        assert not list(toggler.accepting_journeys("yy", NO_WAIT))
+
+    def test_max_count(self, toggler):
+        journeys = list(toggler.accepting_journeys("xy", WAIT, horizon=12, max_count=2))
+        assert len(journeys) == 2
+
+    def test_determinism_window(self, toggler):
+        assert toggler.is_deterministic_over(range(12))
+
+    def test_nondeterminism_detected(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 5)
+            .edge("a", "b", label="x", key="one")
+            .edge("a", "c", label="x", key="two")
+            .build()
+        )
+        auto = TVGAutomaton(g, initial="a", accepting="b")
+        assert not auto.is_deterministic_over([0])
+
+    def test_multiple_initials_not_deterministic(self):
+        g = TVGBuilder().lifetime(0, 5).edge("a", "b", label="x").node("z").build()
+        auto = TVGAutomaton(g, initial=["a", "z"], accepting="b")
+        assert not auto.is_deterministic_over([0])

@@ -1,0 +1,118 @@
+"""Tests for the Theorem 2.3 constructions (dilation and compilation)."""
+
+import pytest
+
+from repro.automata.equivalence import equivalent
+from repro.automata.language_compute import language_automaton
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.constructions.bounded_wait import (
+    compile_bounded_wait,
+    expand_for_bounded_wait,
+)
+from repro.constructions.figure1 import figure1_automaton
+from repro.core.builders import TVGBuilder
+from repro.core.generators import periodic_random_tvg
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.errors import ConstructionError
+
+
+class TestDilation:
+    @pytest.mark.parametrize("d", [1, 2, 4])
+    def test_figure1_collapse(self, d):
+        """L_wait[d](dilate(G, d+1)) == L_nowait(G) — the paper's proof idea."""
+        fig1 = figure1_automaton()
+        dilated = expand_for_bounded_wait(fig1, d)
+        horizon = 250 * (d + 1)
+        assert dilated.language(5, bounded_wait(d), horizon=horizon) == fig1.language(
+            5, NO_WAIT
+        )
+
+    def test_without_dilation_bounded_wait_helps(self):
+        """On the *undilated* Figure 1 graph wait[1] already exceeds
+        no-wait — dilation is what defeats the budget, not the bound."""
+        fig1 = figure1_automaton()
+        bounded = fig1.language(4, bounded_wait(1), horizon=300)
+        nowait = fig1.language(4, NO_WAIT)
+        assert nowait < bounded
+
+    @pytest.mark.parametrize("d", [1, 3])
+    def test_periodic_graphs_exact(self, d):
+        """Exact (automaton-level) equality on random periodic graphs."""
+        for seed in range(3):
+            g = periodic_random_tvg(4, period=3, density=0.5, labels="ab", seed=seed)
+            if not g.alphabet:
+                continue
+            auto = TVGAutomaton(g, initial=0, accepting=list(g.nodes)[-1], start_time=0)
+            dilated = expand_for_bounded_wait(auto, d)
+            lhs = language_automaton(dilated, bounded_wait(d))
+            rhs = language_automaton(auto, NO_WAIT)
+            assert equivalent(lhs, rhs), (seed, d)
+
+    def test_zero_bound_is_identity_semantics(self):
+        fig1 = figure1_automaton()
+        dilated = expand_for_bounded_wait(fig1, 0)
+        assert dilated.language(4, NO_WAIT) == fig1.language(4, NO_WAIT)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConstructionError):
+            expand_for_bounded_wait(figure1_automaton(), -1)
+
+    def test_start_time_scaled(self):
+        fig1 = figure1_automaton()
+        assert expand_for_bounded_wait(fig1, 2).start_time == fig1.start_time * 3
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_nowait_of_compiled_equals_bounded_wait(self, d):
+        for seed in range(3):
+            g = periodic_random_tvg(4, period=4, density=0.4, labels="ab", seed=seed)
+            if not g.alphabet:
+                continue
+            auto = TVGAutomaton(g, initial=0, accepting=2, start_time=0)
+            compiled = compile_bounded_wait(auto, d)
+            lhs = language_automaton(compiled, NO_WAIT)
+            rhs = language_automaton(auto, bounded_wait(d))
+            assert equivalent(lhs, rhs), (seed, d)
+
+    def test_finite_lifetime_case(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 8)
+            .edge("a", "b", label="x", present={0, 3}, key="ab")
+            .edge("b", "c", label="y", present={4}, key="bc")
+            .build()
+        )
+        auto = TVGAutomaton(g, initial="a", accepting="c", start_time=0)
+        for d in (0, 2, 3):
+            compiled = compile_bounded_wait(auto, d)
+            assert compiled.language(3, NO_WAIT) == auto.language(
+                3, bounded_wait(d)
+            ), d
+
+    def test_node_splitting_size(self):
+        auto = figure1_automaton()
+        compiled = compile_bounded_wait(auto, 2)
+        assert compiled.graph.node_count == auto.graph.node_count * 3
+
+    def test_zero_budget_identity(self):
+        fig1 = figure1_automaton()
+        compiled = compile_bounded_wait(fig1, 0)
+        assert compiled.language(4, NO_WAIT) == fig1.language(4, NO_WAIT)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConstructionError):
+            compile_bounded_wait(figure1_automaton(), -1)
+
+
+class TestBothDirectionsTogether:
+    def test_round_trip_class_equality(self):
+        """wait[d] and nowait express the same languages: dilation turns a
+        no-wait graph into a wait[d] one, compilation turns it back."""
+        g = periodic_random_tvg(3, period=3, density=0.6, labels="ab", seed=1)
+        auto = TVGAutomaton(g, initial=0, accepting=1, start_time=0)
+        d = 2
+        # L = L_wait[d](auto); both routes must express L.
+        direct = language_automaton(auto, bounded_wait(d))
+        via_nowait_graph = language_automaton(compile_bounded_wait(auto, d), NO_WAIT)
+        assert equivalent(direct, via_nowait_graph)

@@ -1,0 +1,122 @@
+"""Tests for the exact Figure 1 / Table 1 reproduction."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.enumeration import language_upto
+from repro.automata.regex import regex_to_nfa
+from repro.constructions.figure1 import (
+    figure1_automaton,
+    figure1_clock,
+    figure1_graph,
+    figure1_wait_language_description,
+    is_pq_power,
+)
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.errors import ConstructionError
+from repro.machines.programs import is_anbn_positive
+
+
+class TestGraphShape:
+    def test_table1_edges(self):
+        g = figure1_graph()
+        assert set(e.key for e in g.edges) == {"e0", "e1", "e2", "e3", "e4"}
+        assert g.edge("e0").source == "v0" and g.edge("e0").target == "v0"
+        assert g.edge("e1").target == "v1"
+        assert g.edge("e3").target == "v2"
+        assert all(e.label in ("a", "b") for e in g.edges)
+        assert g.edge("e0").label == "a"
+
+    def test_table1_schedules(self):
+        g = figure1_graph(p=2, q=3)
+        e0, e1, e2, e3, e4 = (g.edge(k) for k in ("e0", "e1", "e2", "e3", "e4"))
+        assert e0.present_at(1) and e0.present_at(99)
+        assert not e1.present_at(2) and e1.present_at(3)
+        assert e3.present_at(2) and not e3.present_at(3)
+        # p^2 q^1 = 12 is the first e4 date.
+        assert e4.present_at(12) and not e4.present_at(11)
+        assert not e2.present_at(12) and e2.present_at(11)
+
+    def test_table1_latencies(self):
+        g = figure1_graph(p=2, q=3)
+        assert g.edge("e0").latency(5) == (2 - 1) * 5
+        assert g.edge("e1").latency(4) == (3 - 1) * 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConstructionError):
+            figure1_graph(p=2, q=2)
+        with pytest.raises(ConstructionError):
+            figure1_graph(p=4, q=3)
+        with pytest.raises(ConstructionError):
+            figure1_graph(p=1, q=3)
+
+
+class TestIsPqPower:
+    def test_members(self):
+        # i=2: 2^2*3 = 12; i=3: 2^3*3^2 = 72; i=4: 2^4*3^3 = 432.
+        for t in (12, 72, 432):
+            assert is_pq_power(t, 2, 3), t
+
+    def test_non_members(self):
+        for t in (0, 1, 2, 3, 6, 11, 13, 71, 73, -5):
+            assert not is_pq_power(t, 2, 3), t
+
+
+class TestClock:
+    def test_clock_values(self):
+        assert figure1_clock("") == 1
+        assert figure1_clock("aa") == 4
+        assert figure1_clock("aab") == 12
+        assert figure1_clock("aabb") == 36
+
+    def test_clock_matches_direct_run(self):
+        auto = figure1_automaton()
+        configs = auto.configurations("aab", NO_WAIT)
+        times = {t for _node, t in configs}
+        assert figure1_clock("aab") in times
+
+
+class TestNowaitLanguage:
+    def test_exactly_anbn(self):
+        auto = figure1_automaton()
+        sample = auto.language(8, NO_WAIT)
+        expected = {
+            w for w in Alphabet("ab").words_upto(8) if is_anbn_positive(w)
+        }
+        assert sample == expected
+
+    def test_alternate_primes(self):
+        auto = figure1_automaton(p=3, q=5)
+        sample = auto.language(6, NO_WAIT)
+        assert sample == {"ab", "aabb", "aaabbb"}
+
+    def test_determinism(self):
+        auto = figure1_automaton()
+        assert auto.is_deterministic_over(range(1, 200))
+
+    def test_epsilon_rejected(self):
+        assert not figure1_automaton().accepts("", NO_WAIT)
+
+    @pytest.mark.parametrize("word", ["ab", "aabb", "aaabbb", "aaaabbbb"])
+    def test_accepting_journey_is_direct(self, word):
+        auto = figure1_automaton()
+        journeys = list(auto.accepting_journeys(word, NO_WAIT, max_count=1))
+        assert journeys and journeys[0].is_direct
+        assert journeys[0].word_str == word
+
+
+class TestWaitLanguage:
+    def test_matches_derived_regex(self):
+        auto = figure1_automaton()
+        sample = auto.language(5, WAIT, horizon=600)
+        expected = language_upto(
+            regex_to_nfa(figure1_wait_language_description(), "ab"), 5
+        )
+        assert sample == expected
+
+    def test_wait_strictly_larger(self):
+        auto = figure1_automaton()
+        nowait = auto.language(4, NO_WAIT)
+        wait = auto.language(4, WAIT, horizon=200)
+        assert nowait < wait
+        assert "b" in wait - nowait

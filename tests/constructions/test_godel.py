@@ -1,0 +1,97 @@
+"""Tests for the Gödel word-in-clock encodings."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.constructions.godel import GodelEncoding, nth_prime, primes, shared_encoding
+from repro.errors import ConstructionError
+
+
+class TestPrimes:
+    def test_first_primes(self):
+        assert primes(8) == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_nth_prime(self):
+        assert nth_prime(0) == 2
+        assert nth_prime(5) == 13
+        assert nth_prime(25) == 101
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConstructionError):
+            nth_prime(-1)
+        with pytest.raises(ConstructionError):
+            primes(-1)
+
+    def test_extension_consistency(self):
+        # Growing the cache must not change earlier primes.
+        first = primes(5)
+        primes(50)
+        assert primes(5) == first
+
+
+class TestEncoding:
+    def test_empty_word(self):
+        enc = GodelEncoding("ab")
+        assert enc.encode("") == 1
+        assert enc.decode(1) == ""
+
+    def test_known_values(self):
+        enc = GodelEncoding("ab")
+        # position 0: a->prime(0)=2, b->prime(1)=3
+        # position 1: a->prime(2)=5, b->prime(3)=7
+        assert enc.encode("a") == 2
+        assert enc.encode("b") == 3
+        assert enc.encode("ab") == 2 * 7
+        assert enc.encode("ba") == 3 * 5
+
+    def test_roundtrip(self):
+        enc = GodelEncoding("abc")
+        for word in Alphabet("abc").words_upto(4):
+            assert enc.decode(enc.encode(word)) == word
+
+    def test_injective_on_samples(self):
+        enc = GodelEncoding("ab")
+        values = [enc.encode(w) for w in Alphabet("ab").words_upto(6)]
+        assert len(values) == len(set(values))
+
+    def test_non_codes_decode_to_none(self):
+        enc = GodelEncoding("ab")
+        assert enc.decode(4) is None   # 2*2: squared position prime
+        assert enc.decode(5) is None   # position-1 prime without position 0
+        assert enc.decode(6) is None   # both position-0 primes
+        assert enc.decode(0) is None
+        assert enc.decode(-3) is None
+
+    def test_is_code(self):
+        enc = GodelEncoding("ab")
+        assert enc.is_code(1) and enc.is_code(2) and enc.is_code(14)
+        assert not enc.is_code(4)
+
+    def test_extension_factor(self):
+        enc = GodelEncoding("ab")
+        assert enc.encode("a") * enc.extension_factor(1, "b") == enc.encode("ab")
+
+    def test_extension_latency_lands_on_code(self):
+        enc = GodelEncoding("ab")
+        t = enc.encode("ab")
+        assert t + enc.extension_latency(t, "a") == enc.encode("aba")
+
+    def test_extension_latency_on_non_code_is_one(self):
+        enc = GodelEncoding("ab")
+        assert enc.extension_latency(4, "a") == 1
+
+    def test_unknown_symbol_rejected(self):
+        enc = GodelEncoding("ab")
+        with pytest.raises(ConstructionError):
+            enc.position_prime(0, "z")
+
+    def test_unary_alphabet(self):
+        enc = GodelEncoding("1")
+        assert enc.encode("111") == 2 * 3 * 5
+        assert enc.decode(30) == "111"
+
+
+class TestSharedEncoding:
+    def test_cached(self):
+        assert shared_encoding("ab") is shared_encoding("ab")
+        assert shared_encoding("ab") is not shared_encoding("abc")

@@ -1,0 +1,69 @@
+"""Tests for the Theorem 2.1 universal no-wait construction."""
+
+import pytest
+
+from repro.constructions.nowait_universal import (
+    ACCEPTOR,
+    READER,
+    START,
+    clock_after,
+    nowait_automaton_for,
+    nowait_graph_for,
+)
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.machines.decider import predicate_decider
+from repro.machines.programs import standard_deciders
+
+
+class TestGraphShape:
+    def test_nodes_and_edges(self):
+        decider = predicate_decider(lambda w: True, "ab")
+        g = nowait_graph_for(decider)
+        assert set(g.nodes) == {START, READER, ACCEPTOR}
+        # 4 edges per symbol: first, loop, exit0, exit.
+        assert g.edge_count == 8
+
+    def test_clock_is_the_encoding(self):
+        decider = predicate_decider(lambda w: False, "ab")
+        auto = nowait_automaton_for(decider)
+        configs = auto.configurations("ab", NO_WAIT)
+        assert (READER, clock_after(decider, "ab")) in configs
+
+
+class TestLanguageEquality:
+    @pytest.mark.parametrize("name", sorted(standard_deciders()))
+    def test_stock_languages(self, name):
+        decider = standard_deciders()[name]
+        auto = nowait_automaton_for(decider)
+        bound = 5 if len(decider.alphabet) >= 3 else 6
+        assert auto.language(bound, NO_WAIT) == decider.language_upto(bound)
+
+    def test_epsilon_handling(self):
+        with_eps = predicate_decider(lambda w: len(w) % 2 == 0, "a", name="even")
+        without_eps = predicate_decider(
+            lambda w: len(w) % 2 == 1, "a", name="odd"
+        )
+        assert nowait_automaton_for(with_eps).accepts("", NO_WAIT)
+        assert not nowait_automaton_for(without_eps).accepts("", NO_WAIT)
+
+    def test_finite_language(self):
+        decider = predicate_decider(lambda w: w in {"ab", "ba"}, "ab", name="pair")
+        auto = nowait_automaton_for(decider)
+        assert auto.language(4, NO_WAIT) == {"ab", "ba"}
+
+    def test_full_language(self):
+        decider = predicate_decider(lambda w: True, "a", name="all")
+        auto = nowait_automaton_for(decider)
+        assert auto.language(3, NO_WAIT) == {"", "a", "aa", "aaa"}
+
+
+class TestWaitBreaksTheClockwork:
+    def test_wait_language_differs_for_anbn(self):
+        decider = standard_deciders()["anbn"]
+        auto = nowait_automaton_for(decider)
+        horizon = clock_after(decider, "bbbb") * 4
+        nowait = auto.language(3, NO_WAIT)
+        wait = auto.language(3, WAIT, horizon=horizon)
+        # Waiting lets the walker align with exit dates of other words.
+        assert nowait <= wait
+        assert wait != nowait

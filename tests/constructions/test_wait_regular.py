@@ -1,0 +1,81 @@
+"""Tests for the Theorem 2.2 regular embedding."""
+
+import pytest
+
+from repro.automata.enumeration import language_upto
+from repro.automata.equivalence import equivalent
+from repro.automata.language_compute import (
+    nowait_language_automaton,
+    wait_language_automaton,
+)
+from repro.automata.regex import random_regex, regex_to_nfa
+from repro.constructions.wait_regular import automaton_to_tvg, regex_to_tvg
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.errors import ConstructionError
+
+
+class TestPlainEmbedding:
+    @pytest.mark.parametrize("pattern", ["a", "(ab)*", "a(b|c)*", "a+b?", "(a|b)*abb"])
+    def test_wait_language_equals_regex(self, pattern):
+        auto = regex_to_tvg(pattern)
+        extracted = wait_language_automaton(auto)
+        reference = regex_to_nfa(pattern, extracted.alphabet)
+        assert equivalent(extracted, reference)
+
+    @pytest.mark.parametrize("pattern", ["a", "(ab)*", "a(b|c)*"])
+    def test_static_graph_wait_equals_nowait(self, pattern):
+        auto = regex_to_tvg(pattern)
+        assert equivalent(
+            wait_language_automaton(auto), nowait_language_automaton(auto)
+        )
+
+    def test_direct_acceptance_matches(self):
+        auto = regex_to_tvg("(ab)*")
+        for word in ("", "ab", "abab"):
+            assert auto.accepts(word, NO_WAIT, horizon=32), word
+        for word in ("a", "ba", "aab"):
+            assert not auto.accepts(word, NO_WAIT, horizon=32), word
+
+    def test_random_regexes(self):
+        for seed in range(6):
+            node = random_regex("ab", depth=4, seed=seed)
+            reference = regex_to_nfa(node)  # alphabet = symbols actually used
+            try:
+                auto = automaton_to_tvg(reference)
+            except ConstructionError:
+                continue  # regex used no symbols at all
+            extracted = wait_language_automaton(auto)
+            assert equivalent(extracted, reference), str(node)
+
+
+class TestStrictEmbedding:
+    def test_wait_language_preserved(self):
+        auto = regex_to_tvg("(ab)*", strict=True)
+        extracted = wait_language_automaton(auto)
+        assert equivalent(extracted, regex_to_nfa("(ab)*", extracted.alphabet))
+
+    def test_nowait_collapses(self):
+        auto = regex_to_tvg("(ab)*", strict=True)
+        collapsed = language_upto(nowait_language_automaton(auto), 6)
+        assert collapsed == {""}
+
+    def test_nowait_collapse_can_be_total(self):
+        # Thompson epsilon edges also tick the clock, so by the time the
+        # walker faces its first symbol edge the date is odd and the
+        # even-only schedule blocks it: nothing survives, not even ''
+        # (the accepting state of a|bb is not epsilon-reachable).
+        auto = regex_to_tvg("a|bb", strict=True)
+        collapsed = language_upto(nowait_language_automaton(auto), 4)
+        assert collapsed == set()
+
+    def test_gap_witnessed_by_direct_acceptance(self):
+        auto = regex_to_tvg("(ab)*", strict=True)
+        assert auto.accepts("ab", WAIT, horizon=32)
+        assert not auto.accepts("ab", NO_WAIT, horizon=32)
+
+
+class TestValidation:
+    def test_label_free_automaton_rejected(self):
+        nfa = regex_to_nfa("", alphabet="a")  # epsilon only
+        with pytest.raises(ConstructionError):
+            automaton_to_tvg(nfa)

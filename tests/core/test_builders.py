@@ -1,0 +1,105 @@
+"""Tests for the TVG builder and shorthand coercions."""
+
+import pytest
+
+from repro.core.builders import (
+    TVGBuilder,
+    coerce_latency,
+    coerce_presence,
+    from_contact_table,
+    static_graph,
+)
+from repro.core.latency import LatencyFunction, constant_latency
+from repro.core.presence import PresenceFunction, always
+from repro.core.time_domain import Lifetime
+from repro.errors import ReproError
+
+
+class TestCoercePresence:
+    def test_none_is_always(self):
+        assert coerce_presence(None)(12345)
+
+    def test_passthrough(self):
+        p = always()
+        assert coerce_presence(p) is p
+
+    def test_set_of_times(self):
+        p = coerce_presence({1, 4})
+        assert p(1) and p(4) and not p(2)
+
+    def test_interval_pairs(self):
+        p = coerce_presence([(0, 2), (5, 6)])
+        assert p(1) and p(5) and not p(3)
+
+    def test_callable(self):
+        p = coerce_presence(lambda t: t == 7)
+        assert p(7) and not p(6)
+
+    def test_period_shorthand(self):
+        p = coerce_presence(None, period=(1, 3))
+        assert p(1) and p(4) and not p(0)
+
+
+class TestCoerceLatency:
+    def test_none_is_unit(self):
+        assert coerce_latency(None)(0) == 1
+
+    def test_int(self):
+        assert coerce_latency(4)(0) == 4
+
+    def test_passthrough(self):
+        lat = constant_latency(2)
+        assert coerce_latency(lat) is lat
+
+    def test_callable(self):
+        assert coerce_latency(lambda t: t + 2)(3) == 5
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            coerce_latency("soon")
+
+
+class TestTVGBuilder:
+    def test_full_build(self):
+        g = (
+            TVGBuilder(name="demo")
+            .lifetime(0, 20)
+            .node("lonely")
+            .edge("a", "b", label="x", present=[(0, 5)], latency=2, key="ab")
+            .contact("b", "c", present={3}, key="bc")
+            .build()
+        )
+        assert g.name == "demo"
+        assert g.lifetime == Lifetime(0, 20)
+        assert "lonely" in g.nodes
+        assert g.edge("ab").latency(0) == 2
+        assert g.edge("bc").present_at(3)
+        assert g.edge("bc~rev").source == "c"
+
+    def test_periodic_declaration(self):
+        g = TVGBuilder().periodic(6).edge("a", "b", period=(2, 6)).build()
+        assert g.period == 6
+        assert g.edges[0].present_at(2) and g.edges[0].present_at(8)
+
+    def test_chaining_returns_builder(self):
+        builder = TVGBuilder()
+        assert builder.node("a") is builder
+        assert builder.edge("a", "b") is builder
+
+
+class TestConvenienceConstructors:
+    def test_from_contact_table(self):
+        g = from_contact_table(
+            {("a", "b"): [(0, 3)], ("b", "c"): [(4, 6)]},
+            lifetime=Lifetime(0, 10),
+        )
+        assert g.edge_count == 4  # two contacts, both directions
+        keys = {e.key for e in g.out_edges("b")}
+        assert len(keys) == 2
+
+    def test_static_graph(self):
+        g = static_graph([("a", "b"), ("b", "c")])
+        assert g.period == 1
+        for edge in g.edges:
+            assert edge.present_at(0) and edge.present_at(99)
+            assert edge.latency(0) == 1

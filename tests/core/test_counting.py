@@ -1,0 +1,78 @@
+"""Tests for journey counting."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder, static_graph
+from repro.core.counting import count_journeys, count_journeys_by_hops, count_words
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.core.traversal import enumerate_journeys
+
+
+@pytest.fixture()
+def branching():
+    """Two parallel a->b edges and one b->c edge, all with choices."""
+    return (
+        TVGBuilder()
+        .lifetime(0, 8)
+        .edge("a", "b", present={0, 1}, key="ab1")
+        .edge("a", "b", present={1}, key="ab2")
+        .edge("b", "c", present={3, 4}, key="bc")
+        .build()
+    )
+
+
+class TestCountJourneys:
+    def test_matches_enumeration(self, branching):
+        for semantics in (NO_WAIT, WAIT):
+            counts = count_journeys(branching, "a", 0, semantics, max_hops=3)
+            journeys = list(
+                enumerate_journeys(branching, "a", 0, semantics, max_hops=3)
+            )
+            by_destination: dict = {}
+            for journey in journeys:
+                by_destination[journey.destination] = (
+                    by_destination.get(journey.destination, 0) + 1
+                )
+            assert counts == by_destination, semantics
+
+    def test_wait_counts_departure_choices(self, branching):
+        counts = count_journeys(branching, "a", 0, WAIT, max_hops=1)
+        # ab1 at 0 or 1, ab2 at 1: three distinct one-hop journeys.
+        assert counts == {"b": 3}
+
+    def test_nowait_single_departure(self, branching):
+        counts = count_journeys(branching, "a", 0, NO_WAIT, max_hops=2)
+        assert counts == {"b": 1}  # only ab1@0; bc unreachable directly
+
+    def test_static_graph_growth(self):
+        g = static_graph([("a", "a")])  # self-loop, always present
+        counts = count_journeys_by_hops(g, "a", 0, NO_WAIT, horizon=10, max_hops=4)
+        assert counts == [1, 1, 1, 1, 1]
+
+    def test_by_hops_sums_to_total(self, branching):
+        per_hop = count_journeys_by_hops(branching, "a", 0, WAIT, max_hops=3)
+        totals = count_journeys(branching, "a", 0, WAIT, max_hops=3)
+        assert sum(per_hop[1:]) == sum(totals.values())
+
+
+class TestCountWords:
+    def test_word_counts_deduplicate_journeys(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 6)
+            .edge("a", "b", label="x", present={0, 1}, key="e1")
+            .edge("a", "b", label="x", present={2}, key="e2")
+            .build()
+        )
+        counts = count_words(g, "a", 0, {"b"}, WAIT, max_length=2)
+        # Three journeys but a single word 'x'.
+        assert counts == [0, 1, 0]
+
+    def test_counts_match_language(self):
+        from repro.constructions.figure1 import figure1_automaton
+
+        fig1 = figure1_automaton()
+        counts = count_words(
+            fig1.graph, "v0", 1, {"v2"}, NO_WAIT, max_length=6
+        )
+        assert counts == [0, 0, 1, 0, 1, 0, 1]  # ab, aabb, aaabbb

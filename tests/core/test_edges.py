@@ -1,0 +1,85 @@
+"""Tests for labeled time-varying edges."""
+
+import pytest
+
+from repro.core.edges import Edge
+from repro.core.latency import affine_latency, constant_latency
+from repro.core.presence import at_times, periodic_presence
+from repro.errors import EdgeNotPresentError
+
+
+def make_edge(**overrides):
+    defaults = dict(
+        source="u",
+        target="v",
+        label="a",
+        key="e",
+        presence=at_times([0, 2, 4]),
+        latency=constant_latency(2),
+    )
+    defaults.update(overrides)
+    return Edge(**defaults)
+
+
+class TestEdge:
+    def test_present_at(self):
+        edge = make_edge()
+        assert edge.present_at(0) and edge.present_at(4)
+        assert not edge.present_at(1)
+
+    def test_traverse(self):
+        edge = make_edge()
+        assert edge.traverse(0) == 2
+        assert edge.traverse(4) == 6
+
+    def test_traverse_absent_raises(self):
+        with pytest.raises(EdgeNotPresentError):
+            make_edge().traverse(1)
+
+    def test_time_varying_latency(self):
+        edge = make_edge(latency=affine_latency(1))  # latency = t
+        assert edge.traverse(2) == 4
+        assert edge.traverse(4) == 8
+
+    def test_defaults_always_present_unit_latency(self):
+        edge = Edge("u", "v")
+        assert edge.present_at(123)
+        assert edge.traverse(123) == 124
+        assert edge.label is None
+
+    def test_shifted(self):
+        edge = make_edge().shifted(10)
+        assert edge.present_at(10) and edge.present_at(12)
+        assert not edge.present_at(0)
+        assert edge.traverse(10) == 12
+
+    def test_dilated(self):
+        edge = make_edge().dilated(3)
+        assert edge.present_at(0) and edge.present_at(6) and edge.present_at(12)
+        assert not edge.present_at(2) and not edge.present_at(4)
+        assert edge.traverse(6) == 6 + 3 * 2
+
+    def test_relabeled(self):
+        edge = make_edge().relabeled("z")
+        assert edge.label == "z"
+        assert edge.source == "u"
+
+    def test_reversed(self):
+        edge = make_edge().reversed()
+        assert edge.source == "v" and edge.target == "u"
+        assert edge.key == "e~rev"
+        assert edge.present_at(0)
+
+    def test_reversed_custom_key(self):
+        assert make_edge().reversed(key="back").key == "back"
+
+    def test_frozen(self):
+        edge = make_edge()
+        with pytest.raises(AttributeError):
+            edge.label = "q"
+
+    def test_periodic_edge_traversal(self):
+        edge = make_edge(presence=periodic_presence([1], 3), latency=constant_latency(1))
+        assert edge.traverse(4) == 5
+        with pytest.raises(EdgeNotPresentError):
+            edge.traverse(3)

@@ -1,0 +1,141 @@
+"""Tests for TVG generators."""
+
+import random
+
+import pytest
+
+from repro.core.generators import (
+    bernoulli_tvg,
+    edge_markovian_tvg,
+    from_networkx_schedule,
+    periodic_random_tvg,
+    random_labeled_tvg,
+    transit_tvg,
+)
+from repro.core.intervals import Interval
+from repro.core.snapshots import presence_density
+from repro.errors import ReproError
+
+import networkx as nx
+
+
+class TestBernoulli:
+    def test_deterministic_under_seed(self):
+        a = bernoulli_tvg(5, horizon=20, density=0.3, seed=1)
+        b = bernoulli_tvg(5, horizon=20, density=0.3, seed=1)
+        assert [e.key for e in a.edges] == [e.key for e in b.edges]
+        window = Interval(0, 20)
+        for ea, eb in zip(a.edges, b.edges):
+            assert list(ea.presence.support(window).times()) == list(
+                eb.presence.support(window).times()
+            )
+
+    def test_density_roughly_respected(self):
+        g = bernoulli_tvg(8, horizon=50, density=0.4, seed=2)
+        measured = presence_density(g, 0, 50)
+        assert 0.3 < measured < 0.5
+
+    def test_density_bounds_validated(self):
+        with pytest.raises(ReproError):
+            bernoulli_tvg(4, horizon=10, density=1.5)
+
+    def test_undirected_symmetry(self):
+        g = bernoulli_tvg(4, horizon=10, density=0.5, seed=3)
+        for edge in g.edges:
+            twins = g.edges_between(edge.target, edge.source)
+            assert twins, f"missing reverse of {edge.key}"
+
+    def test_directed_mode(self):
+        g = bernoulli_tvg(3, horizon=10, density=1.0, directed=True, seed=0)
+        assert g.edge_count == 6
+
+
+class TestEdgeMarkovian:
+    def test_deterministic_under_seed(self):
+        a = edge_markovian_tvg(5, horizon=30, birth=0.2, death=0.4, seed=9)
+        b = edge_markovian_tvg(5, horizon=30, birth=0.2, death=0.4, seed=9)
+        assert presence_density(a, 0, 30) == presence_density(b, 0, 30)
+
+    def test_stationary_density(self):
+        g = edge_markovian_tvg(10, horizon=200, birth=0.2, death=0.2, seed=4)
+        measured = presence_density(g, 0, 200)
+        assert 0.4 < measured < 0.6  # stationary = 0.5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            edge_markovian_tvg(4, horizon=10, birth=2.0, death=0.1)
+
+    def test_degenerate_never_born(self):
+        g = edge_markovian_tvg(4, horizon=10, birth=0.0, death=1.0, seed=5)
+        assert g.edge_count == 0
+
+
+class TestPeriodicRandom:
+    def test_period_declared_and_true(self):
+        g = periodic_random_tvg(4, period=5, density=0.5, seed=6)
+        assert g.period == 5
+        for edge in g.edges:
+            for t in range(5):
+                assert edge.present_at(t) == edge.present_at(t + 5)
+
+    def test_labels_drawn_from_alphabet(self):
+        g = periodic_random_tvg(4, period=3, density=0.8, labels="xy", seed=7)
+        assert g.alphabet <= {"x", "y"}
+
+
+class TestRandomLabeled:
+    def test_edge_count_exact(self):
+        g = random_labeled_tvg(5, edge_count=9, alphabet="ab", period=4, seed=8)
+        assert g.edge_count == 9
+
+    def test_no_self_loops(self):
+        g = random_labeled_tvg(3, edge_count=20, alphabet="a", period=3, seed=9)
+        assert all(e.source != e.target for e in g.edges)
+
+    def test_every_edge_sometimes_present(self):
+        g = random_labeled_tvg(4, edge_count=10, alphabet="ab", period=4, seed=10)
+        window = Interval(0, 4)
+        for edge in g.edges:
+            assert edge.presence.support(window)
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ReproError):
+            random_labeled_tvg(1, edge_count=1, alphabet="a", period=2)
+
+
+class TestTransit:
+    def test_line_schedule(self):
+        g = transit_tvg([(["s0", "s1", "s2"], 0, 4)])
+        hop0 = g.edge("line0.hop0")
+        hop1 = g.edge("line0.hop1")
+        assert hop0.present_at(0) and hop0.present_at(4)
+        assert hop1.present_at(1) and hop1.present_at(5)
+        assert not hop1.present_at(0)
+
+    def test_period_lcm(self):
+        g = transit_tvg([(["a", "b"], 0, 4), (["b", "c"], 1, 6)])
+        assert g.period == 12
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            transit_tvg([])
+        with pytest.raises(ReproError):
+            transit_tvg([(["only"], 0, 4)])
+
+
+class TestFromNetworkx:
+    def test_undirected_lift(self):
+        footprint = nx.path_graph(3)
+        g = from_networkx_schedule(footprint, {(0, 1): [2], (1, 2): [3]}, horizon=5)
+        assert g.edge_count == 4
+        assert any(e.present_at(2) for e in g.out_edges(0))
+
+    def test_missing_schedule_means_always(self):
+        footprint = nx.path_graph(2)
+        g = from_networkx_schedule(footprint, {}, horizon=5)
+        assert all(e.present_at(0) and e.present_at(4) for e in g.edges)
+
+    def test_directed_lift(self):
+        footprint = nx.DiGraph([(0, 1)])
+        g = from_networkx_schedule(footprint, {(0, 1): [1]}, horizon=4)
+        assert g.edge_count == 1

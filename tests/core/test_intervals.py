@@ -1,0 +1,142 @@
+"""Tests for integer interval sets."""
+
+import pytest
+
+from repro.core.intervals import Interval, IntervalSet
+from repro.errors import TimeDomainError
+
+
+class TestInterval:
+    def test_membership(self):
+        interval = Interval(2, 5)
+        assert 2 in interval
+        assert 4 in interval
+        assert 5 not in interval
+        assert 1 not in interval
+
+    def test_non_integer_not_contained(self):
+        assert 2.5 not in Interval(2, 5)
+        assert "2" not in Interval(2, 5)
+
+    def test_empty(self):
+        assert Interval(3, 3).empty
+        assert Interval(4, 3).empty
+        assert not Interval(3, 4).empty
+
+    def test_length(self):
+        assert Interval(2, 5).length == 3
+        assert Interval(5, 2).length == 0
+
+    def test_overlaps_and_touches(self):
+        assert Interval(0, 3).overlaps(Interval(2, 5))
+        assert not Interval(0, 3).overlaps(Interval(3, 5))
+        assert Interval(0, 3).touches(Interval(3, 5))
+        assert not Interval(0, 3).touches(Interval(4, 5))
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 2).intersect(Interval(3, 8)).empty
+
+    def test_shift(self):
+        assert Interval(1, 4).shift(10) == Interval(11, 14)
+        assert Interval(1, 4).shift(-1) == Interval(0, 3)
+
+    def test_dilate(self):
+        assert Interval(1, 4).dilate(3) == Interval(3, 12)
+
+    def test_dilate_rejects_nonpositive(self):
+        with pytest.raises(TimeDomainError):
+            Interval(1, 4).dilate(0)
+
+    def test_times(self):
+        assert list(Interval(2, 5).times()) == [2, 3, 4]
+
+
+class TestIntervalSet:
+    def test_normalization_merges_overlaps_and_adjacency(self):
+        s = IntervalSet([Interval(0, 3), Interval(3, 5), Interval(2, 4), Interval(8, 9)])
+        assert list(s) == [Interval(0, 5), Interval(8, 9)]
+
+    def test_empty_intervals_dropped(self):
+        s = IntervalSet([Interval(5, 5), Interval(7, 3)])
+        assert not s
+        assert len(s) == 0
+
+    def test_membership(self):
+        s = IntervalSet.from_pairs([(0, 2), (5, 7)])
+        assert 0 in s and 1 in s and 5 in s and 6 in s
+        assert 2 not in s and 4 not in s and 7 not in s
+        assert "1" not in s
+
+    def test_from_times(self):
+        s = IntervalSet.from_times([1, 2, 3, 7, 9])
+        assert list(s) == [Interval(1, 4), Interval(7, 8), Interval(9, 10)]
+
+    def test_next_time_in(self):
+        s = IntervalSet.from_pairs([(2, 4), (8, 10)])
+        assert s.next_time_in(0) == 2
+        assert s.next_time_in(2) == 2
+        assert s.next_time_in(3) == 3
+        assert s.next_time_in(4) == 8
+        assert s.next_time_in(9) == 9
+        assert s.next_time_in(10) is None
+
+    def test_next_time_in_empty(self):
+        assert IntervalSet().next_time_in(0) is None
+
+    def test_total_length(self):
+        assert IntervalSet.from_pairs([(0, 3), (10, 11)]).total_length() == 4
+
+    def test_times_iteration(self):
+        s = IntervalSet.from_pairs([(0, 2), (5, 6)])
+        assert list(s.times()) == [0, 1, 5]
+
+    def test_union(self):
+        a = IntervalSet.from_pairs([(0, 3)])
+        b = IntervalSet.from_pairs([(2, 5), (9, 10)])
+        assert list(a.union(b)) == [Interval(0, 5), Interval(9, 10)]
+
+    def test_intersect(self):
+        a = IntervalSet.from_pairs([(0, 5), (8, 12)])
+        b = IntervalSet.from_pairs([(3, 9)])
+        assert list(a.intersect(b)) == [Interval(3, 5), Interval(8, 9)]
+
+    def test_intersect_disjoint(self):
+        a = IntervalSet.from_pairs([(0, 2)])
+        b = IntervalSet.from_pairs([(5, 7)])
+        assert not a.intersect(b)
+
+    def test_complement(self):
+        s = IntervalSet.from_pairs([(2, 4), (6, 7)])
+        gaps = s.complement(Interval(0, 10))
+        assert list(gaps) == [Interval(0, 2), Interval(4, 6), Interval(7, 10)]
+
+    def test_complement_of_empty_is_window(self):
+        assert list(IntervalSet().complement(Interval(3, 6))) == [Interval(3, 6)]
+
+    def test_difference(self):
+        a = IntervalSet.from_pairs([(0, 10)])
+        b = IntervalSet.from_pairs([(3, 5)])
+        assert list(a.difference(b)) == [Interval(0, 3), Interval(5, 10)]
+
+    def test_shift(self):
+        s = IntervalSet.from_pairs([(1, 3)]).shift(4)
+        assert list(s) == [Interval(5, 7)]
+
+    def test_dilate_sparse_maps_dates(self):
+        s = IntervalSet.from_times([1, 2, 5]).dilate_sparse(3)
+        assert sorted(s.times()) == [3, 6, 15]
+
+    def test_dilate_sparse_rejects_nonpositive(self):
+        with pytest.raises(TimeDomainError):
+            IntervalSet.from_times([1]).dilate_sparse(-1)
+
+    def test_span(self):
+        assert IntervalSet.from_pairs([(2, 4), (8, 9)]).span == Interval(2, 9)
+        assert IntervalSet().span is None
+
+    def test_equality_and_hash(self):
+        a = IntervalSet.from_pairs([(0, 2), (2, 4)])
+        b = IntervalSet.from_pairs([(0, 4)])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,136 @@
+"""Tests for journeys."""
+
+import pytest
+
+from repro.core.edges import Edge
+from repro.core.journeys import Hop, Journey
+from repro.core.latency import constant_latency
+from repro.core.presence import always, at_times
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.errors import InvalidJourneyError
+
+
+def edge(source, target, label=None, times=None, latency=1, key=""):
+    return Edge(
+        source=source,
+        target=target,
+        label=label,
+        key=key or f"{source}->{target}",
+        presence=always() if times is None else at_times(times),
+        latency=constant_latency(latency),
+    )
+
+
+AB = edge("a", "b", label="x", times=[0, 5])
+BC = edge("b", "c", label="y", times=[1, 8])
+
+
+class TestHop:
+    def test_arrival(self):
+        assert Hop(AB, 0).arrival == 1
+        assert Hop(edge("a", "b", latency=4), 3).arrival == 7
+
+
+class TestJourneyValidation:
+    def test_single_hop(self):
+        j = Journey([Hop(AB, 0)])
+        assert j.source == "a" and j.destination == "b"
+        assert j.departure == 0 and j.arrival == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidJourneyError):
+            Journey([])
+
+    def test_absent_edge_rejected(self):
+        with pytest.raises(InvalidJourneyError):
+            Journey([Hop(AB, 3)])  # AB present only at 0 and 5
+
+    def test_disconnected_hops_rejected(self):
+        other = edge("x", "y")
+        with pytest.raises(InvalidJourneyError):
+            Journey([Hop(AB, 0), Hop(other, 1)])
+
+    def test_time_travel_rejected(self):
+        # AB at 5 arrives at 6; BC at 1 would depart before that.
+        with pytest.raises(InvalidJourneyError):
+            Journey([Hop(AB, 5), Hop(BC, 1)])
+
+
+class TestJourneyProperties:
+    def test_direct_journey(self):
+        j = Journey([Hop(AB, 0), Hop(BC, 1)])
+        assert j.is_direct and not j.is_indirect
+        assert j.pauses == (0,)
+        assert j.max_pause == 0
+        assert j.total_waiting == 0
+
+    def test_indirect_journey(self):
+        j = Journey([Hop(AB, 0), Hop(BC, 8)])
+        assert j.is_indirect
+        assert j.pauses == (7,)
+        assert j.max_pause == 7
+        assert j.total_waiting == 7
+
+    def test_feasibility_under_semantics(self):
+        direct = Journey([Hop(AB, 0), Hop(BC, 1)])
+        indirect = Journey([Hop(AB, 0), Hop(BC, 8)])
+        assert direct.feasible_under(NO_WAIT)
+        assert direct.feasible_under(WAIT)
+        assert not indirect.feasible_under(NO_WAIT)
+        assert indirect.feasible_under(WAIT)
+        assert indirect.feasible_under(bounded_wait(7))
+        assert not indirect.feasible_under(bounded_wait(6))
+
+    def test_word(self):
+        j = Journey([Hop(AB, 0), Hop(BC, 1)])
+        assert j.word == ("x", "y")
+        assert j.word_str == "xy"
+
+    def test_word_skips_unlabeled(self):
+        silent = edge("b", "c", label=None, times=[1])
+        j = Journey([Hop(AB, 0), Hop(silent, 1)])
+        assert j.word_str == "x"
+
+    def test_nodes_and_len(self):
+        j = Journey([Hop(AB, 0), Hop(BC, 1)])
+        assert j.nodes() == ("a", "b", "c")
+        assert len(j) == 2
+
+    def test_duration(self):
+        j = Journey([Hop(AB, 5), Hop(BC, 8)])
+        assert j.duration == 9 - 5
+
+
+class TestJourneyComposition:
+    def test_extend(self):
+        j = Journey([Hop(AB, 0)]).extend(BC, 1)
+        assert len(j) == 2
+        assert j.word_str == "xy"
+
+    def test_extend_invalid(self):
+        with pytest.raises(InvalidJourneyError):
+            Journey([Hop(AB, 5)]).extend(BC, 1)
+
+    def test_prefix(self):
+        j = Journey([Hop(AB, 0), Hop(BC, 1)])
+        assert j.prefix(1) == Journey([Hop(AB, 0)])
+
+    def test_prefix_bounds(self):
+        j = Journey([Hop(AB, 0)])
+        with pytest.raises(InvalidJourneyError):
+            j.prefix(0)
+        with pytest.raises(InvalidJourneyError):
+            j.prefix(2)
+
+    def test_concatenate(self):
+        first = Journey([Hop(AB, 0)])
+        second = Journey([Hop(BC, 8)])
+        joined = Journey.concatenate(first, second)
+        assert joined.word_str == "xy"
+        assert joined.pauses == (7,)
+
+    def test_equality_and_hash(self):
+        a = Journey([Hop(AB, 0), Hop(BC, 1)])
+        b = Journey([Hop(AB, 0), Hop(BC, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert a != Journey([Hop(AB, 0), Hop(BC, 8)])

@@ -1,0 +1,94 @@
+"""Tests for temporal distance metrics."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder, static_graph
+from repro.core.metrics import (
+    eccentricity,
+    fastest_journey,
+    shortest_journey,
+    temporal_diameter,
+    temporal_distance,
+)
+from repro.core.semantics import NO_WAIT, WAIT
+
+
+@pytest.fixture()
+def diamond():
+    """Two a->d routes: a 2-hop fast path and a 1-hop slow edge."""
+    return (
+        TVGBuilder(name="diamond")
+        .lifetime(0, 20)
+        .edge("a", "b", present={0}, latency=1, key="ab")
+        .edge("b", "d", present={1}, latency=1, key="bd")
+        .edge("a", "d", present={0}, latency=9, key="ad")
+        .build()
+    )
+
+
+class TestTemporalDistance:
+    def test_self_distance_zero(self, diamond):
+        assert temporal_distance(diamond, "a", "a", 0, WAIT) == 0
+
+    def test_foremost_prefers_two_hops(self, diamond):
+        assert temporal_distance(diamond, "a", "d", 0, NO_WAIT) == 2
+
+    def test_unreachable_is_none(self, diamond):
+        assert temporal_distance(diamond, "b", "a", 0, WAIT) is None
+
+    def test_start_time_shifts_distance(self):
+        g = TVGBuilder().lifetime(0, 10).edge("a", "b", present={5}).build()
+        assert temporal_distance(g, "a", "b", 0, WAIT) == 6
+        assert temporal_distance(g, "a", "b", 5, WAIT) == 1
+        assert temporal_distance(g, "a", "b", 0, NO_WAIT) is None
+
+
+class TestShortestJourney:
+    def test_minimum_hops_wins(self, diamond):
+        journey = shortest_journey(diamond, "a", "d", 0, WAIT)
+        assert journey is not None
+        assert len(journey) == 1  # the slow direct edge has fewer hops
+        assert journey.hops[0].edge.key == "ad"
+
+    def test_unreachable(self, diamond):
+        assert shortest_journey(diamond, "d", "a", 0, WAIT) is None
+
+    def test_static_graph_matches_bfs(self):
+        g = static_graph([("a", "b"), ("b", "c"), ("a", "c")])
+        journey = shortest_journey(g, "a", "c", 0, NO_WAIT, horizon=10)
+        assert journey is not None and len(journey) == 1
+
+
+class TestFastestJourney:
+    def test_later_start_can_be_faster(self):
+        # Departing at 0 forces a long wait mid-route; departing at 4 is quick.
+        g = (
+            TVGBuilder()
+            .lifetime(0, 20)
+            .edge("a", "b", present={0, 4}, key="ab")
+            .edge("b", "c", present={5}, key="bc")
+            .build()
+        )
+        journey = fastest_journey(g, "a", "c", 0, 10, WAIT)
+        assert journey is not None
+        assert journey.departure == 4
+        assert journey.duration == 2
+
+    def test_none_when_never_reachable(self, diamond):
+        assert fastest_journey(diamond, "d", "a", 0, 10, WAIT) is None
+
+
+class TestEccentricityAndDiameter:
+    def test_eccentricity(self, diamond):
+        assert eccentricity(diamond, "a", 0, NO_WAIT) == 2
+
+    def test_eccentricity_none_when_partial(self, diamond):
+        assert eccentricity(diamond, "b", 0, WAIT) is None
+
+    def test_diameter_none_unless_connected(self, diamond):
+        assert temporal_diameter(diamond, 0, WAIT) is None
+
+    def test_diameter_on_cycle(self):
+        g = static_graph([("a", "b"), ("b", "c"), ("c", "a")])
+        # unit latencies: worst pair needs 2 hops.
+        assert temporal_diameter(g, 0, NO_WAIT, horizon=10) == 2

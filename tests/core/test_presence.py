@@ -1,0 +1,159 @@
+"""Tests for presence functions."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.presence import (
+    always,
+    at_times,
+    function_presence,
+    interval_presence,
+    never,
+    periodic_presence,
+)
+from repro.errors import TimeDomainError
+
+
+class TestAlwaysNever:
+    def test_always(self):
+        p = always()
+        assert p(0) and p(10**9)
+        assert p.next_present(5) == 5
+        assert p.next_present(5, limit=5) is None
+        assert list(p.support(Interval(3, 6)).times()) == [3, 4, 5]
+
+    def test_never(self):
+        p = never()
+        assert not p(0)
+        assert p.next_present(0) is None
+        assert not p.support(Interval(0, 100))
+
+
+class TestIntervalPresence:
+    def test_call(self):
+        p = interval_presence([(0, 2), (5, 7)])
+        assert p(0) and p(1) and p(5)
+        assert not p(2) and not p(4) and not p(7)
+
+    def test_next_present(self):
+        p = interval_presence([(2, 4), (9, 10)])
+        assert p.next_present(0) == 2
+        assert p.next_present(4) == 9
+        assert p.next_present(4, limit=9) is None
+        assert p.next_present(10) is None
+
+    def test_support(self):
+        p = interval_presence([(0, 3), (8, 12)])
+        assert list(p.support(Interval(2, 10)).times()) == [2, 8, 9]
+
+    def test_at_times(self):
+        p = at_times([1, 4, 5])
+        assert p(1) and p(4) and p(5)
+        assert not p(2)
+
+
+class TestPeriodicPresence:
+    def test_call(self):
+        p = periodic_presence([0, 2], 5)
+        for t in (0, 2, 5, 7, 10, 102):
+            assert p(t), t
+        for t in (1, 3, 4, 6, 101):
+            assert not p(t), t
+
+    def test_residues_normalized(self):
+        p = periodic_presence([7], 5)  # 7 % 5 == 2
+        assert p(2) and p(7) and p(12)
+
+    def test_next_present_same_period(self):
+        p = periodic_presence([1, 3], 4)
+        assert p.next_present(0) == 1
+        assert p.next_present(1) == 1
+        assert p.next_present(2) == 3
+        assert p.next_present(4) == 5
+
+    def test_next_present_wraps(self):
+        p = periodic_presence([1], 4)
+        assert p.next_present(2) == 5
+        assert p.next_present(6) == 9
+
+    def test_next_present_respects_limit(self):
+        p = periodic_presence([1], 4)
+        assert p.next_present(2, limit=5) is None
+        assert p.next_present(2, limit=6) == 5
+
+    def test_empty_pattern(self):
+        p = periodic_presence([], 4)
+        assert not p(0)
+        assert p.next_present(0) is None
+
+    def test_support(self):
+        p = periodic_presence([0, 3], 4)
+        assert list(p.support(Interval(0, 10)).times()) == [0, 3, 4, 7, 8]
+
+    def test_support_offset_window(self):
+        p = periodic_presence([2], 5)
+        assert list(p.support(Interval(3, 13)).times()) == [7, 12]
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(TimeDomainError):
+            periodic_presence([0], 0)
+
+
+class TestFunctionPresence:
+    def test_call(self):
+        p = function_presence(lambda t: t % 3 == 0)
+        assert p(0) and p(9)
+        assert not p(1)
+
+    def test_next_present_requires_limit(self):
+        p = function_presence(lambda t: t == 100)
+        with pytest.raises(TimeDomainError):
+            p.next_present(0)
+        assert p.next_present(0, limit=200) == 100
+        assert p.next_present(0, limit=50) is None
+
+    def test_support_scans(self):
+        p = function_presence(lambda t: t in (2, 5))
+        assert list(p.support(Interval(0, 10)).times()) == [2, 5]
+
+
+class TestCombinators:
+    def test_shifted(self):
+        p = at_times([3, 6]).shifted(10)
+        assert p(13) and p(16)
+        assert not p(3)
+        assert p.next_present(0) == 13
+        assert list(p.support(Interval(0, 20)).times()) == [13, 16]
+
+    def test_shifted_negative(self):
+        p = at_times([10]).shifted(-4)
+        assert p(6)
+
+    def test_dilated_membership(self):
+        p = at_times([1, 2]).dilated(3)
+        assert p(3) and p(6)
+        assert not p(1) and not p(2) and not p(4) and not p(5)
+
+    def test_dilated_next_present(self):
+        p = at_times([1, 4]).dilated(3)
+        assert p.next_present(0) == 3
+        assert p.next_present(4) == 12
+        assert p.next_present(4, limit=12) is None
+
+    def test_dilated_support(self):
+        p = at_times([0, 1, 4]).dilated(2)
+        assert list(p.support(Interval(0, 9)).times()) == [0, 2, 8]
+
+    def test_dilated_rejects_nonpositive(self):
+        with pytest.raises(TimeDomainError):
+            always().dilated(0)
+
+    def test_union(self):
+        p = at_times([1]) | at_times([3])
+        assert p(1) and p(3) and not p(2)
+        assert list(p.support(Interval(0, 5)).times()) == [1, 3]
+
+    def test_intersect(self):
+        p = periodic_presence([0], 2) & periodic_presence([0], 3)
+        assert p(0) and p(6) and not p(2) and not p(3)
+        assert list(p.support(Interval(0, 13)).times()) == [0, 6, 12]

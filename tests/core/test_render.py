@@ -1,0 +1,90 @@
+"""Tests for ASCII rendering."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.core.render import (
+    render_journey,
+    render_journey_over_schedule,
+    render_schedule,
+)
+from repro.core.semantics import WAIT
+from repro.core.traversal import foremost_journey
+from repro.errors import ReproError
+
+
+@pytest.fixture()
+def small():
+    return (
+        TVGBuilder(name="small")
+        .lifetime(0, 6)
+        .edge("a", "b", present={0, 1, 4}, key="ab")
+        .edge("b", "c", present={2}, key="bc")
+        .build()
+    )
+
+
+class TestRenderSchedule:
+    def test_golden(self, small):
+        expected = "\n".join(
+            [
+                "t         012345",
+                "ab  a->b  ##..#.",
+                "bc  b->c  ..#...",
+            ]
+        )
+        assert render_schedule(small) == expected
+
+    def test_window_override(self, small):
+        out = render_schedule(small, start=2, end=5)
+        assert out.splitlines()[0].endswith("234")
+        assert out.splitlines()[1].endswith("..#")
+
+    def test_labels_shown(self):
+        g = TVGBuilder().lifetime(0, 3).edge("a", "b", label="x", key="e").build()
+        out = render_schedule(g)
+        assert "a->b:x" in out
+
+    def test_periodic_default_window(self):
+        g = TVGBuilder().periodic(3).edge("a", "b", period=(1, 3), key="e").build()
+        out = render_schedule(g)
+        # two periods rendered: dates 0..5
+        assert out.splitlines()[1].endswith(".#..#.")
+
+    def test_empty_graph_rejected(self):
+        g = TVGBuilder().lifetime(0, 4).node("a").build()
+        with pytest.raises(ReproError):
+            render_schedule(g)
+
+    def test_unbounded_needs_end(self):
+        g = TVGBuilder().edge("a", "b", key="e").build()
+        with pytest.raises(ReproError):
+            render_schedule(g)
+        assert render_schedule(g, end=4)
+
+    def test_empty_window_rejected(self, small):
+        with pytest.raises(ReproError):
+            render_schedule(small, start=4, end=4)
+
+
+class TestRenderJourney:
+    def test_itinerary_with_pause(self, small):
+        journey = foremost_journey(small, "a", "c", 0, WAIT)
+        text = render_journey(journey)
+        assert text.startswith("'a'@0")
+        assert "--ab-->" in text and "--bc-->" in text
+        assert "(wait 1)" in text  # arrive b at 1, bc opens at 2
+
+    def test_direct_journey_no_pause_text(self, small):
+        journey = foremost_journey(small, "a", "b", 0, WAIT)
+        assert "(wait" not in render_journey(journey)
+
+
+class TestOverlay:
+    def test_departures_marked(self, small):
+        journey = foremost_journey(small, "a", "c", 0, WAIT)
+        out = render_journey_over_schedule(journey, small)
+        lines = out.splitlines()
+        # ab departure at t=0, bc departure at t=2.
+        assert lines[1].endswith("@#..#.")
+        assert lines[2].endswith("..@...")

@@ -1,0 +1,56 @@
+"""Tests for waiting semantics."""
+
+import pytest
+
+from repro.core.semantics import BOUNDED_WAIT, NO_WAIT, WAIT, bounded_wait
+from repro.errors import SemanticsError
+
+
+class TestWaitingSemantics:
+    def test_no_wait(self):
+        assert NO_WAIT.is_no_wait
+        assert not NO_WAIT.unbounded
+        assert NO_WAIT.allows_pause(0)
+        assert not NO_WAIT.allows_pause(1)
+
+    def test_wait(self):
+        assert WAIT.unbounded
+        assert not WAIT.is_no_wait
+        assert WAIT.allows_pause(0)
+        assert WAIT.allows_pause(10**9)
+
+    def test_bounded(self):
+        d3 = bounded_wait(3)
+        assert not d3.unbounded and not d3.is_no_wait
+        assert d3.allows_pause(0) and d3.allows_pause(3)
+        assert not d3.allows_pause(4)
+
+    def test_bounded_zero_is_no_wait(self):
+        assert bounded_wait(0) == NO_WAIT
+        assert bounded_wait(0).is_no_wait
+
+    def test_negative_pause_never_allowed(self):
+        for semantics in (NO_WAIT, WAIT, bounded_wait(5)):
+            assert not semantics.allows_pause(-1)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(SemanticsError):
+            bounded_wait(-1)
+
+    def test_latest_departure(self):
+        assert WAIT.latest_departure(ready=5, horizon=100) == 100
+        assert NO_WAIT.latest_departure(ready=5, horizon=100) == 6
+        assert bounded_wait(3).latest_departure(ready=5, horizon=100) == 9
+        assert bounded_wait(3).latest_departure(ready=98, horizon=100) == 100
+
+    def test_str(self):
+        assert str(NO_WAIT) == "nowait"
+        assert str(WAIT) == "wait"
+        assert str(bounded_wait(4)) == "wait[4]"
+
+    def test_alias(self):
+        assert BOUNDED_WAIT(2) == bounded_wait(2)
+
+    def test_equality_and_hashability(self):
+        assert bounded_wait(2) == bounded_wait(2)
+        assert len({NO_WAIT, WAIT, bounded_wait(1), bounded_wait(1)}) == 3

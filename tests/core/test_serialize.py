@@ -1,0 +1,126 @@
+"""Tests for TVG JSON serialization."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.core.latency import affine_latency, function_latency, table_latency
+from repro.core.presence import function_presence
+from repro.core.serialize import (
+    decode_latency,
+    decode_presence,
+    dumps,
+    encode_latency,
+    encode_presence,
+    from_dict,
+    load,
+    loads,
+    sampled,
+    save,
+    to_dict,
+)
+from repro.core.time_domain import Lifetime
+from repro.errors import ReproError, TraceFormatError
+
+
+@pytest.fixture()
+def graph():
+    return (
+        TVGBuilder(name="demo")
+        .lifetime(0, 30)
+        .periodic(6)
+        .edge("a", "b", label="x", present=[(0, 3), (8, 10)], latency=2, key="ab")
+        .edge("b", "c", label="y", period=(1, 6), key="bc")
+        .edge("c", "a", latency=affine_latency(1, 1), key="ca")
+        .build()
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, graph):
+        again = from_dict(to_dict(graph))
+        assert again.name == graph.name
+        assert again.lifetime == graph.lifetime
+        assert again.period == graph.period
+        assert set(again.nodes) == set(graph.nodes)
+        assert {e.key for e in again.edges} == {e.key for e in graph.edges}
+
+    def test_schedules_survive(self, graph):
+        again = loads(dumps(graph))
+        original_ab, again_ab = graph.edge("ab"), again.edge("ab")
+        for t in range(0, 12):
+            assert original_ab.present_at(t) == again_ab.present_at(t), t
+        assert again_ab.latency(0) == 2
+        assert again.edge("ca").latency(5) == 6  # affine 1*t + 1
+
+    def test_labels_survive(self, graph):
+        again = loads(dumps(graph))
+        assert again.edge("ab").label == "x"
+        assert again.edge("ca").label is None
+
+    def test_file_round_trip(self, graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save(graph, path)
+        again = load(path)
+        assert again.edge_count == graph.edge_count
+
+    def test_unbounded_lifetime(self):
+        g = TVGBuilder().edge("a", "b", key="e").build()
+        again = loads(dumps(g))
+        assert not again.lifetime.bounded
+
+
+class TestEncoders:
+    def test_unknown_presence_kind(self):
+        with pytest.raises(TraceFormatError):
+            decode_presence({"kind": "astrology"})
+
+    def test_unknown_latency_kind(self):
+        with pytest.raises(TraceFormatError):
+            decode_latency({"kind": "vibes"})
+
+    def test_black_box_presence_rejected(self):
+        with pytest.raises(ReproError):
+            encode_presence(function_presence(lambda t: True))
+
+    def test_black_box_latency_rejected(self):
+        with pytest.raises(ReproError):
+            encode_latency(function_latency(lambda t: 1))
+
+    def test_table_latency_round_trip(self):
+        lat = table_latency({0: 3, 7: 2}, default=5)
+        again = decode_latency(encode_latency(lat))
+        assert again(0) == 3 and again(7) == 2 and again(1) == 5
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TraceFormatError):
+            from_dict({"format": "not-a-tvg"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(TraceFormatError):
+            from_dict({"format": "repro-tvg", "version": 99})
+
+
+class TestSampled:
+    def test_clockwork_graph_becomes_serializable(self):
+        """Figure 1 has black-box schedules; sampling a window makes a
+        faithful, serializable finite view."""
+        from repro.constructions.figure1 import figure1_graph
+
+        fig1 = figure1_graph()
+        finite = sampled(fig1, 1, 40)
+        text = dumps(finite)  # must not raise
+        again = loads(text)
+        for t in range(1, 40):
+            for key in ("e0", "e1", "e2", "e3", "e4"):
+                assert fig1.edge(key).present_at(t) == again.edge(key).present_at(t)
+
+    def test_sampled_latencies_match(self):
+        from repro.constructions.figure1 import figure1_graph
+
+        fig1 = figure1_graph()
+        finite = sampled(fig1, 1, 20)
+        assert finite.edge("e0").latency(4) == fig1.edge("e0").latency(4)
+
+    def test_empty_window_rejected(self, graph):
+        with pytest.raises(ReproError):
+            sampled(graph, 5, 5)

@@ -1,0 +1,99 @@
+"""Tests for snapshots and footprints."""
+
+from repro.core.builders import TVGBuilder
+from repro.core.snapshots import (
+    always_disconnected,
+    footprint,
+    is_connected_at,
+    presence_density,
+    snapshot,
+    snapshots,
+)
+
+
+def rotating_triangle():
+    """Exactly one of the three contacts is up at any instant."""
+    return (
+        TVGBuilder(name="rotor")
+        .lifetime(0, 9)
+        .contact("a", "b", period=(0, 3), key="ab")
+        .contact("b", "c", period=(1, 3), key="bc")
+        .contact("c", "a", period=(2, 3), key="ca")
+        .build()
+    )
+
+
+class TestSnapshot:
+    def test_snapshot_contents(self):
+        g = rotating_triangle()
+        s0 = snapshot(g, 0)
+        assert set(s0.nodes) == {"a", "b", "c"}
+        assert s0.number_of_edges() == 2  # the ab contact, both directions
+        assert s0.has_edge("a", "b") and s0.has_edge("b", "a")
+
+    def test_snapshot_latency_annotation(self):
+        g = TVGBuilder().lifetime(0, 5).edge("a", "b", latency=3, key="e").build()
+        s = snapshot(g, 0)
+        assert s["a"]["b"]["e"]["latency"] == 3
+
+    def test_isolated_nodes_kept(self):
+        g = TVGBuilder().lifetime(0, 5).node("z").edge("a", "b").build()
+        assert "z" in snapshot(g, 0).nodes
+
+    def test_snapshots_iterator(self):
+        g = rotating_triangle()
+        frames = dict(snapshots(g, 0, 3))
+        assert frames[0].has_edge("a", "b")
+        assert frames[1].has_edge("b", "c")
+        assert frames[2].has_edge("c", "a")
+
+
+class TestFootprint:
+    def test_union_over_window(self):
+        g = rotating_triangle()
+        fp = footprint(g, 0, 9)
+        assert fp.number_of_edges() == 6  # all three contacts, both ways
+
+    def test_narrow_window(self):
+        g = rotating_triangle()
+        fp = footprint(g, 0, 1)
+        assert fp.number_of_edges() == 2
+
+    def test_support_annotation(self):
+        g = rotating_triangle()
+        fp = footprint(g, 0, 9)
+        support = fp["a"]["b"]["ab"]["support"]
+        assert sorted(support.times()) == [0, 3, 6]
+
+
+class TestConnectivityOverTime:
+    def test_every_snapshot_disconnected(self):
+        g = rotating_triangle()
+        assert always_disconnected(g, 0, 9)
+        assert not is_connected_at(g, 0)
+
+    def test_connected_snapshot_detected(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 2)
+            .contact("a", "b", present={0})
+            .contact("b", "c", present={0})
+            .build()
+        )
+        assert is_connected_at(g, 0)
+        assert not always_disconnected(g, 0, 2)
+
+    def test_trivial_graph_connected(self):
+        g = TVGBuilder().lifetime(0, 2).node("only").build()
+        assert is_connected_at(g, 0)
+
+
+class TestPresenceDensity:
+    def test_rotor_density(self):
+        g = rotating_triangle()
+        # Each directed edge is up 3 of 9 slots.
+        assert presence_density(g, 0, 9) == 3 / 9
+
+    def test_empty_graph(self):
+        g = TVGBuilder().lifetime(0, 5).node("a").build()
+        assert presence_density(g, 0, 5) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for lifetimes and the discrete time domain."""
+
+import pytest
+
+from repro.core.time_domain import INFINITY, Lifetime
+from repro.errors import TimeDomainError
+
+
+class TestLifetime:
+    def test_default_is_unbounded_from_zero(self):
+        lt = Lifetime()
+        assert lt.start == 0
+        assert not lt.bounded
+        assert 10**12 in lt
+
+    def test_membership_half_open(self):
+        lt = Lifetime(2, 5)
+        assert 2 in lt and 4 in lt
+        assert 5 not in lt and 1 not in lt
+
+    def test_non_integer_not_member(self):
+        assert 2.5 not in Lifetime(0, 10)
+
+    def test_duration(self):
+        assert Lifetime(3, 10).duration == 7
+        assert Lifetime(0).duration == INFINITY
+
+    def test_times_enumeration(self):
+        assert list(Lifetime(1, 4).times()) == [1, 2, 3]
+
+    def test_times_refuses_unbounded(self):
+        with pytest.raises(TimeDomainError):
+            Lifetime(0).times()
+
+    def test_invalid_bounds(self):
+        with pytest.raises(TimeDomainError):
+            Lifetime(5, 3)
+
+    def test_non_integer_start_rejected(self):
+        with pytest.raises(TimeDomainError):
+            Lifetime(1.5, 4)
+
+    def test_non_integer_end_rejected(self):
+        with pytest.raises(TimeDomainError):
+            Lifetime(0, 4.5)
+
+    def test_clamp_bounded(self):
+        assert Lifetime(0, 100).clamp(10) == Lifetime(0, 10)
+        assert Lifetime(0, 5).clamp(10) == Lifetime(0, 5)
+
+    def test_clamp_unbounded(self):
+        assert Lifetime(0).clamp(7) == Lifetime(0, 7)
+
+    def test_clamp_before_start_rejected(self):
+        with pytest.raises(TimeDomainError):
+            Lifetime(5).clamp(3)
+
+    def test_require(self):
+        Lifetime(0, 10).require(3)
+        with pytest.raises(TimeDomainError):
+            Lifetime(0, 10).require(10)

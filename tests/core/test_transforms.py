@@ -1,0 +1,122 @@
+"""Tests for TVG transforms."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.core.time_domain import Lifetime
+from repro.core.transforms import (
+    dilate,
+    disjoint_union,
+    relabel,
+    reverse,
+    shift,
+    subgraph,
+)
+from repro.core.traversal import reachable_nodes
+from repro.errors import ReproError, TimeDomainError
+
+
+@pytest.fixture()
+def base():
+    return (
+        TVGBuilder(name="base")
+        .lifetime(0, 10)
+        .edge("a", "b", label="x", present={0, 4}, latency=2, key="ab")
+        .edge("b", "c", label="y", present={2}, key="bc")
+        .build()
+    )
+
+
+class TestDilate:
+    def test_schedule_scaled(self, base):
+        big = dilate(base, 3)
+        ab = big.edge("ab")
+        assert ab.present_at(0) and ab.present_at(12)
+        assert not ab.present_at(4)
+        assert ab.traverse(0) == 6  # latency 2 scaled by 3
+
+    def test_lifetime_and_period_scaled(self):
+        g = TVGBuilder().lifetime(1, 5).periodic(4).edge("a", "b").build()
+        big = dilate(g, 2)
+        assert big.lifetime == Lifetime(2, 10)
+        assert big.period == 8
+
+    def test_direct_journeys_preserved(self, base):
+        # a -> b -> c direct at times 0,2 maps to 0,6 after dilation by 3.
+        assert reachable_nodes(base, "a", 0, NO_WAIT) == {"a", "b", "c"}
+        big = dilate(base, 3)
+        assert reachable_nodes(big, "a", 0, NO_WAIT) == {"a", "b", "c"}
+
+    def test_rejects_nonpositive(self, base):
+        with pytest.raises(TimeDomainError):
+            dilate(base, 0)
+
+
+class TestShift:
+    def test_schedule_translated(self, base):
+        late = shift(base, 5)
+        assert late.edge("ab").present_at(5)
+        assert not late.edge("ab").present_at(0)
+        assert late.lifetime == Lifetime(5, 15)
+
+    def test_reachability_translates(self, base):
+        late = shift(base, 5)
+        assert reachable_nodes(late, "a", 5, NO_WAIT) == {"a", "b", "c"}
+
+
+class TestRelabel:
+    def test_mapping(self, base):
+        new = relabel(base, {"x": "p", "y": "q"})
+        assert new.alphabet == {"p", "q"}
+        assert new.edge("ab").label == "p"
+
+    def test_mapping_must_cover(self, base):
+        with pytest.raises(ReproError):
+            relabel(base, {"x": "p"})
+
+    def test_callable(self, base):
+        new = relabel(base, str.upper)
+        assert new.alphabet == {"X", "Y"}
+
+    def test_schedule_untouched(self, base):
+        new = relabel(base, {"x": "p", "y": "q"})
+        assert new.edge("ab").present_at(4)
+
+
+class TestSubgraph:
+    def test_induced(self, base):
+        sub = subgraph(base, ["a", "b"])
+        assert set(sub.nodes) == {"a", "b"}
+        assert sub.edge_count == 1
+
+    def test_unknown_nodes(self, base):
+        with pytest.raises(ReproError):
+            subgraph(base, ["a", "zz"])
+
+
+class TestReverse:
+    def test_edges_flipped(self, base):
+        rev = reverse(base)
+        assert rev.edge("ab").source == "b"
+        assert reachable_nodes(rev, "c", 2, NO_WAIT) == {"c", "b"}
+
+
+class TestDisjointUnion:
+    def test_nodes_prefixed(self, base):
+        both = disjoint_union(base, base)
+        assert both.node_count == 6
+        assert both.edge_count == 4
+        assert "0:a" in both.nodes and "1:a" in both.nodes
+
+    def test_no_cross_reachability(self, base):
+        both = disjoint_union(base, base)
+        reached = reachable_nodes(both, "0:a", 0, WAIT, horizon=10)
+        assert all(node.startswith("0:") for node in reached)
+
+    def test_period_kept_only_when_equal(self):
+        g1 = TVGBuilder().periodic(4).edge("a", "b").build()
+        g2 = TVGBuilder().periodic(4).edge("a", "b").build()
+        g3 = TVGBuilder().periodic(6).edge("a", "b").build()
+        assert disjoint_union(g1, g2).period == 4
+        assert disjoint_union(g1, g3).period is None

@@ -1,0 +1,163 @@
+"""Tests for journey search."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder, static_graph
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.core.traversal import (
+    can_reach,
+    earliest_arrivals,
+    edge_departures,
+    enumerate_journeys,
+    foremost_journey,
+    reachable_nodes,
+    reachable_states,
+    successors,
+)
+from repro.errors import TimeDomainError
+
+
+@pytest.fixture()
+def staggered():
+    """a->b present [0,2), b->c present [5,7): connected only by waiting."""
+    return (
+        TVGBuilder(name="staggered")
+        .lifetime(0, 10)
+        .edge("a", "b", present=[(0, 2)], key="ab")
+        .edge("b", "c", present=[(5, 7)], key="bc")
+        .build()
+    )
+
+
+class TestEdgeDepartures:
+    def test_nowait_only_ready_instant(self, staggered):
+        edge = staggered.edge("ab")
+        assert list(edge_departures(edge, 0, NO_WAIT, 10)) == [0]
+        assert list(edge_departures(edge, 2, NO_WAIT, 10)) == []
+
+    def test_wait_all_support(self, staggered):
+        edge = staggered.edge("bc")
+        assert list(edge_departures(edge, 0, WAIT, 10)) == [5, 6]
+        assert list(edge_departures(edge, 6, WAIT, 10)) == [6]
+
+    def test_bounded_wait_window(self, staggered):
+        edge = staggered.edge("bc")
+        assert list(edge_departures(edge, 1, bounded_wait(3), 10)) == []
+        assert list(edge_departures(edge, 1, bounded_wait(4), 10)) == [5]
+        assert list(edge_departures(edge, 1, bounded_wait(5), 10)) == [5, 6]
+
+    def test_horizon_caps(self, staggered):
+        edge = staggered.edge("bc")
+        assert list(edge_departures(edge, 0, WAIT, 6)) == [5]
+        assert list(edge_departures(edge, 9, WAIT, 6)) == []
+
+
+class TestSuccessors:
+    def test_nowait(self, staggered):
+        moves = list(successors(staggered, "a", 0, NO_WAIT))
+        assert [(e.key, dep, arr) for e, dep, arr in moves] == [("ab", 0, 1)]
+
+    def test_wait(self, staggered):
+        moves = list(successors(staggered, "b", 0, WAIT))
+        assert [(dep, arr) for _e, dep, arr in moves] == [(5, 6), (6, 7)]
+
+    def test_horizon_required_on_unbounded_graph(self):
+        g = static_graph([("a", "b")])
+        with pytest.raises(TimeDomainError):
+            list(successors(g, "a", 0, NO_WAIT))
+        assert list(successors(g, "a", 0, NO_WAIT, horizon=5))
+
+
+class TestReachability:
+    def test_wait_bridges_the_gap(self, staggered):
+        assert reachable_nodes(staggered, "a", 0, WAIT) == {"a", "b", "c"}
+        assert reachable_nodes(staggered, "a", 0, NO_WAIT) == {"a", "b"}
+
+    def test_bounded_wait_threshold(self, staggered):
+        # Best plan: pause 1 at a (depart ab at 1, arrive 2), then pause 3
+        # until bc opens at 5 — so d = 3 suffices and d = 2 does not.
+        assert reachable_nodes(staggered, "a", 0, bounded_wait(2)) == {"a", "b"}
+        assert reachable_nodes(staggered, "a", 0, bounded_wait(3)) == {"a", "b", "c"}
+
+    def test_can_reach(self, staggered):
+        assert can_reach(staggered, "a", "c", 0, WAIT)
+        assert not can_reach(staggered, "a", "c", 0, NO_WAIT)
+
+    def test_start_time_matters(self, staggered):
+        assert not can_reach(staggered, "a", "b", 2, WAIT)  # ab closed at 2
+
+    def test_reachable_states_contains_sources(self, staggered):
+        states = reachable_states(staggered, [("a", 0)], NO_WAIT)
+        assert ("a", 0) in states
+        assert ("b", 1) in states
+
+    def test_max_hops_limits(self, staggered):
+        states = reachable_states(staggered, [("a", 0)], WAIT, max_hops=1)
+        assert all(node != "c" for node, _t in states)
+
+
+class TestEarliestArrivals:
+    def test_foremost_times(self, staggered):
+        arrivals = earliest_arrivals(staggered, "a", 0, WAIT)
+        assert arrivals["a"] == 0
+        assert arrivals["b"] == 1
+        assert arrivals["c"] == 6
+
+    def test_nowait_unreachable_missing(self, staggered):
+        arrivals = earliest_arrivals(staggered, "a", 0, NO_WAIT)
+        assert "c" not in arrivals
+
+    def test_earliest_is_minimal(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 10)
+            .edge("a", "b", present={0}, latency=5, key="slow")
+            .edge("a", "b", present={2}, latency=1, key="fast")
+            .build()
+        )
+        assert earliest_arrivals(g, "a", 0, WAIT)["b"] == 3
+
+
+class TestForemostJourney:
+    def test_witness_matches_arrival(self, staggered):
+        journey = foremost_journey(staggered, "a", "c", 0, WAIT)
+        assert journey is not None
+        assert journey.arrival == 6
+        assert journey.nodes() == ("a", "b", "c")
+        assert journey.feasible_under(WAIT)
+
+    def test_none_when_unreachable(self, staggered):
+        assert foremost_journey(staggered, "a", "c", 0, NO_WAIT) is None
+
+    def test_direct_when_nowait(self):
+        g = static_graph([("a", "b"), ("b", "c")])
+        journey = foremost_journey(g, "a", "c", 0, NO_WAIT, horizon=10)
+        assert journey is not None and journey.is_direct
+
+
+class TestEnumerateJourneys:
+    def test_counts_and_words(self, staggered):
+        journeys = list(enumerate_journeys(staggered, "a", 0, WAIT, max_hops=2))
+        # a->b at t=0 or 1; then b->c at 5 or 6: 2 one-hop + 4 two-hop.
+        assert len(journeys) == 6
+        assert {j.destination for j in journeys} == {"b", "c"}
+
+    def test_nowait_enumeration(self, staggered):
+        # Without waiting the only departure is the ready instant t = 0.
+        journeys = list(enumerate_journeys(staggered, "a", 0, NO_WAIT, max_hops=3))
+        assert [j.destination for j in journeys] == ["b"]
+        assert journeys[0].is_direct
+
+    def test_targets_filter(self, staggered):
+        journeys = list(
+            enumerate_journeys(staggered, "a", 0, WAIT, max_hops=2, targets=["c"])
+        )
+        assert len(journeys) == 4
+        assert all(j.destination == "c" for j in journeys)
+
+    def test_max_hops_zero_edges(self, staggered):
+        assert not list(enumerate_journeys(staggered, "a", 0, WAIT, max_hops=0))
+
+    def test_journeys_are_valid(self, staggered):
+        for journey in enumerate_journeys(staggered, "a", 0, WAIT, max_hops=2):
+            assert journey.feasible_under(WAIT)

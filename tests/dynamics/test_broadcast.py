@@ -1,0 +1,87 @@
+"""Tests for flooding broadcast and the theory bridge."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.core.generators import bernoulli_tvg, edge_markovian_tvg
+from repro.dynamics.protocols.broadcast import (
+    reachability_prediction,
+    simulate_broadcast,
+)
+
+
+@pytest.fixture()
+def relay_chain():
+    """a-b contact early, b-c contact late: buffering required at b."""
+    return (
+        TVGBuilder(name="chain")
+        .lifetime(0, 10)
+        .contact("a", "b", present={1}, key="ab")
+        .contact("b", "c", present={6}, key="bc")
+        .build()
+    )
+
+
+class TestStoreCarryForward:
+    def test_buffered_reaches_everyone(self, relay_chain):
+        outcome = simulate_broadcast(relay_chain, "a", buffering=True)
+        assert outcome.informed == {"b", "c"}
+        assert outcome.delivery_ratio == 1.0
+        assert outcome.completion_time == 7
+
+    def test_bufferless_stalls(self, relay_chain):
+        outcome = simulate_broadcast(relay_chain, "a", buffering=False)
+        # The origin's only transmission window is t=1... but the flood
+        # starts at t=0 when no edge is present, so nothing ever leaves.
+        assert outcome.informed == set()
+
+    def test_arrival_times(self, relay_chain):
+        outcome = simulate_broadcast(relay_chain, "a", buffering=True)
+        assert outcome.arrival_times == {"b": 2, "c": 7}
+
+    def test_origin_not_counted_informed(self, relay_chain):
+        outcome = simulate_broadcast(relay_chain, "a", buffering=True)
+        assert "a" not in outcome.informed
+
+    def test_completion_none_when_partial(self, relay_chain):
+        outcome = simulate_broadcast(relay_chain, "a", buffering=False)
+        assert outcome.completion_time is None
+
+
+class TestTheoryBridge:
+    @pytest.mark.parametrize("buffering", [False, True])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reachability_on_markovian(self, seed, buffering):
+        g = edge_markovian_tvg(8, horizon=25, birth=0.08, death=0.5, seed=seed)
+        outcome = simulate_broadcast(g, 0, buffering)
+        predicted = reachability_prediction(g, 0, buffering, 0, 25)
+        assert set(outcome.informed) == predicted
+
+    @pytest.mark.parametrize("buffering", [False, True])
+    def test_matches_reachability_on_bernoulli(self, buffering):
+        g = bernoulli_tvg(7, horizon=20, density=0.06, seed=3)
+        outcome = simulate_broadcast(g, 0, buffering)
+        predicted = reachability_prediction(g, 0, buffering, 0, 20)
+        assert set(outcome.informed) == predicted
+
+    def test_buffering_dominates(self):
+        for seed in range(4):
+            g = edge_markovian_tvg(8, horizon=25, birth=0.08, death=0.5, seed=seed)
+            with_buffer = simulate_broadcast(g, 0, True)
+            without = simulate_broadcast(g, 0, False)
+            assert set(without.informed) <= set(with_buffer.informed)
+
+
+class TestBufferlessImmediateRelay:
+    def test_same_instant_relay_works(self):
+        """A bufferless node can still relay if the next edge is present
+        at the very instant the message arrives."""
+        g = (
+            TVGBuilder()
+            .lifetime(0, 5)
+            .contact("a", "b", present={0}, key="ab")
+            .contact("b", "c", present={1}, key="bc")
+            .build()
+        )
+        outcome = simulate_broadcast(g, "a", buffering=False)
+        assert outcome.informed == {"b", "c"}

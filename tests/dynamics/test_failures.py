@@ -1,0 +1,137 @@
+"""Failure-injection tests: simulator vs the failure-filtered graph."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.core.generators import edge_markovian_tvg
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.core.traversal import reachable_states
+from repro.dynamics.failures import is_down, validate_failures, with_node_failures
+from repro.dynamics.network import Simulator
+from repro.dynamics.protocols.broadcast import simulate_broadcast
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def relay_chain():
+    """a-b early, b-c late: b must buffer — and b failing loses the flood."""
+    return (
+        TVGBuilder(name="chain")
+        .lifetime(0, 12)
+        .contact("a", "b", present={1}, key="ab")
+        .contact("b", "c", present={6}, key="bc")
+        .build()
+    )
+
+
+class TestFailureSchedule:
+    def test_is_down(self):
+        failures = {"b": {3, 4}}
+        assert is_down(failures, "b", 3)
+        assert not is_down(failures, "b", 5)
+        assert not is_down(failures, "a", 3)
+
+    def test_unknown_node_rejected(self, relay_chain):
+        with pytest.raises(SimulationError):
+            validate_failures(relay_chain, {"ghost": {1}})
+        with pytest.raises(SimulationError):
+            Simulator(relay_chain, lambda n: None, failures={"ghost": {1}})
+
+
+class TestFilteredGraph:
+    def test_source_downtime_blocks_departure(self, relay_chain):
+        filtered = with_node_failures(relay_chain, {"b": {6}})
+        # b is down at 6 — the bc edge cannot be taken then.
+        assert not filtered.edge("bc").present_at(6)
+        # The reverse direction departs from c at 6 and arrives at 7,
+        # when b is back up — that traversal survives.
+        assert filtered.edge("bc~rev").present_at(6)
+
+    def test_arrival_downtime_blocks_traversal(self, relay_chain):
+        # b down at 2: the a->b traversal departing at 1 arrives at 2 — lost.
+        filtered = with_node_failures(relay_chain, {"b": {2}})
+        assert not filtered.edge("ab").present_at(1)
+        # departure is fine for the reverse direction (b up at 1, a always up)
+        assert filtered.edge("ab~rev").present_at(1)
+
+    def test_unaffected_edges_shared(self, relay_chain):
+        filtered = with_node_failures(relay_chain, {"c": {0}})
+        assert filtered.edge("ab") is relay_chain.edge("ab")
+
+
+class TestSimulatorFailures:
+    def test_relay_failure_kills_delivery(self, relay_chain):
+        healthy = simulate_broadcast(relay_chain, "a", buffering=True)
+        assert healthy.informed == {"b", "c"}
+        # b down exactly when it would receive (t=2): flood dies at b.
+        failed = simulate_broadcast(
+            relay_chain, "a", buffering=True, failures={"b": {2}}, persistent=True
+        )
+        assert failed.informed == set()
+
+    def test_forwarding_window_failure(self, relay_chain):
+        # b down at 6 only: it received fine at 2 but cannot forward at 6.
+        failed = simulate_broadcast(
+            relay_chain, "a", buffering=True, failures={"b": {6}}, persistent=True
+        )
+        assert failed.informed == {"b"}
+
+    def test_dropped_counter(self, relay_chain):
+        simulate = simulate_broadcast  # alias for line length
+        outcome = simulate(
+            relay_chain, "a", buffering=True, failures={"b": {2}}, persistent=True
+        )
+        assert outcome.informed == set()
+
+    def test_buffer_survives_downtime(self):
+        """A node down between receipt and forwarding still forwards
+        after rebooting: storage persists through the failure."""
+        g = (
+            TVGBuilder()
+            .lifetime(0, 12)
+            .contact("a", "b", present={1}, key="ab")
+            .contact("b", "c", present={5, 8}, key="bc")
+            .build()
+        )
+        outcome = simulate_broadcast(
+            g, "a", buffering=True, failures={"b": {4, 5, 6}}, persistent=True
+        )
+        # b missed the t=5 contact (down) but catches the t=8 one.
+        assert outcome.informed == {"b", "c"}
+        assert outcome.arrival_times["c"] == 9
+
+
+class TestTheoryBridgeUnderFailures:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_persistent_flood_matches_filtered_reachability(self, seed):
+        g = edge_markovian_tvg(8, horizon=25, birth=0.12, death=0.4, seed=seed)
+        failures = {2: set(range(5, 15)), 5: {0, 1, 2}}
+        outcome = simulate_broadcast(
+            g, 0, buffering=True, failures=failures, persistent=True
+        )
+        filtered = with_node_failures(g, failures)
+        states = reachable_states(filtered, [(0, 0)], WAIT, horizon=25)
+        predicted = {n for n, t in states if t < 25} - {0}
+        assert set(outcome.informed) == predicted
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bufferless_matches_filtered_reachability(self, seed):
+        g = edge_markovian_tvg(8, horizon=25, birth=0.12, death=0.4, seed=seed)
+        failures = {3: set(range(0, 10))}
+        outcome = simulate_broadcast(
+            g, 0, buffering=False, failures=failures
+        )
+        filtered = with_node_failures(g, failures)
+        states = reachable_states(filtered, [(0, 0)], NO_WAIT, horizon=25)
+        predicted = {n for n, t in states if t < 25} - {0}
+        assert set(outcome.informed) == predicted
+
+    def test_failures_only_shrink_the_informed_set(self):
+        for seed in range(3):
+            g = edge_markovian_tvg(8, horizon=25, birth=0.12, death=0.4, seed=seed)
+            healthy = simulate_broadcast(g, 0, buffering=True, persistent=True)
+            failed = simulate_broadcast(
+                g, 0, buffering=True, persistent=True,
+                failures={1: set(range(0, 25))},
+            )
+            assert set(failed.informed) <= set(healthy.informed)

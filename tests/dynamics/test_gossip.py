@@ -1,0 +1,55 @@
+"""Tests for token gossip."""
+
+from repro.core.builders import TVGBuilder
+from repro.dynamics.protocols.gossip import run_gossip
+
+
+def rotor():
+    """One contact live per instant, repeating — mixes fully over time."""
+    return (
+        TVGBuilder(name="rotor")
+        .lifetime(0, 12)
+        .contact("a", "b", period=(0, 3), key="ab")
+        .contact("b", "c", period=(1, 3), key="bc")
+        .contact("c", "a", period=(2, 3), key="ca")
+        .build()
+    )
+
+
+class TestGossip:
+    def test_full_mixing_on_rotor(self):
+        report = run_gossip(rotor())
+        assert report.fully_mixed
+        assert all(count == 3 for count in report.final_counts.values())
+
+    def test_counts_monotone(self):
+        report = run_gossip(rotor())
+        previous = None
+        for _time, counts in report.counts_over_time:
+            total = sum(counts)
+            if previous is not None:
+                assert total >= previous
+            previous = total
+
+    def test_no_contacts_no_mixing(self):
+        g = TVGBuilder().lifetime(0, 5).node("a").node("b").build()
+        report = run_gossip(g)
+        assert not report.fully_mixed
+        assert all(count == 1 for count in report.final_counts.values())
+
+    def test_sampling_interval(self):
+        report = run_gossip(rotor(), sample_every=4)
+        assert len(report.counts_over_time) == 3  # 12 rounds / 4
+
+    def test_partition_respected(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 8)
+            .contact("a", "b", period=(0, 2))
+            .contact("x", "y", period=(1, 2))
+            .build()
+        )
+        report = run_gossip(g)
+        assert report.final_counts["a"] == 2
+        assert report.final_counts["x"] == 2
+        assert not report.fully_mixed

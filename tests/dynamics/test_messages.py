@@ -1,0 +1,26 @@
+"""Tests for messages."""
+
+from repro.dynamics.messages import Message
+
+
+class TestMessage:
+    def test_forwarded_provenance(self):
+        original = Message(uid=1, origin="a", payload="p", created=0, path=("a",))
+        hop1 = original.forwarded("a")
+        hop2 = hop1.forwarded("b")
+        assert hop2.hops == 2
+        assert hop2.path == ("a", "a", "b")
+        assert hop2.uid == original.uid
+        assert hop2.payload == "p"
+
+    def test_original_untouched(self):
+        original = Message(uid=1, origin="a", payload="p", created=0)
+        original.forwarded("a")
+        assert original.hops == 0
+
+    def test_immutable(self):
+        import pytest
+
+        message = Message(uid=1, origin="a", payload="p", created=0)
+        with pytest.raises(AttributeError):
+            message.hops = 5

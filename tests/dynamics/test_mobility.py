@@ -1,0 +1,74 @@
+"""Tests for mobility-driven contact generation."""
+
+import pytest
+
+from repro.dynamics.mobility import (
+    proximity_tvg,
+    random_walk_positions,
+    random_waypoint_tvg,
+)
+from repro.errors import ReproError
+
+
+class TestRandomWalk:
+    def test_deterministic(self):
+        a = random_walk_positions(3, 4, 4, 10, seed=5)
+        b = random_walk_positions(3, 4, 4, 10, seed=5)
+        assert a == b
+
+    def test_track_lengths(self):
+        positions = random_walk_positions(2, 3, 3, 7, seed=1)
+        assert all(len(track) == 7 for track in positions.values())
+
+    def test_moves_are_lazy_grid_steps(self):
+        positions = random_walk_positions(2, 5, 5, 50, seed=2)
+        for track in positions.values():
+            for before, after in zip(track, track[1:]):
+                dist = abs(before[0] - after[0]) + abs(before[1] - after[1])
+                assert dist <= 1
+
+    def test_positions_in_bounds(self):
+        positions = random_walk_positions(3, 4, 2, 30, seed=3)
+        for track in positions.values():
+            for x, y in track:
+                assert 0 <= x < 4 and 0 <= y < 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            random_walk_positions(0, 3, 3, 5)
+
+
+class TestProximity:
+    def test_contacts_from_fixed_tracks(self):
+        positions = {
+            "u": [(0, 0), (0, 0), (2, 2)],
+            "v": [(0, 1), (2, 2), (2, 2)],
+        }
+        g = proximity_tvg(positions)
+        edge = g.edges_between("u", "v")[0]
+        assert edge.present_at(0)   # adjacent cells
+        assert not edge.present_at(1)  # far apart
+        assert edge.present_at(2)   # same cell
+
+    def test_no_contact_no_edge(self):
+        positions = {"u": [(0, 0)], "v": [(3, 3)]}
+        g = proximity_tvg(positions)
+        assert g.edge_count == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            proximity_tvg({"u": [(0, 0)], "v": [(0, 0), (1, 1)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            proximity_tvg({})
+
+
+class TestRandomWaypoint:
+    def test_end_to_end(self):
+        g = random_waypoint_tvg(4, 3, 3, 15, seed=7)
+        assert g.node_count == 4
+        assert g.lifetime.end == 15
+        # Contacts are symmetric.
+        for edge in g.edges:
+            assert g.edges_between(edge.target, edge.source)

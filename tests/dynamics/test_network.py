@@ -1,0 +1,147 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.dynamics.network import Simulator
+from repro.dynamics.nodes import NodeContext, Protocol
+from repro.errors import SimulationError
+
+
+def two_hop_graph():
+    return (
+        TVGBuilder(name="pipe")
+        .lifetime(0, 10)
+        .edge("a", "b", present={0}, latency=2, key="ab")
+        .edge("b", "c", present={2, 5}, latency=1, key="bc")
+        .build()
+    )
+
+
+class SendOnceAtStart(Protocol):
+    """Origin sends one message over each present edge at the start."""
+
+    buffering = True
+
+    def __init__(self, node, origin="a"):
+        self.node = node
+        self.origin = origin
+        self.simulator = None
+
+    def on_start(self, ctx: NodeContext):
+        if self.node == self.origin:
+            message = self.simulator.new_message(self.node, "hi", ctx.time)
+            ctx.broadcast(message)
+
+
+class RelayOnReceive(SendOnceAtStart):
+    def on_receive(self, ctx: NodeContext, message):
+        ctx.broadcast(message)
+
+
+class TestSimulator:
+    def test_latency_respected(self):
+        sim = Simulator(two_hop_graph(), lambda n: SendOnceAtStart(n))
+        for protocol in sim.protocols.values():
+            protocol.simulator = sim
+        report = sim.run()
+        # ab sent at 0 with latency 2 -> delivered to b at 2.
+        assert report.arrival_time(1, "b") == 2
+        assert report.transmissions == 1
+
+    def test_relay_chain(self):
+        sim = Simulator(two_hop_graph(), lambda n: RelayOnReceive(n))
+        for protocol in sim.protocols.values():
+            protocol.simulator = sim
+        report = sim.run()
+        # b receives at 2 and relays immediately (bc present at 2).
+        assert report.arrival_time(1, "c") == 3
+
+    def test_deliveries_recorded_in_order(self):
+        sim = Simulator(two_hop_graph(), lambda n: RelayOnReceive(n))
+        for protocol in sim.protocols.values():
+            protocol.simulator = sim
+        report = sim.run()
+        times = [t for t, _n, _m in report.deliveries]
+        assert times == sorted(times)
+
+    def test_send_over_absent_edge_rejected(self):
+        class BadSender(Protocol):
+            def __init__(self, node):
+                self.node = node
+                self.simulator = None
+
+            def on_tick(self, ctx, buffered):
+                if self.node == "a" and ctx.time == 1:
+                    # ab is absent at t=1.
+                    edge = ctx.present_edges[0] if ctx.present_edges else None
+                    if edge is None:
+                        graph_edge = sim.graph.edge("ab")
+                        ctx.send(graph_edge, sim.new_message("a", "x", 1))
+
+        sim = Simulator(two_hop_graph(), BadSender)
+        for protocol in sim.protocols.values():
+            protocol.simulator = sim
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bufferless_protocol_cannot_store(self):
+        class Hoarder(Protocol):
+            buffering = False
+
+            def __init__(self, node):
+                self.node = node
+                self.simulator = None
+
+            def on_tick(self, ctx, buffered):
+                if ctx.time == 0 and self.node == "a":
+                    ctx.store(sim.new_message("a", "x", 0))
+
+        sim = Simulator(two_hop_graph(), Hoarder)
+        for protocol in sim.protocols.values():
+            protocol.simulator = sim
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_arrival_past_horizon_dropped(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 3)
+            .edge("a", "b", present={2}, latency=5, key="ab")
+            .build()
+        )
+
+        class SendLate(Protocol):
+            def __init__(self, node):
+                self.node = node
+                self.simulator = None
+
+            def on_tick(self, ctx, buffered):
+                if self.node == "a" and ctx.time == 2:
+                    ctx.broadcast(sim.new_message("a", "x", 2))
+
+        sim = Simulator(g, SendLate)
+        for protocol in sim.protocols.values():
+            protocol.simulator = sim
+        report = sim.run()
+        assert report.dropped_after_horizon == 1
+        assert not report.deliveries
+
+    def test_window_validation(self):
+        with pytest.raises(SimulationError):
+            Simulator(two_hop_graph(), SendOnceAtStart, start=5, end=2)
+
+    def test_unbounded_graph_needs_end(self):
+        g = TVGBuilder().edge("a", "b").build()
+        with pytest.raises(SimulationError):
+            Simulator(g, SendOnceAtStart)
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulator(two_hop_graph(), lambda n: RelayOnReceive(n))
+            for protocol in sim.protocols.values():
+                protocol.simulator = sim
+            report = sim.run()
+            return [(t, n, m.uid) for t, n, m in report.deliveries]
+
+        assert run_once() == run_once()

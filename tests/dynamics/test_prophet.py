@@ -1,0 +1,92 @@
+"""Tests for PRoPHET routing."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.core.generators import edge_markovian_tvg
+from repro.core.semantics import WAIT
+from repro.core.traversal import can_reach
+from repro.dynamics.protocols.prophet import ProphetNode, route_prophet
+from repro.dynamics.protocols.routing import route_epidemic
+from repro.errors import SimulationError
+
+
+class TestPredictability:
+    def test_direct_boost(self):
+        node = ProphetNode("a", "a", "z")
+        node._met("b")
+        assert node.predictability["b"] == pytest.approx(0.75)
+        node._met("b")
+        assert node.predictability["b"] == pytest.approx(0.75 + 0.25 * 0.75)
+
+    def test_aging_decays(self):
+        node = ProphetNode("a", "a", "z")
+        node._last_aged = 0
+        node._met("b")
+        node._age(10)
+        assert node.predictability["b"] == pytest.approx(0.75 * 0.98**10)
+
+    def test_transitivity(self):
+        node = ProphetNode("a", "a", "z")
+        node._met("b")
+        node._transit("b", {"z": 0.8})
+        expected = 0.75 * 0.8 * 0.25
+        assert node.predictability["z"] == pytest.approx(expected)
+
+    def test_transitivity_never_decreases(self):
+        node = ProphetNode("a", "a", "z")
+        node.predictability["z"] = 0.9
+        node._met("b")
+        node._transit("b", {"z": 0.1})
+        assert node.predictability["z"] >= 0.9
+
+
+class TestRouting:
+    def test_direct_contact_delivers(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 10)
+            .contact("src", "dst", present={3}, key="sd")
+            .build()
+        )
+        outcome = route_prophet(g, "src", "dst")
+        assert outcome.delivered
+        assert outcome.delay == 4
+
+    def test_relay_via_history(self):
+        """dst-regular relay picks up the message: src meets relay after
+        the relay has met dst (so its predictability is already high).
+        The src-relay contact lasts two instants — summaries cross during
+        the first, the data copy follows during the second."""
+        g = (
+            TVGBuilder()
+            .lifetime(0, 30)
+            .contact("relay", "dst", present={2, 20}, key="rd")
+            .contact("src", "relay", present={10, 11}, key="sr")
+            .build()
+        )
+        outcome = route_prophet(g, "src", "dst")
+        assert outcome.delivered
+        assert outcome.delay == 21  # relay hands over at the t=20 contact
+
+    def test_never_delivers_without_wait_journey(self):
+        for seed in range(3):
+            g = edge_markovian_tvg(8, horizon=30, birth=0.08, death=0.5, seed=seed)
+            outcome = route_prophet(g, 0, 7)
+            if outcome.delivered:
+                assert can_reach(g, 0, 7, 0, WAIT, horizon=30)
+
+    def test_fewer_copies_than_epidemic(self):
+        copies, epidemic_copies = 0, 0
+        for seed in range(4):
+            g = edge_markovian_tvg(10, horizon=40, birth=0.15, death=0.3, seed=seed)
+            prophet = route_prophet(g, 0, 9)
+            epidemic = route_epidemic(g, 0, 9)
+            copies += prophet.data_copies
+            epidemic_copies += epidemic.transmissions
+        assert copies < epidemic_copies
+
+    def test_validation(self):
+        g = TVGBuilder().lifetime(0, 5).contact("a", "b").build()
+        with pytest.raises(SimulationError):
+            route_prophet(g, "a", "a")

@@ -1,0 +1,67 @@
+"""Tests for temporal routing."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.core.generators import edge_markovian_tvg
+from repro.core.semantics import NO_WAIT, WAIT
+from repro.dynamics.protocols.routing import route_direct, route_epidemic
+
+
+@pytest.fixture()
+def chain():
+    return (
+        TVGBuilder(name="chain")
+        .lifetime(0, 12)
+        .contact("a", "b", present={1}, key="ab")
+        .contact("b", "c", present={6}, key="bc")
+        .build()
+    )
+
+
+class TestRouteDirect:
+    def test_wait_route_found(self, chain):
+        outcome = route_direct(chain, "a", "c", 0, WAIT)
+        assert outcome.delivered
+        assert outcome.delay == 7
+        assert outcome.hops == 2
+
+    def test_nowait_route_missing(self, chain):
+        outcome = route_direct(chain, "a", "c", 0, NO_WAIT)
+        assert not outcome.delivered
+        assert outcome.delay is None
+        assert outcome.transmissions == 0
+
+    def test_transmission_cost_is_path_length(self, chain):
+        outcome = route_direct(chain, "a", "c", 0, WAIT)
+        assert outcome.transmissions == outcome.hops == 2
+
+
+class TestRouteEpidemic:
+    def test_delivers_when_wait_route_exists(self, chain):
+        outcome = route_epidemic(chain, "a", "c")
+        assert outcome.delivered
+        assert outcome.delay == 7
+        assert outcome.hops == 2
+
+    def test_cost_exceeds_source_routing(self):
+        g = edge_markovian_tvg(8, horizon=30, birth=0.2, death=0.3, seed=2)
+        epidemic = route_epidemic(g, 0, 7)
+        direct = route_direct(g, 0, 7, 0, WAIT, horizon=30)
+        if direct.delivered:
+            assert epidemic.delivered
+            assert epidemic.transmissions >= direct.transmissions
+
+    def test_delay_matches_foremost(self):
+        for seed in range(3):
+            g = edge_markovian_tvg(6, horizon=25, birth=0.15, death=0.4, seed=seed)
+            epidemic = route_epidemic(g, 0, 5)
+            direct = route_direct(g, 0, 5, 0, WAIT, horizon=25)
+            assert epidemic.delivered == direct.delivered
+            if direct.delivered:
+                assert epidemic.delay == direct.delay
+
+    def test_ttl_zero_blocks_relay(self, chain):
+        outcome = route_epidemic(chain, "a", "c", ttl=1)
+        # One hop of TTL lets a->b happen but b cannot relay further.
+        assert not outcome.delivered

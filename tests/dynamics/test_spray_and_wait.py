@@ -1,0 +1,69 @@
+"""Tests for spray-and-wait routing."""
+
+import pytest
+
+from repro.core.builders import TVGBuilder
+from repro.core.generators import edge_markovian_tvg
+from repro.core.semantics import WAIT
+from repro.dynamics.protocols.routing import route_epidemic
+from repro.dynamics.protocols.spray_and_wait import spray_and_wait
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def meeting_graph():
+    """src meets relay early; relay meets dst later; src never meets dst."""
+    return (
+        TVGBuilder(name="meetings")
+        .lifetime(0, 20)
+        .contact("src", "relay", present={2}, key="sr")
+        .contact("relay", "dst", present={8}, key="rd")
+        .build()
+    )
+
+
+class TestSprayAndWait:
+    def test_two_copies_suffice_via_relay(self, meeting_graph):
+        outcome = spray_and_wait(meeting_graph, "src", "dst", copies=2)
+        assert outcome.delivered
+        assert outcome.delay == 9  # relay meets dst at 8, latency 1
+
+    def test_single_copy_direct_only(self, meeting_graph):
+        # With one copy the source may not spray; it never meets dst.
+        outcome = spray_and_wait(meeting_graph, "src", "dst", copies=1)
+        assert not outcome.delivered
+
+    def test_direct_contact_delivers_with_one_copy(self):
+        g = (
+            TVGBuilder()
+            .lifetime(0, 10)
+            .contact("src", "dst", present={4}, key="sd")
+            .build()
+        )
+        outcome = spray_and_wait(g, "src", "dst", copies=1)
+        assert outcome.delivered
+        assert outcome.delay == 5
+
+    def test_cheaper_than_epidemic(self):
+        for seed in range(3):
+            g = edge_markovian_tvg(10, horizon=40, birth=0.15, death=0.3, seed=seed)
+            spray = spray_and_wait(g, 0, 9, copies=4)
+            epidemic = route_epidemic(g, 0, 9)
+            if epidemic.delivered:
+                assert spray.transmissions <= epidemic.transmissions
+
+    def test_never_slower_than_never(self):
+        """Delivered implies a wait journey existed."""
+        from repro.core.traversal import can_reach
+
+        for seed in range(3):
+            g = edge_markovian_tvg(8, horizon=30, birth=0.1, death=0.4, seed=seed)
+            outcome = spray_and_wait(g, 0, 7, copies=4)
+            if outcome.delivered:
+                assert can_reach(g, 0, 7, 0, WAIT, horizon=30)
+
+    def test_validation(self, meeting_graph):
+        with pytest.raises(SimulationError):
+            spray_and_wait(meeting_graph, "src", "dst", copies=0)
+        with pytest.raises(SimulationError):
+            spray_and_wait(meeting_graph, "src", "src", copies=2)

@@ -1,0 +1,64 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.analysis.connectivity import classify_connectivity
+from repro.dynamics.workloads import (
+    all_workloads,
+    make_workload,
+    sparse_dtn,
+    workload_names,
+)
+from repro.errors import ReproError
+
+
+class TestRegistry:
+    def test_names_sorted_and_nonempty(self):
+        names = workload_names()
+        assert names == sorted(names)
+        assert len(names) >= 6
+
+    def test_make_by_name(self):
+        for name in workload_names():
+            workload = make_workload(name, seed=1)
+            assert workload.name == name
+            assert workload.graph.node_count >= 2
+            assert workload.start < workload.end
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            make_workload("quantum-teleporter")
+
+    def test_all_workloads(self):
+        workloads = all_workloads(seed=2)
+        assert len(workloads) == len(workload_names())
+
+    def test_endpoints_exist(self):
+        for workload in all_workloads(seed=0):
+            assert workload.graph.has_node(workload.source)
+            assert workload.graph.has_node(workload.destination)
+            assert workload.source != workload.destination
+
+
+class TestScenarioShapes:
+    def test_sparse_dtn_is_paper_regime_often(self):
+        hits = 0
+        for seed in range(5):
+            w = sparse_dtn(seed)
+            report = classify_connectivity(w.graph, w.start, w.end)
+            if report.never_snapshot_connected:
+                hits += 1
+        assert hits >= 3  # sparse settings: snapshots essentially never connect
+
+    def test_night_bus_periodic(self):
+        w = make_workload("night-bus")
+        assert w.graph.period == 8
+
+    def test_determinism(self):
+        a = make_workload("bernoulli-cloud", seed=7)
+        b = make_workload("bernoulli-cloud", seed=7)
+        from repro.core.snapshots import presence_density
+
+        assert presence_density(a.graph, *a.window) == presence_density(
+            b.graph, *b.window
+        )

@@ -1,0 +1,113 @@
+"""Integration: every layer of the library over the shared workloads.
+
+For each registered scenario: classify it, run the protocol suite,
+verify the operational results against journey theory, build the
+foremost spanner, round-trip the graph through serialization, and — for
+periodic scenarios — extract the wait language down to a regex string.
+One test drives the whole stack the way a downstream user would.
+"""
+
+import pytest
+
+from repro.analysis.classes import classify
+from repro.analysis.evolution import value_of_waiting
+from repro.analysis.spanners import foremost_broadcast_tree, tree_subgraph
+from repro.core.intervals import Interval
+from repro.core.semantics import WAIT
+from repro.core.serialize import dumps, loads, sampled
+from repro.core.traversal import earliest_arrivals
+from repro.dynamics.protocols.broadcast import (
+    reachability_prediction,
+    simulate_broadcast,
+)
+from repro.dynamics.workloads import all_workloads, make_workload
+
+
+@pytest.mark.parametrize(
+    "workload", all_workloads(seed=3), ids=lambda w: w.name
+)
+class TestEveryWorkload:
+    def test_classification_runs(self, workload):
+        report = classify(workload.graph, workload.start, workload.end)
+        assert isinstance(report.classes, frozenset)
+
+    def test_broadcast_matches_theory(self, workload):
+        for buffering in (False, True):
+            outcome = simulate_broadcast(
+                workload.graph,
+                workload.source,
+                buffering,
+                start=workload.start,
+                end=workload.end,
+            )
+            predicted = reachability_prediction(
+                workload.graph,
+                workload.source,
+                buffering,
+                workload.start,
+                workload.end,
+            )
+            assert set(outcome.informed) == predicted, (workload.name, buffering)
+
+    def test_value_of_waiting_nonnegative(self, workload):
+        value = value_of_waiting(workload.graph, workload.start, workload.end)
+        assert value.area >= 0
+        assert value.final_gap >= -1e-9
+
+    def test_spanner_preserves_foremost(self, workload):
+        tree = foremost_broadcast_tree(
+            workload.graph, workload.source, workload.start, WAIT,
+            horizon=workload.end,
+        )
+        pruned = tree_subgraph(workload.graph, tree)
+        original = earliest_arrivals(
+            workload.graph, workload.source, workload.start, WAIT,
+            horizon=workload.end,
+        )
+        again = earliest_arrivals(
+            pruned, workload.source, workload.start, WAIT, horizon=workload.end
+        )
+        assert again == original
+
+    def test_serialization_round_trip(self, workload):
+        graph = workload.graph
+        try:
+            text = dumps(graph)
+        except Exception:
+            # Black-box schedules: sample the window first.
+            graph = sampled(graph, workload.start, workload.end)
+            text = dumps(graph)
+        again = loads(text)
+        window = Interval(workload.start, workload.end)
+        for edge in graph.edges:
+            twin = again.edge(edge.key)
+            assert list(edge.presence.support(window).times()) == list(
+                twin.presence.support(window).times()
+            ), (workload.name, edge.key)
+
+
+class TestPeriodicPipelineToRegex:
+    def test_night_bus_language_as_regex(self):
+        """Timetable -> acceptor -> extraction -> minimal DFA -> regex."""
+        from repro.automata.equivalence import equivalent
+        from repro.automata.language_compute import wait_language_automaton
+        from repro.automata.operations import minimize
+        from repro.automata.regex import regex_to_nfa
+        from repro.automata.to_regex import automaton_to_regex_string
+        from repro.automata.tvg_automaton import TVGAutomaton
+        from repro.core.transforms import graph_like
+
+        bus = make_workload("night-bus").graph
+        labeled = graph_like(bus)
+        labeled.add_nodes(bus.nodes)
+        for edge in bus.edges:
+            line = "r" if edge.key.startswith("line0") else "g"
+            labeled.add_edge_object(edge.relabeled(line))
+        acceptor = TVGAutomaton(
+            labeled, initial="hub", accepting="hub", start_time=0
+        )
+        dfa = minimize(wait_language_automaton(acceptor).to_dfa())
+        assert not dfa.is_empty()
+        text = automaton_to_regex_string(dfa)
+        rebuilt = regex_to_nfa(text, alphabet=dfa.alphabet)
+        assert equivalent(dfa, rebuilt.to_dfa())

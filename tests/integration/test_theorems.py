@@ -1,0 +1,145 @@
+"""Integration tests: the paper's three theorems, end to end.
+
+Each test crosses at least three subsystems (machines -> constructions
+-> automata/acceptor), mirroring exactly the claims of the PODC'12
+brief announcement.
+"""
+
+import pytest
+
+from repro.analysis.expressivity import nerode_lower_bound
+from repro.automata.enumeration import language_upto
+from repro.automata.equivalence import equivalent
+from repro.automata.language_compute import (
+    language_automaton,
+    wait_language_automaton,
+)
+from repro.automata.operations import minimize
+from repro.automata.regex import random_regex, regex_to_nfa
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.constructions.bounded_wait import (
+    compile_bounded_wait,
+    expand_for_bounded_wait,
+)
+from repro.constructions.figure1 import figure1_automaton
+from repro.constructions.nowait_universal import clock_after, nowait_automaton_for
+from repro.constructions.wait_regular import automaton_to_tvg
+from repro.core.generators import periodic_random_tvg
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.errors import ConstructionError
+from repro.machines.programs import standard_deciders
+
+
+class TestTheorem21:
+    """L_nowait contains all computable languages."""
+
+    @pytest.mark.parametrize("name", sorted(standard_deciders()))
+    def test_construction_realizes_language(self, name):
+        decider = standard_deciders()[name]
+        auto = nowait_automaton_for(decider)
+        bound = 6 if len(decider.alphabet) <= 2 else 5
+        assert auto.language(bound, NO_WAIT) == decider.language_upto(bound)
+
+    def test_nonregular_witness(self):
+        """The realized no-wait languages exhibit growing Nerode bounds —
+        the finite witness that they lie beyond every DFA."""
+        decider = standard_deciders()["anbn"]
+        auto = nowait_automaton_for(decider)
+        shallow = nerode_lower_bound(auto.language(4, NO_WAIT), 4)
+        deep = nerode_lower_bound(auto.language(8, NO_WAIT), 8)
+        assert deep > shallow
+
+
+class TestTheorem22:
+    """L_wait is exactly the regular languages."""
+
+    def test_every_regular_language_is_a_wait_language(self):
+        for seed in range(8):
+            reference = regex_to_nfa(random_regex("ab", depth=4, seed=seed))
+            try:
+                embedded = automaton_to_tvg(reference)
+            except ConstructionError:
+                continue
+            assert equivalent(wait_language_automaton(embedded), reference), seed
+
+    def test_every_periodic_wait_language_is_regular(self):
+        """The extractor *is* a regularity certificate: it terminates and
+        its output matches direct sampling."""
+        for seed in range(6):
+            g = periodic_random_tvg(4, period=4, density=0.4, labels="ab", seed=seed)
+            if not g.alphabet:
+                continue
+            auto = TVGAutomaton(g, initial=0, accepting=list(g.nodes), start_time=0)
+            certificate = minimize(wait_language_automaton(auto).to_dfa())
+            sampled = auto.language(
+                3, WAIT, horizon=40, alphabet="".join(sorted(g.alphabet))
+            )
+            for word in sampled:
+                assert certificate.accepts(word), (seed, word)
+            assert language_upto(certificate, 3) == sampled
+
+    def test_figure1_wait_language_is_regular_but_nowait_is_not(self):
+        # Depth 5 / horizon 600 samples L_wait exactly (the deepest e4
+        # date any length-5 word needs is 432); deeper samples would need
+        # horizons past the next prime-power date 2592.
+        fig1 = figure1_automaton()
+        wait_sample = fig1.language(5, WAIT, horizon=600)
+        nowait_sample = fig1.language(6, NO_WAIT)
+        wait_bound = nerode_lower_bound(wait_sample, 5)
+        nowait_bound = nerode_lower_bound(nowait_sample, 6)
+        # The true L_wait has a 6-state minimal DFA, so its sampled bound
+        # stays at most 6; a^n b^n keeps needing more residuals with depth.
+        assert wait_bound <= 6
+        deeper = nerode_lower_bound(fig1.language(8, NO_WAIT), 8)
+        assert deeper > nowait_bound
+
+
+class TestTheorem23:
+    """L_wait[d] = L_nowait for every fixed d."""
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_dilation_direction(self, d):
+        """Every no-wait language is a wait[d] language (of the dilated graph)."""
+        fig1 = figure1_automaton()
+        dilated = expand_for_bounded_wait(fig1, d)
+        assert dilated.language(4, bounded_wait(d), horizon=40 * (d + 1)) == (
+            fig1.language(4, NO_WAIT)
+        )
+
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_compilation_direction(self, d):
+        """Every wait[d] language is a no-wait language (of the compiled graph)."""
+        for seed in range(3):
+            g = periodic_random_tvg(4, period=3, density=0.5, labels="ab", seed=seed)
+            if not g.alphabet:
+                continue
+            auto = TVGAutomaton(g, initial=0, accepting=3, start_time=0)
+            compiled = compile_bounded_wait(auto, d)
+            assert equivalent(
+                language_automaton(compiled, NO_WAIT),
+                language_automaton(auto, bounded_wait(d)),
+            ), (seed, d)
+
+    def test_dilated_universal_construction(self):
+        """Composing Theorems 2.1 and 2.3: a^n b^n (computable, non-regular)
+        as a wait[d] language — the paper's actual proof route."""
+        decider = standard_deciders()["anbn"]
+        base = nowait_automaton_for(decider)
+        d = 2
+        dilated = expand_for_bounded_wait(base, d)
+        horizon = clock_after(decider, "bbbb") * (d + 1) + 1
+        assert dilated.language(
+            4, bounded_wait(d), horizon=horizon
+        ) == decider.language_upto(4)
+
+
+class TestExpressivityHierarchy:
+    def test_language_chain_on_figure1(self):
+        """L_nowait = L_wait[d] graphwise-monotone chain up to L_wait."""
+        fig1 = figure1_automaton()
+        nowait = fig1.language(4, NO_WAIT)
+        d1 = fig1.language(4, bounded_wait(1), horizon=400)
+        d4 = fig1.language(4, bounded_wait(4), horizon=400)
+        wait = fig1.language(4, WAIT, horizon=400)
+        assert nowait <= d1 <= d4 <= wait
+        assert nowait != wait

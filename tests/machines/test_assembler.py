@@ -1,0 +1,92 @@
+"""Tests for the Turing machine assembler."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.errors import MachineError
+from repro.machines.assembler import TMAssembler, assemble_marker_matcher
+from repro.machines.tape import BLANK
+from repro.machines.turing import ACCEPT, REJECT
+
+
+class TestFragments:
+    def test_scan_finds_symbol(self):
+        asm = TMAssembler("ab")
+        entry = asm.scan("R", ["b"], then=ACCEPT)
+        machine = asm.build(entry)
+        assert machine.accepts("aab")
+        assert machine.accepts("b")
+
+    def test_scan_runs_off_without_stop(self):
+        asm = TMAssembler("ab")
+        entry = asm.scan("R", ["b"], then=ACCEPT)
+        machine = asm.build(entry)
+        from repro.errors import MachineTimeoutError
+
+        with pytest.raises(MachineTimeoutError):
+            machine.accepts("aaa", max_steps=50)
+
+    def test_branch(self):
+        asm = TMAssembler("ab")
+        entry = asm.branch({"a": ACCEPT}, otherwise=REJECT)
+        machine = asm.build(entry)
+        assert machine.accepts("a")
+        assert not machine.accepts("b")
+        assert not machine.accepts("")
+
+    def test_write_and_step(self):
+        asm = TMAssembler("ab")
+        check = asm.branch({"b": ACCEPT})
+        left = asm.step("L", then=check)
+        right = asm.step("R", then=left)
+        entry = asm.write_here("b", then=right)
+        machine = asm.build(entry)
+        # write b at 0, move right, move left, verify b.
+        assert machine.accepts("a")
+
+    def test_duplicate_transition_rejected(self):
+        asm = TMAssembler("a")
+        asm.on("q", "a", ACCEPT)
+        with pytest.raises(MachineError):
+            asm.on("q", "a", REJECT)
+
+    def test_blank_always_in_alphabet(self):
+        asm = TMAssembler("ab")
+        assert BLANK in asm.symbols
+
+
+class TestMarkerMatcher:
+    def test_matches_anbn(self):
+        machine = assemble_marker_matcher("a", "b", "ab")
+        from repro.machines.programs import is_anbn
+
+        for word in Alphabet("ab").words_upto(8):
+            assert machine.accepts(word) == is_anbn(word), word
+
+    def test_other_symbols_reject(self):
+        machine = assemble_marker_matcher("a", "b", "abc")
+        assert machine.accepts("aabb")
+        assert not machine.accepts("acb")
+        assert not machine.accepts("c")
+
+    def test_reversed_markers(self):
+        machine = assemble_marker_matcher("b", "a", "ab")
+        assert machine.accepts("ba")
+        assert machine.accepts("bbaa")
+        assert not machine.accepts("ab")
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            assemble_marker_matcher("a", "a", "ab")
+        with pytest.raises(MachineError):
+            assemble_marker_matcher("a", "z", "ab")
+
+    def test_feeds_theorem_21(self):
+        """Assembler-built machines are first-class Theorem 2.1 inputs."""
+        from repro import NO_WAIT, nowait_automaton_for
+        from repro.machines.decider import tm_decider
+
+        machine = assemble_marker_matcher("a", "b", "ab")
+        decider = tm_decider(machine, "ab", name="asm-anbn")
+        auto = nowait_automaton_for(decider)
+        assert auto.language(6, NO_WAIT) == decider.language_upto(6)

@@ -1,0 +1,75 @@
+"""Tests for counter machines."""
+
+import pytest
+
+from repro.errors import MachineError, MachineTimeoutError
+from repro.machines.counter import CounterMachine, anbn_counter_machine
+
+
+class TestValidation:
+    def test_unknown_start(self):
+        with pytest.raises(MachineError):
+            CounterMachine({"a": ("accept",)}, start="zz")
+
+    def test_unknown_jump_target(self):
+        with pytest.raises(MachineError):
+            CounterMachine(
+                {"a": ("inc", 0, "nowhere")}, start="a", registers=1
+            )
+
+    def test_register_out_of_range(self):
+        with pytest.raises(MachineError):
+            CounterMachine({"a": ("inc", 5, "a")}, start="a", registers=1)
+
+    def test_unknown_instruction(self):
+        with pytest.raises(MachineError):
+            CounterMachine({"a": ("frobnicate",)}, start="a")
+
+    def test_read_branches_validated(self):
+        with pytest.raises(MachineError):
+            CounterMachine({"a": ("read", {"x": "missing"})}, start="a")
+
+
+class TestExecution:
+    def test_trivial_accept_reject(self):
+        accept = CounterMachine({"go": ("accept",)}, start="go")
+        reject = CounterMachine({"go": ("reject",)}, start="go")
+        assert accept.accepts("")
+        assert not reject.accepts("")
+
+    def test_timeout(self):
+        loop = CounterMachine(
+            {"a": ("inc", 0, "a")}, start="a", registers=1
+        )
+        with pytest.raises(MachineTimeoutError):
+            loop.accepts("", max_steps=50)
+
+    def test_read_off_alphabet_rejects(self):
+        machine = CounterMachine(
+            {"a": ("read", {"x": "yes", None: "yes"}), "yes": ("accept",)},
+            start="a",
+        )
+        assert machine.accepts("x")
+        assert machine.accepts("")
+        assert not machine.accepts("q")
+
+
+class TestAnbnCounter:
+    @pytest.mark.parametrize("word", ["", "ab", "aabb", "aaabbb"])
+    def test_accepts(self, word):
+        assert anbn_counter_machine().accepts(word)
+
+    @pytest.mark.parametrize(
+        "word", ["a", "b", "ba", "aab", "abb", "abab", "bbaa", "aabbb"]
+    )
+    def test_rejects(self, word):
+        assert not anbn_counter_machine().accepts(word)
+
+    def test_agrees_with_turing_machine(self):
+        from repro.machines.programs import is_anbn
+
+        machine = anbn_counter_machine()
+        from repro.automata.alphabet import Alphabet
+
+        for word in Alphabet("ab").words_upto(8):
+            assert machine.accepts(word) == is_anbn(word), word

@@ -1,0 +1,80 @@
+"""Tests for the Decider wrapper."""
+
+import pytest
+
+from repro.errors import AutomatonError, MachineError
+from repro.machines.counter import anbn_counter_machine
+from repro.machines.decider import (
+    Decider,
+    cm_decider,
+    cross_check,
+    predicate_decider,
+    tm_decider,
+)
+from repro.machines.programs import is_anbn, tm_anbn
+
+
+class TestDecider:
+    def test_predicate_wrapping(self):
+        decider = predicate_decider(is_anbn, "ab", name="anbn")
+        assert decider("ab") and not decider("ba")
+        assert decider.name == "anbn"
+
+    def test_word_validated_against_alphabet(self):
+        decider = predicate_decider(is_anbn, "ab")
+        with pytest.raises(AutomatonError):
+            decider("abc")
+
+    def test_language_upto(self):
+        decider = predicate_decider(is_anbn, "ab")
+        assert decider.language_upto(4) == {"", "ab", "aabb"}
+
+    def test_words_shortest_first(self):
+        decider = predicate_decider(is_anbn, "ab")
+        assert list(decider.words(4)) == ["", "ab", "aabb"]
+
+    def test_restricted(self):
+        decider = predicate_decider(is_anbn, "ab").restricted(1)
+        assert not decider("")
+        assert decider("ab")
+        assert decider.language_upto(4) == {"ab", "aabb"}
+
+
+class TestWrappers:
+    def test_tm_decider(self):
+        decider = tm_decider(tm_anbn(), "ab")
+        assert decider("aabb") and not decider("aab")
+        assert decider.name == "anbn"
+
+    def test_cm_decider(self):
+        decider = cm_decider(anbn_counter_machine(), "ab")
+        assert decider("ab") and not decider("ba")
+
+
+class TestCrossCheck:
+    def test_agreeing_deciders_pass(self):
+        cross_check(
+            [
+                predicate_decider(is_anbn, "ab"),
+                tm_decider(tm_anbn(), "ab"),
+                cm_decider(anbn_counter_machine(), "ab"),
+            ],
+            max_length=7,
+        )
+
+    def test_disagreement_detected(self):
+        honest = predicate_decider(is_anbn, "ab")
+        liar = predicate_decider(lambda w: False, "ab", name="liar")
+        with pytest.raises(MachineError):
+            cross_check([honest, liar], max_length=4)
+
+    def test_alphabet_mismatch_detected(self):
+        with pytest.raises(MachineError):
+            cross_check(
+                [predicate_decider(is_anbn, "ab"), predicate_decider(is_anbn, "abc")],
+                max_length=2,
+            )
+
+    def test_needs_two(self):
+        with pytest.raises(MachineError):
+            cross_check([predicate_decider(is_anbn, "ab")], max_length=2)

@@ -1,0 +1,106 @@
+"""Tests for the stock machine/decider library."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.machines.programs import (
+    decider_anbn,
+    decider_anbn_counter,
+    decider_anbncn,
+    decider_balanced,
+    decider_palindrome,
+    decider_unary_primes,
+    decider_ww,
+    is_anbn,
+    is_anbn_positive,
+    is_anbncn,
+    is_balanced,
+    is_palindrome,
+    is_unary_prime,
+    is_ww,
+    standard_deciders,
+    tm_anbncn,
+    tm_palindrome,
+)
+
+
+class TestReferencePredicates:
+    def test_anbn(self):
+        assert is_anbn("") and is_anbn("aabb")
+        assert not is_anbn("ab" + "a") and not is_anbn("ba")
+
+    def test_anbn_positive_excludes_epsilon(self):
+        assert not is_anbn_positive("")
+        assert is_anbn_positive("ab")
+
+    def test_anbncn(self):
+        assert is_anbncn("") and is_anbncn("abc") and is_anbncn("aabbcc")
+        assert not is_anbncn("abcc") and not is_anbncn("acb")
+
+    def test_palindrome(self):
+        assert is_palindrome("") and is_palindrome("aba") and is_palindrome("abba")
+        assert not is_palindrome("ab")
+
+    def test_ww(self):
+        assert is_ww("") and is_ww("abab") and is_ww("aa")
+        assert not is_ww("aba") and not is_ww("abba")
+
+    def test_unary_primes(self):
+        assert is_unary_prime("11") and is_unary_prime("1" * 7)
+        assert not is_unary_prime("1") and not is_unary_prime("1" * 9)
+        assert not is_unary_prime("")
+
+    def test_balanced(self):
+        assert is_balanced("") and is_balanced("ab") and is_balanced("aabb")
+        assert is_balanced("abab")
+        assert not is_balanced("ba") and not is_balanced("a")
+
+
+class TestMachinesMatchPredicates:
+    @pytest.mark.parametrize(
+        "decider_factory,predicate,alphabet,depth",
+        [
+            (decider_anbn, is_anbn, "ab", 8),
+            (decider_anbn_counter, is_anbn, "ab", 8),
+            (decider_anbncn, is_anbncn, "abc", 6),
+            (decider_palindrome, is_palindrome, "ab", 7),
+            (decider_ww, is_ww, "ab", 6),
+            (decider_unary_primes, is_unary_prime, "1", 12),
+            (decider_balanced, is_balanced, "ab", 7),
+        ],
+    )
+    def test_machine_equals_reference(self, decider_factory, predicate, alphabet, depth):
+        decider = decider_factory()
+        for word in Alphabet(alphabet).words_upto(depth):
+            assert decider(word) == predicate(word), word
+
+
+class TestSpecificMachines:
+    def test_anbncn_beyond_context_free(self):
+        machine = tm_anbncn()
+        assert machine.accepts("aabbcc")
+        assert not machine.accepts("aabbc")
+        assert not machine.accepts("abbcc")
+        assert not machine.accepts("cba")
+
+    def test_palindrome_odd_and_even(self):
+        machine = tm_palindrome()
+        assert machine.accepts("a")
+        assert machine.accepts("abba")
+        assert machine.accepts("ababa")
+        assert not machine.accepts("aab")
+
+
+class TestRegistry:
+    def test_standard_deciders_complete(self):
+        deciders = standard_deciders()
+        assert set(deciders) == {
+            "anbn",
+            "anbncn",
+            "palindrome",
+            "ww",
+            "unary-primes",
+            "balanced",
+        }
+        for name, decider in deciders.items():
+            assert decider.name, name

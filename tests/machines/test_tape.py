@@ -1,0 +1,69 @@
+"""Tests for the Turing tape."""
+
+import pytest
+
+from repro.machines.tape import BLANK, Tape
+
+
+class TestTape:
+    def test_initial_content(self):
+        tape = Tape("abc")
+        assert tape.read() == "a"
+        assert tape.content() == "abc"
+
+    def test_empty_tape_reads_blank(self):
+        assert Tape().read() == BLANK
+
+    def test_write_and_read(self):
+        tape = Tape("ab")
+        tape.write("z")
+        assert tape.read() == "z"
+        assert tape.content() == "zb"
+
+    def test_write_blank_erases(self):
+        tape = Tape("ab")
+        tape.write(BLANK)
+        assert tape.read() == BLANK
+        assert tape.content() == "b"
+
+    def test_moves(self):
+        tape = Tape("ab")
+        tape.move("R")
+        assert tape.read() == "b"
+        tape.move("L")
+        tape.move("L")
+        assert tape.read() == BLANK  # left of the input
+        tape.move("S")
+        assert tape.head == -1
+
+    def test_bad_move(self):
+        with pytest.raises(ValueError):
+            Tape().move("X")
+
+    def test_negative_positions(self):
+        tape = Tape()
+        tape.move("L")
+        tape.write("q")
+        assert tape.content() == "q"
+        assert tape.head == -1
+
+    def test_extent(self):
+        tape = Tape("abc")
+        assert tape.extent == (0, 2)
+        tape.move("L")
+        assert tape.extent == (-1, 2)
+
+    def test_content_strips_outer_blanks_only(self):
+        tape = Tape("a_b")
+        assert tape.content() == "a_b"
+
+    def test_cells_sorted(self):
+        tape = Tape("ab")
+        assert list(tape.cells()) == [(0, "a"), (1, "b")]
+
+    def test_copy_independent(self):
+        tape = Tape("ab")
+        clone = tape.copy()
+        clone.write("z")
+        assert tape.read() == "a"
+        assert clone.read() == "z"

@@ -1,0 +1,104 @@
+"""Tests for the Turing machine simulator."""
+
+import pytest
+
+from repro.errors import MachineError, MachineTimeoutError
+from repro.machines.programs import tm_anbn
+from repro.machines.turing import ACCEPT, REJECT, HaltReason, TuringMachine
+
+
+def flip_machine():
+    """Writes the complement of a single bit and accepts."""
+    return TuringMachine(
+        transitions={
+            ("q0", "0"): (ACCEPT, "1", "S"),
+            ("q0", "1"): (ACCEPT, "0", "S"),
+        },
+        initial="q0",
+    )
+
+
+def spinner():
+    """Never halts (moves right forever)."""
+    return TuringMachine(
+        transitions={("q0", "_"): ("q0", "_", "R")},
+        initial="q0",
+    )
+
+
+class TestValidation:
+    def test_halting_state_cannot_transition(self):
+        with pytest.raises(MachineError):
+            TuringMachine({(ACCEPT, "a"): ("q", "a", "R")}, initial="q")
+
+    def test_bad_move_rejected(self):
+        with pytest.raises(MachineError):
+            TuringMachine({("q", "a"): ("q", "a", "U")}, initial="q")
+
+    def test_multichar_symbol_rejected(self):
+        with pytest.raises(MachineError):
+            TuringMachine({("q", "ab"): ("q", "a", "R")}, initial="q")
+
+    def test_overlapping_halt_states_rejected(self):
+        with pytest.raises(MachineError):
+            TuringMachine(
+                {},
+                initial="q",
+                accept_states={"h"},
+                reject_states={"h"},
+            )
+
+
+class TestRun:
+    def test_accept_and_tape(self):
+        result = flip_machine().run("0")
+        assert result.accepted
+        assert result.reason is HaltReason.ACCEPTED
+        assert result.tape == "1"
+        assert result.steps == 1  # the single write is one step
+
+    def test_missing_transition_rejects(self):
+        result = flip_machine().run("x")
+        assert not result.accepted
+        assert result.reason is HaltReason.NO_TRANSITION
+
+    def test_timeout(self):
+        with pytest.raises(MachineTimeoutError):
+            spinner().run("", max_steps=100)
+
+    def test_explicit_reject_state(self):
+        machine = TuringMachine(
+            {("q0", "a"): (REJECT, "a", "S")},
+            initial="q0",
+        )
+        result = machine.run("a")
+        assert not result.accepted
+        assert result.reason is HaltReason.REJECTED
+
+
+class TestAnbnMachine:
+    @pytest.mark.parametrize("word", ["", "ab", "aabb", "aaabbb"])
+    def test_accepts(self, word):
+        assert tm_anbn().accepts(word)
+
+    @pytest.mark.parametrize("word", ["a", "b", "ba", "aab", "abb", "abab", "bbaa"])
+    def test_rejects(self, word):
+        assert not tm_anbn().accepts(word)
+
+
+class TestTrace:
+    def test_trace_ends_in_halt(self):
+        configs = list(tm_anbn().trace("ab"))
+        assert configs[0].state == "q0"
+        assert configs[-1].state == ACCEPT
+        assert configs[0].step == 0
+        assert configs[-1].step == len(configs) - 1
+
+    def test_trace_timeout(self):
+        with pytest.raises(MachineTimeoutError):
+            list(spinner().trace("", max_steps=20))
+
+    def test_states_property(self):
+        machine = flip_machine()
+        assert "q0" in machine.states
+        assert ACCEPT in machine.states

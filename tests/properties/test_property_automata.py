@@ -1,0 +1,97 @@
+"""Property-based tests for the automata toolkit.
+
+Random regexes are the generator; every operation is checked against
+brute-force word enumeration up to a depth bound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.enumeration import count_words_by_length, language_upto
+from repro.automata.equivalence import equivalent, find_distinguishing_word
+from repro.automata.operations import complement, intersect, minimize, union
+from repro.automata.regex import random_regex, regex_to_nfa
+
+SIGMA = Alphabet("ab")
+DEPTH = 4
+
+seeds = st.integers(0, 10_000)
+
+
+def dfa_from_seed(seed: int):
+    return regex_to_nfa(random_regex("ab", depth=3, seed=seed), alphabet=SIGMA).to_dfa()
+
+
+def words():
+    return list(SIGMA.words_upto(DEPTH))
+
+
+class TestOperationsAgainstBruteForce:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_preserves_language(self, seed):
+        dfa = dfa_from_seed(seed)
+        minimal = minimize(dfa)
+        for word in words():
+            assert minimal.accepts(word) == dfa.accepts(word)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_not_larger(self, seed):
+        dfa = dfa_from_seed(seed)
+        assert len(minimize(dfa).states) <= max(len(dfa.trim().states) + 1, 1)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_complement_flips(self, seed):
+        dfa = dfa_from_seed(seed)
+        comp = complement(dfa)
+        for word in words():
+            assert comp.accepts(word) != dfa.accepts(word)
+
+    @given(seeds, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_product_constructions(self, seed_a, seed_b):
+        a, b = dfa_from_seed(seed_a), dfa_from_seed(seed_b)
+        meet, join = intersect(a, b), union(a, b)
+        for word in words():
+            assert meet.accepts(word) == (a.accepts(word) and b.accepts(word))
+            assert join.accepts(word) == (a.accepts(word) or b.accepts(word))
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_subset_construction_equivalent(self, seed):
+        nfa = regex_to_nfa(random_regex("ab", depth=3, seed=seed), alphabet=SIGMA)
+        dfa = nfa.to_dfa()
+        for word in words():
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    @given(seeds, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_decision_matches_sampling(self, seed_a, seed_b):
+        a, b = dfa_from_seed(seed_a), dfa_from_seed(seed_b)
+        same_on_sample = language_upto(a, DEPTH) == language_upto(b, DEPTH)
+        if equivalent(a, b):
+            assert same_on_sample
+        else:
+            word = find_distinguishing_word(a, b)
+            assert word is not None
+            assert a.accepts(word) != b.accepts(word)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_counting_matches_enumeration(self, seed):
+        dfa = dfa_from_seed(seed)
+        counts = count_words_by_length(dfa, DEPTH)
+        sample = language_upto(dfa, DEPTH)
+        for length in range(DEPTH + 1):
+            assert counts[length] == sum(1 for w in sample if len(w) == length)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_minimization_canonical(self, seed):
+        dfa = dfa_from_seed(seed)
+        minimal = minimize(dfa)
+        again = minimize(minimal)
+        assert minimal.transitions == again.transitions
+        assert minimal.accepting == again.accepting

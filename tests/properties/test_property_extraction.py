@@ -1,0 +1,79 @@
+"""Property-based tests: extraction agrees with direct journey sampling.
+
+This is the load-bearing invariant of Theorem 2.2's constructive side —
+the time-expanded automaton and the configuration-set acceptor must
+define the same language on every random periodic TVG, under every
+waiting regime.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.enumeration import language_upto
+from repro.automata.language_compute import (
+    bounded_wait_language_automaton,
+    nowait_language_automaton,
+    wait_language_automaton,
+)
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.core.generators import random_labeled_tvg
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+
+seeds = st.integers(0, 10_000)
+WORD_BOUND = 3
+PERIOD = 3
+
+
+def automaton_from(seed: int) -> TVGAutomaton:
+    g = random_labeled_tvg(
+        4, edge_count=7, alphabet="ab", period=PERIOD, density=0.5, seed=seed
+    )
+    return TVGAutomaton(g, initial=0, accepting=[1, 2], start_time=0)
+
+
+def horizon_for() -> int:
+    # Words of length <= 3, unit latencies, period 3: date 24 is ample.
+    return 24
+
+
+class TestExtractionAgreement:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_wait_extraction(self, seed):
+        auto = automaton_from(seed)
+        extracted = language_upto(wait_language_automaton(auto), WORD_BOUND)
+        sampled = auto.language(WORD_BOUND, WAIT, horizon=horizon_for())
+        assert extracted == sampled
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_nowait_extraction(self, seed):
+        auto = automaton_from(seed)
+        extracted = language_upto(nowait_language_automaton(auto), WORD_BOUND)
+        sampled = auto.language(WORD_BOUND, NO_WAIT, horizon=horizon_for())
+        assert extracted == sampled
+
+    @given(seeds, st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_extraction(self, seed, budget):
+        auto = automaton_from(seed)
+        extracted = language_upto(
+            bounded_wait_language_automaton(auto, budget), WORD_BOUND
+        )
+        sampled = auto.language(
+            WORD_BOUND, bounded_wait(budget), horizon=horizon_for()
+        )
+        assert extracted == sampled
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_language_chain_monotone(self, seed):
+        """L_nowait ⊆ L_wait[1] ⊆ L_wait[2] ⊆ L_wait — as automata."""
+        auto = automaton_from(seed)
+        chain = [
+            language_upto(nowait_language_automaton(auto), WORD_BOUND),
+            language_upto(bounded_wait_language_automaton(auto, 1), WORD_BOUND),
+            language_upto(bounded_wait_language_automaton(auto, 2), WORD_BOUND),
+            language_upto(wait_language_automaton(auto), WORD_BOUND),
+        ]
+        for smaller, larger in zip(chain, chain[1:]):
+            assert smaller <= larger

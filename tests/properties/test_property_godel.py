@@ -1,0 +1,53 @@
+"""Property-based tests for the Gödel encodings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constructions.godel import GodelEncoding
+
+words = st.text(alphabet="ab", max_size=7)
+other_words = st.text(alphabet="abc", max_size=5)
+
+
+class TestGodelProperties:
+    @given(words)
+    def test_roundtrip(self, word):
+        enc = GodelEncoding("ab")
+        assert enc.decode(enc.encode(word)) == word
+
+    @given(words, words)
+    def test_injective(self, first, second):
+        enc = GodelEncoding("ab")
+        if first != second:
+            assert enc.encode(first) != enc.encode(second)
+
+    @given(words, st.sampled_from("ab"))
+    def test_extension_is_one_multiplication(self, word, symbol):
+        enc = GodelEncoding("ab")
+        assert enc.encode(word + symbol) == enc.encode(word) * enc.extension_factor(
+            len(word), symbol
+        )
+
+    @given(words, st.sampled_from("ab"))
+    def test_extension_latency_lands_on_next_code(self, word, symbol):
+        enc = GodelEncoding("ab")
+        t = enc.encode(word)
+        assert t + enc.extension_latency(t, symbol) == enc.encode(word + symbol)
+
+    @given(st.integers(1, 5000))
+    def test_decode_encode_partial_inverse(self, value):
+        enc = GodelEncoding("ab")
+        word = enc.decode(value)
+        if word is not None:
+            assert enc.encode(word) == value
+
+    @given(other_words)
+    @settings(max_examples=50)
+    def test_three_symbol_roundtrip(self, word):
+        enc = GodelEncoding("abc")
+        assert enc.decode(enc.encode(word)) == word
+
+    @given(words)
+    def test_codes_grow_with_length(self, word):
+        enc = GodelEncoding("ab")
+        if word:
+            assert enc.encode(word) > enc.encode(word[:-1])

@@ -1,0 +1,85 @@
+"""Property-based tests for the CFG substrate.
+
+Regular languages are context-free: for random regexes, the CYK answer
+through a grammar generated from the regex AST must match the NFA.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.grammars import ContextFreeGrammar
+from repro.automata.regex import (
+    Concat,
+    Epsilon,
+    Literal,
+    Star,
+    Union,
+    random_regex,
+    regex_to_nfa,
+)
+
+seeds = st.integers(0, 10_000)
+
+
+def regex_to_cfg(node, counter=None) -> ContextFreeGrammar:
+    """Compile a regex AST to an equivalent CFG (standard construction)."""
+    productions: list[tuple[str, list[str]]] = []
+    fresh = iter(range(10_000))
+
+    def build(n) -> str:
+        head = f"N{next(fresh)}"
+        if isinstance(n, Epsilon):
+            productions.append((head, []))
+        elif isinstance(n, Literal):
+            productions.append((head, [n.symbol]))
+        elif isinstance(n, Concat):
+            productions.append((head, [build(n.left), build(n.right)]))
+        elif isinstance(n, Union):
+            left, right = build(n.left), build(n.right)
+            productions.append((head, [left]))
+            productions.append((head, [right]))
+        elif isinstance(n, Star):
+            inner = build(n.inner)
+            productions.append((head, []))
+            productions.append((head, [inner, head]))
+        else:
+            raise TypeError(n)
+        return head
+
+    start = build(node)
+    return ContextFreeGrammar(start, productions)
+
+
+class TestRegularSubsetOfContextFree:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_cyk_matches_nfa(self, seed):
+        node = random_regex("ab", depth=3, seed=seed)
+        if not node.symbols():
+            return  # grammar needs at least one terminal
+        nfa = regex_to_nfa(node, alphabet="ab")
+        grammar = regex_to_cfg(node)
+        from repro.automata.alphabet import Alphabet
+
+        for word in Alphabet("ab").words_upto(4):
+            try:
+                cyk = grammar.accepts(word)
+            except Exception:  # symbols outside the grammar's terminals
+                cyk = False
+            assert cyk == nfa.accepts(word), (str(node), word)
+
+
+class TestCnfInvariants:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_cnf_preserves_language(self, seed):
+        node = random_regex("ab", depth=3, seed=seed)
+        if not node.symbols():
+            return
+        grammar = regex_to_cfg(node)
+        cnf = grammar.to_cnf()
+        from repro.automata.alphabet import Alphabet
+
+        for word in Alphabet("ab").words_upto(4):
+            lhs = cnf.accepts(word) if (set(word) <= set(grammar.alphabet) or not word) else False
+            rhs = grammar.accepts(word) if (set(word) <= set(grammar.alphabet) or not word) else False
+            assert lhs == rhs, (str(node), word)

@@ -1,0 +1,75 @@
+"""Property-based tests for interval sets."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import Interval, IntervalSet
+
+pairs = st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50)).map(
+        lambda t: (min(t), max(t))
+    ),
+    max_size=8,
+)
+dates = st.integers(-60, 60)
+
+
+def brute_membership(raw_pairs, time):
+    return any(a <= time < b for a, b in raw_pairs)
+
+
+class TestIntervalSetProperties:
+    @given(pairs, dates)
+    def test_membership_matches_brute_force(self, raw, time):
+        s = IntervalSet.from_pairs(raw)
+        assert (time in s) == brute_membership(raw, time)
+
+    @given(pairs)
+    def test_normalized_disjoint_and_sorted(self, raw):
+        s = IntervalSet.from_pairs(raw)
+        intervals = list(s)
+        for left, right in zip(intervals, intervals[1:]):
+            assert left.end < right.start  # strictly separated (merged otherwise)
+
+    @given(pairs, dates)
+    def test_next_time_in_is_correct(self, raw, time):
+        s = IntervalSet.from_pairs(raw)
+        found = s.next_time_in(time)
+        if found is None:
+            assert all(not brute_membership(raw, t) for t in range(time, 61))
+        else:
+            assert found >= time
+            assert found in s
+            assert all(t not in s for t in range(time, found))
+
+    @given(pairs, pairs, dates)
+    def test_union_membership(self, raw_a, raw_b, time):
+        a, b = IntervalSet.from_pairs(raw_a), IntervalSet.from_pairs(raw_b)
+        assert (time in a.union(b)) == ((time in a) or (time in b))
+
+    @given(pairs, pairs, dates)
+    def test_intersection_membership(self, raw_a, raw_b, time):
+        a, b = IntervalSet.from_pairs(raw_a), IntervalSet.from_pairs(raw_b)
+        assert (time in a.intersect(b)) == ((time in a) and (time in b))
+
+    @given(pairs, dates)
+    def test_complement_membership(self, raw, time):
+        s = IntervalSet.from_pairs(raw)
+        window = Interval(-60, 61)
+        complement = s.complement(window)
+        assert (time in complement) == (time in window and time not in s)
+
+    @given(pairs)
+    def test_total_length_equals_enumeration(self, raw):
+        s = IntervalSet.from_pairs(raw)
+        assert s.total_length() == len(list(s.times()))
+
+    @given(pairs, st.integers(1, 5))
+    def test_dilate_sparse_bijection(self, raw, factor):
+        s = IntervalSet.from_pairs(raw)
+        dilated = s.dilate_sparse(factor)
+        assert sorted(dilated.times()) == [t * factor for t in s.times()]
+
+    @given(pairs, st.integers(-20, 20), dates)
+    def test_shift_membership(self, raw, delta, time):
+        s = IntervalSet.from_pairs(raw)
+        assert (time in s.shift(delta)) == ((time - delta) in s)

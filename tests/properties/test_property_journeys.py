@@ -1,0 +1,96 @@
+"""Property-based tests for journeys and traversal invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.generators import periodic_random_tvg
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.core.traversal import (
+    earliest_arrivals,
+    enumerate_journeys,
+    foremost_journey,
+    reachable_nodes,
+)
+
+seeds = st.integers(0, 10_000)
+HORIZON = 12
+
+
+def graph_from(seed: int):
+    return periodic_random_tvg(4, period=3, density=0.45, seed=seed, latency=1)
+
+
+class TestSemanticsMonotonicity:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_reachability_monotone_in_waiting(self, seed):
+        g = graph_from(seed)
+        source = 0
+        nowait = reachable_nodes(g, source, 0, NO_WAIT, horizon=HORIZON)
+        d1 = reachable_nodes(g, source, 0, bounded_wait(1), horizon=HORIZON)
+        d3 = reachable_nodes(g, source, 0, bounded_wait(3), horizon=HORIZON)
+        wait = reachable_nodes(g, source, 0, WAIT, horizon=HORIZON)
+        assert nowait <= d1 <= d3 <= wait
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_horizon_monotone(self, seed):
+        g = graph_from(seed)
+        small = reachable_nodes(g, 0, 0, WAIT, horizon=6)
+        large = reachable_nodes(g, 0, 0, WAIT, horizon=HORIZON)
+        assert small <= large
+
+
+class TestJourneyValidity:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_enumerated_journeys_feasible(self, seed):
+        g = graph_from(seed)
+        for journey in enumerate_journeys(g, 0, 0, WAIT, horizon=8, max_hops=3):
+            assert journey.feasible_under(WAIT)
+            assert journey.source == 0
+            for hop in journey:
+                assert hop.edge.present_at(hop.start)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_nowait_journeys_direct(self, seed):
+        g = graph_from(seed)
+        for journey in enumerate_journeys(g, 0, 0, NO_WAIT, horizon=8, max_hops=3):
+            assert journey.is_direct
+
+    @given(seeds, st.integers(0, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_pauses_bounded(self, seed, budget):
+        g = graph_from(seed)
+        for journey in enumerate_journeys(
+            g, 0, 0, bounded_wait(budget), horizon=8, max_hops=3
+        ):
+            assert journey.max_pause <= budget
+
+
+class TestForemostOptimality:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_foremost_journey_matches_earliest_arrival(self, seed):
+        g = graph_from(seed)
+        arrivals = earliest_arrivals(g, 0, 0, WAIT, horizon=HORIZON)
+        for node in g.nodes:
+            if node == 0 or node not in arrivals:
+                continue
+            journey = foremost_journey(g, 0, node, 0, WAIT, horizon=HORIZON)
+            assert journey is not None
+            assert journey.arrival == arrivals[node]
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_foremost_beats_every_enumerated_journey(self, seed):
+        g = graph_from(seed)
+        best: dict = {}
+        for journey in enumerate_journeys(g, 0, 0, WAIT, horizon=8, max_hops=3):
+            node = journey.destination
+            best[node] = min(best.get(node, journey.arrival), journey.arrival)
+        arrivals = earliest_arrivals(g, 0, 0, WAIT, horizon=8)
+        for node, arrival in best.items():
+            assert arrivals[node] <= arrival

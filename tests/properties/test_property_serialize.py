@@ -1,0 +1,66 @@
+"""Property-based tests: serialization round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.generators import bernoulli_tvg, periodic_random_tvg
+from repro.core.intervals import Interval
+from repro.core.serialize import dumps, loads, sampled
+
+seeds = st.integers(0, 10_000)
+
+
+def schedules_equal(first, second, start, end) -> bool:
+    if {e.key for e in first.edges} != {e.key for e in second.edges}:
+        return False
+    window = Interval(start, end)
+    for edge in first.edges:
+        twin = second.edge(edge.key)
+        if edge.label != twin.label:
+            return False
+        mine = list(edge.presence.support(window).times())
+        theirs = list(twin.presence.support(window).times())
+        if mine != theirs:
+            return False
+        for t in mine:
+            if edge.latency(t) != twin.latency(t):
+                return False
+    return True
+
+
+class TestRoundTripProperties:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_bernoulli_round_trip(self, seed):
+        graph = bernoulli_tvg(5, horizon=15, density=0.3, seed=seed)
+        again = loads(dumps(graph))
+        assert again.lifetime == graph.lifetime
+        assert schedules_equal(graph, again, 0, 15)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_periodic_round_trip(self, seed):
+        graph = periodic_random_tvg(4, period=5, density=0.4, labels="ab", seed=seed)
+        again = loads(dumps(graph))
+        assert again.period == 5
+        assert schedules_equal(graph, again, 0, 10)
+
+    @given(seeds, st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_sampled_window_faithful(self, seed, width):
+        graph = bernoulli_tvg(4, horizon=20, density=0.4, seed=seed)
+        start, end = 3, 3 + width
+        finite = sampled(graph, start, end)
+        window = Interval(start, end)
+        for edge in graph.edges:
+            twin = finite.edge(edge.key)
+            original = list(edge.presence.support(window).times())
+            copied = list(twin.presence.support(window).times())
+            assert original == copied
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_double_round_trip_stable(self, seed):
+        graph = periodic_random_tvg(3, period=4, density=0.5, labels="a", seed=seed)
+        once = dumps(loads(dumps(graph)))
+        twice = dumps(loads(once))
+        assert once == twice

@@ -1,0 +1,94 @@
+"""Property-based tests for the wqo toolkit (Higman order invariants)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.enumeration import language_upto
+from repro.automata.regex import random_regex, regex_to_nfa
+from repro.automata.wqo import (
+    downward_closure,
+    is_subword,
+    maximal_antichain,
+    minimal_elements,
+    upward_closure,
+    upward_closure_of_words,
+)
+
+words = st.text(alphabet="ab", max_size=8)
+word_sets = st.sets(st.text(alphabet="ab", min_size=1, max_size=5), min_size=1, max_size=6)
+seeds = st.integers(0, 10_000)
+
+
+class TestSubwordOrder:
+    @given(words)
+    def test_reflexive(self, w):
+        assert is_subword(w, w)
+
+    @given(words, words)
+    def test_antisymmetric_on_lengths(self, u, v):
+        if is_subword(u, v) and is_subword(v, u):
+            assert u == v
+
+    @given(words, words, words)
+    def test_transitive(self, u, v, w):
+        if is_subword(u, v) and is_subword(v, w):
+            assert is_subword(u, w)
+
+    @given(words, words)
+    def test_concatenation_monotone(self, u, v):
+        assert is_subword(u, u + v)
+        assert is_subword(v, u + v)
+
+
+class TestClosureProperties:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_upward_closure_contains_language(self, seed):
+        nfa = regex_to_nfa(random_regex("ab", depth=3, seed=seed), alphabet="ab")
+        up = upward_closure(nfa)
+        for word in language_upto(nfa, 4):
+            assert up.accepts(word)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_closure_membership_characterization(self, seed):
+        nfa = regex_to_nfa(random_regex("ab", depth=3, seed=seed), alphabet="ab")
+        sample = language_upto(nfa, 4)
+        up = upward_closure(nfa)
+        down = downward_closure(nfa)
+        from repro.automata.alphabet import Alphabet
+
+        for word in Alphabet("ab").words_upto(4):
+            in_up = any(is_subword(member, word) for member in sample)
+            in_down = any(is_subword(word, member) for member in sample)
+            # up/down closures computed on the full (possibly infinite)
+            # language can only accept MORE than the sample predicts.
+            if in_up:
+                assert up.accepts(word)
+            if in_down:
+                assert down.accepts(word)
+
+    @given(word_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_upward_closure_of_words_exact(self, generators):
+        nfa = upward_closure_of_words(sorted(generators), "ab")
+        from repro.automata.alphabet import Alphabet
+
+        for word in Alphabet("ab").words_upto(5):
+            expected = any(is_subword(g, word) for g in generators)
+            assert nfa.accepts(word) == expected, word
+
+
+class TestAntichains:
+    @given(word_sets)
+    def test_minimal_elements_generate(self, pool):
+        minimal = minimal_elements(pool)
+        for word in pool:
+            assert any(is_subword(m, word) for m in minimal)
+
+    @given(word_sets)
+    def test_maximal_antichain_incomparable(self, pool):
+        chain = maximal_antichain(pool)
+        for i, first in enumerate(chain):
+            for second in chain[i + 1 :]:
+                assert not is_subword(first, second)
+                assert not is_subword(second, first)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestFigure1Command:
+    def test_accept_and_reject(self, capsys):
+        assert main(["figure1", "aabb", "aab"]) == 0
+        out = capsys.readouterr().out
+        assert "'aabb': accept" in out
+        assert "'aab': reject" in out
+
+    def test_expectation_enforced(self, capsys):
+        assert main(["figure1", "aabb", "--expect", "accept"]) == 0
+        assert main(["figure1", "aab", "--expect", "accept"]) == 1
+
+    def test_wait_semantics(self, capsys):
+        code = main(["figure1", "b", "--semantics", "wait", "--horizon", "64"])
+        assert code == 0
+        assert "'b': accept" in capsys.readouterr().out
+
+    def test_bounded_semantics_parse(self, capsys):
+        code = main(["figure1", "b", "--semantics", "wait[1]", "--horizon", "64"])
+        assert code == 0
+        assert "'b': accept" in capsys.readouterr().out
+
+    def test_bad_semantics_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "x", "--semantics", "maybe"])
+
+    def test_alternate_primes(self, capsys):
+        assert main(["figure1", "ab", "-p", "3", "-q", "5"]) == 0
+        assert "'ab': accept" in capsys.readouterr().out
+
+
+class TestUniversalCommand:
+    def test_stock_language(self, capsys):
+        assert main(["universal", "anbn", "--depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "'ab'" in out and "'aabb'" in out
+        assert "True" in out
+
+    def test_unknown_language(self, capsys):
+        assert main(["universal", "nosuch"]) == 2
+
+
+class TestBroadcastCommand:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            ["broadcast", "--nodes", "6", "--horizon", "20", "--birth", "0.2",
+             "--death", "0.3", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bufferless" in out and "buffered" in out
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "contacts.trace"
+        path.write_text("a b 0 3\nb c 4 6\n", encoding="utf-8")
+        return str(path)
+
+    def test_render(self, trace_file, capsys):
+        assert main(["render", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "a->b" in out
+
+    def test_extract(self, trace_file, capsys):
+        code = main(["extract", trace_file, "--initial", "a"])
+        assert code == 0
+        assert "minimal wait-language DFA" in capsys.readouterr().out

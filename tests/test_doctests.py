@@ -1,0 +1,36 @@
+"""Run the doctests embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.automata.alphabet
+import repro.automata.regex
+import repro.automata.wqo
+import repro.constructions.godel
+import repro.core.intervals
+import repro.core.presence
+import repro.core.render
+import repro.core.time_domain
+
+MODULES = [
+    repro.automata.alphabet,
+    repro.automata.regex,
+    repro.automata.wqo,
+    repro.constructions.godel,
+    repro.core.intervals,
+    repro.core.presence,
+    repro.core.render,
+    repro.core.time_domain,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_some_doctests_exist():
+    total = sum(doctest.testmod(m).attempted for m in MODULES)
+    assert total >= 10

@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy and public package surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_catchable_as_base(self):
+        from repro.core.time_domain import Lifetime
+
+        with pytest.raises(errors.ReproError):
+            Lifetime(5, 3)
+
+    def test_edge_not_present_payload(self):
+        err = errors.EdgeNotPresentError("e0", 7)
+        assert err.edge == "e0" and err.time == 7
+        assert "7" in str(err)
+
+    def test_machine_timeout_payload(self):
+        err = errors.MachineTimeoutError(500)
+        assert err.steps == 500
+
+    def test_regex_syntax_payload(self):
+        err = errors.RegexSyntaxError("a(", 2, "unbalanced")
+        assert err.pattern == "a(" and err.position == 2
+
+    def test_trace_format_payload(self):
+        err = errors.TraceFormatError(12, "bad line")
+        assert err.line_number == 12
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.automata
+        import repro.core
+        import repro.dynamics
+        import repro.machines
+
+        for package in (
+            repro.analysis,
+            repro.automata,
+            repro.core,
+            repro.dynamics,
+            repro.machines,
+        ):
+            for name in package.__all__:
+                assert hasattr(package, name), (package.__name__, name)
+
+    def test_quickstart_docstring_claims(self):
+        """The claims made in the package docstring must stay true."""
+        from repro import NO_WAIT, WAIT, figure1_automaton
+
+        fig1 = figure1_automaton()
+        assert fig1.accepts("aabb", NO_WAIT)
+        assert not fig1.accepts("aab", NO_WAIT)
+        assert fig1.accepts("b", WAIT, horizon=64)
