@@ -1,0 +1,118 @@
+"""E9 — compiled engine vs interpretive oracle.
+
+Times ``reachability_matrix`` and ``earliest_arrivals`` on a 200-node
+periodic-presence TVG (the bench_scaling regime) through both paths and
+asserts the compiled contact-sequence engine is at least 5x faster while
+producing bit-identical results.  Emits ``BENCH_engine.json`` next to
+this file so CI can track the speedups over time.
+
+Run standalone (``python benchmarks/bench_engine.py``) or through pytest
+(``pytest benchmarks/bench_engine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULT_FILE = Path(__file__).parent / "BENCH_engine.json"
+
+NODES = 200
+PERIOD = 8
+DENSITY = 0.02
+SEED = 7
+HORIZON = 24
+REQUIRED_SPEEDUP = 5.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    from repro.analysis.reachability import reachability_matrix
+    from repro.core.engine import TemporalEngine
+    from repro.core.generators import periodic_random_tvg
+    from repro.core.semantics import NO_WAIT, WAIT
+    from repro.core.traversal import earliest_arrivals
+
+    graph = periodic_random_tvg(
+        NODES, period=PERIOD, density=DENSITY, labels="ab", seed=SEED
+    )
+    engine = TemporalEngine(graph)
+    # Compile outside the timed sections: the index is built once and
+    # amortized over every query, exactly how callers use it.
+    _, compile_seconds = _timed(lambda: engine.index_for(0, HORIZON))
+
+    results = {
+        "graph": {
+            "nodes": graph.node_count,
+            "edges": graph.edge_count,
+            "period": PERIOD,
+            "density": DENSITY,
+            "horizon": HORIZON,
+            "seed": SEED,
+        },
+        "compile_seconds": compile_seconds,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "cases": {},
+    }
+
+    for label, semantics in (("nowait", NO_WAIT), ("wait", WAIT)):
+        (_n1, oracle), interp = _timed(
+            lambda s=semantics: reachability_matrix(graph, 0, s, HORIZON)
+        )
+        (_n2, fast), compiled = _timed(
+            lambda s=semantics: reachability_matrix(graph, 0, s, HORIZON, engine=engine)
+        )
+        assert np.array_equal(oracle, fast), f"matrix mismatch under {label}"
+        results["cases"][f"reachability_matrix_{label}"] = {
+            "interpretive_seconds": interp,
+            "compiled_seconds": compiled,
+            "speedup": interp / compiled,
+        }
+
+    oracle, interp = _timed(lambda: earliest_arrivals(graph, 0, 0, WAIT, HORIZON))
+    fast, compiled = _timed(
+        lambda: earliest_arrivals(graph, 0, 0, WAIT, HORIZON, engine=engine)
+    )
+    assert oracle == fast, "earliest_arrivals mismatch"
+    results["cases"]["earliest_arrivals_wait"] = {
+        "interpretive_seconds": interp,
+        "compiled_seconds": compiled,
+        "speedup": interp / compiled,
+    }
+    return results
+
+
+def emit(results: dict) -> None:
+    RESULT_FILE.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\n## E9  Compiled engine vs interpretive oracle -> {RESULT_FILE.name}")
+    for case, row in results["cases"].items():
+        print(
+            f"{case:32s} interpretive {row['interpretive_seconds'] * 1e3:9.1f} ms"
+            f"   compiled {row['compiled_seconds'] * 1e3:8.1f} ms"
+            f"   speedup {row['speedup']:7.1f}x"
+        )
+
+
+def test_engine_speedup():
+    """The acceptance gate: >= 5x on both operations, identical results."""
+    results = run_benchmark()
+    emit(results)
+    for case, row in results["cases"].items():
+        assert row["speedup"] >= REQUIRED_SPEEDUP, (
+            f"{case}: speedup {row['speedup']:.1f}x below the "
+            f"{REQUIRED_SPEEDUP}x floor"
+        )
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    test_engine_speedup()

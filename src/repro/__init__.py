@@ -34,12 +34,14 @@ Quickstart::
 
 from repro.core import (
     BOUNDED_WAIT,
+    CompiledTVG,
     Edge,
     Hop,
     Journey,
     Lifetime,
     NO_WAIT,
     TVGBuilder,
+    TemporalEngine,
     TimeVaryingGraph,
     WAIT,
     WaitingSemantics,
@@ -67,6 +69,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BOUNDED_WAIT",
+    "CompiledTVG",
     "DFA",
     "Decider",
     "Edge",
@@ -77,6 +80,7 @@ __all__ = [
     "NO_WAIT",
     "TVGAutomaton",
     "TVGBuilder",
+    "TemporalEngine",
     "TimeVaryingGraph",
     "TuringMachine",
     "WAIT",

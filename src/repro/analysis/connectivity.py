@@ -14,11 +14,15 @@ classifier here covers the ones the examples and benchmarks speak about:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.reachability import reachability_ratio
 from repro.core.semantics import NO_WAIT, WAIT, WaitingSemantics
 from repro.core.snapshots import is_connected_at
 from repro.core.tvg import TimeVaryingGraph
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.engine import TemporalEngine
 
 
 def is_temporally_connected(
@@ -26,9 +30,10 @@ def is_temporally_connected(
     start_time: int,
     semantics: WaitingSemantics = WAIT,
     horizon: int | None = None,
+    engine: "TemporalEngine | None" = None,
 ) -> bool:
     """Whether every ordered pair is joined by a feasible journey."""
-    return reachability_ratio(graph, start_time, semantics, horizon) == 1.0
+    return reachability_ratio(graph, start_time, semantics, horizon, engine) == 1.0
 
 
 @dataclass(frozen=True)
@@ -68,12 +73,19 @@ def classify_connectivity(
     graph: TimeVaryingGraph,
     start: int,
     end: int,
+    engine: "TemporalEngine | None" = None,
 ) -> ConnectivityReport:
-    """Classify a TVG's behaviour over ``[start, end)``."""
+    """Classify a TVG's behaviour over ``[start, end)``.
+
+    With ``engine=`` the two reachability ratios come from batched
+    sweeps (one per semantics) instead of ``2n`` searches.
+    """
     connected = sum(1 for t in range(start, end) if is_connected_at(graph, t))
     return ConnectivityReport(
         snapshots_connected=connected,
         snapshots_total=end - start,
-        wait_ratio=reachability_ratio(graph, start, WAIT, horizon=end),
-        nowait_ratio=reachability_ratio(graph, start, NO_WAIT, horizon=end),
+        wait_ratio=reachability_ratio(graph, start, WAIT, horizon=end, engine=engine),
+        nowait_ratio=reachability_ratio(
+            graph, start, NO_WAIT, horizon=end, engine=engine
+        ),
     )

@@ -14,6 +14,8 @@ suite.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.automata.alphabet import Alphabet
 from repro.automata.dfa import DFA
 from repro.automata.regex import (
@@ -64,15 +66,43 @@ def nullable(node: RegexNode) -> bool:
     raise AutomatonError(f"unknown regex node {node!r}")
 
 
+def _union_alternatives(node: RegexNode) -> Iterator[RegexNode]:
+    """Flatten nested unions into their leaf alternatives."""
+    if isinstance(node, Union):
+        yield from _union_alternatives(node.left)
+        yield from _union_alternatives(node.right)
+    else:
+        yield node
+
+
 def _smart_union(left: RegexNode, right: RegexNode) -> RegexNode:
-    """Union with the similarity rules that keep derivative sets finite."""
-    if isinstance(left, _Empty):
-        return right
-    if isinstance(right, _Empty):
-        return left
-    if left == right:
-        return left
-    return Union(left, right)
+    """Union normalized modulo ACI, keeping derivative sets finite.
+
+    Brzozowski's finiteness theorem holds for derivatives *modulo
+    associativity, commutativity, and idempotence* of union.  Checking
+    only ``left == right`` is not enough: deriving ``(a|b)*(b*|aa)`` by
+    ``b`` repeatedly piles up ``((R|b*)|b*)|b*...`` forever.  So unions
+    are flattened, deduplicated, sorted into a canonical order, and
+    rebuilt right-nested — structurally equal whenever ACI-equal.  The
+    sort key must be injective over AST *structure*: ``str`` is not
+    (``(ab)c`` and ``a(bc)`` can both print ``abc``), so ties would
+    rebuild in encounter order and reopen the growth; the dataclass
+    ``repr`` spells out the full tree.
+    """
+    alternatives: list[RegexNode] = []
+    seen: set[RegexNode] = set()
+    for alt in (*_union_alternatives(left), *_union_alternatives(right)):
+        if isinstance(alt, _Empty) or alt in seen:
+            continue
+        seen.add(alt)
+        alternatives.append(alt)
+    if not alternatives:
+        return EMPTY
+    alternatives.sort(key=repr)
+    result = alternatives[-1]
+    for alt in reversed(alternatives[:-1]):
+        result = Union(alt, result)
+    return result
 
 
 def _smart_concat(left: RegexNode, right: RegexNode) -> RegexNode:

@@ -38,9 +38,12 @@ from repro.core.semantics import (
 from repro.core.time_domain import INFINITY, Lifetime
 from repro.core.tvg import TimeVaryingGraph
 from repro.core.builders import TVGBuilder
+from repro.core.index import CompiledTVG
+from repro.core.engine import TemporalEngine
 
 __all__ = [
     "BOUNDED_WAIT",
+    "CompiledTVG",
     "Edge",
     "Hop",
     "INFINITY",
@@ -51,6 +54,7 @@ __all__ = [
     "Lifetime",
     "NO_WAIT",
     "PresenceFunction",
+    "TemporalEngine",
     "TVGBuilder",
     "TimeVaryingGraph",
     "WAIT",

@@ -1,0 +1,356 @@
+"""The temporal engine: compiled journey search over one shared kernel.
+
+:class:`TemporalEngine` owns a :class:`~repro.core.index.CompiledTVG`
+and exposes the one primitive every consumer needs — the *successor
+kernel* :meth:`successors`, "all feasible single-hop moves out of the
+temporal state ``(node, ready)``" — answered by binary search and array
+slicing on the compiled contact sequences instead of per-date presence
+calls.  On top of the kernel it offers:
+
+* drop-in accelerated :meth:`reachable_states` /
+  :meth:`earliest_arrivals` / :meth:`foremost_journey` (these delegate
+  to :mod:`repro.core.traversal` with ``engine=self``, so compiled and
+  interpretive runs execute the *same algorithm* and differ only in how
+  successors are produced);
+* a **batched multi-source sweep** (:meth:`reachability_masks`) that
+  computes every source's reachable set in ONE pass over the temporal
+  state space — each state carries a bitmask of the sources that reach
+  it, masks merge as states are processed in increasing time order —
+  powering :func:`repro.analysis.reachability.reachability_matrix`
+  without running ``n`` independent searches;
+* a fast per-round presence lookup (:meth:`out_edges_at`) for the
+  :class:`~repro.dynamics.network.Simulator`.
+
+The engine transparently recompiles its index when the graph mutates
+(version counter) or a query needs a wider time window (grow-only).
+Edges whose presence cannot be lowered (black-box
+:class:`~repro.core.presence.FunctionPresence`) fall back to the
+interpretive scan inside the kernel, so results are always identical to
+the legacy path — the interpretive implementation remains the
+ground-truth oracle, checked by the equivalence property suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.core.edges import Edge
+from repro.core.index import CompiledTVG
+from repro.core.intervals import Interval
+from repro.core.semantics import NO_WAIT, WaitingSemantics
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import TimeDomainError
+
+
+class TemporalEngine:
+    """Compiled query engine over one :class:`TimeVaryingGraph`.
+
+    ``window`` optionally pre-declares the time span to compile; by
+    default the graph's bounded lifetime is used and the window grows
+    on demand when a query reaches past it.
+    """
+
+    def __init__(
+        self, graph: TimeVaryingGraph, window: Interval | tuple[int, int] | None = None
+    ) -> None:
+        self.graph = graph
+        if window is not None and not isinstance(window, Interval):
+            window = Interval(*window)
+        self._requested_window = window
+        self._index: CompiledTVG | None = None
+
+    # -- index lifecycle -------------------------------------------------------
+
+    def index_for(self, start: int, end: int) -> CompiledTVG:
+        """The compiled index, rebuilt if stale or too narrow.
+
+        The compiled window seeds from the declared window (or the
+        graph's bounded lifetime) and only ever grows to cover later
+        queries, so alternating queries cannot make the engine recompile
+        back and forth.  Unbounded-lifetime graphs (e.g. periodic ones)
+        need no declaration: every query arrives with explicit bounds
+        and the window tracks the widest seen.
+        """
+        index = self._index
+        if index is not None and not index.stale and index.covers(start, end):
+            return index
+        lo, hi = start, end
+        if index is not None:
+            lo, hi = min(lo, index.window.start), max(hi, index.window.end)
+        elif self._requested_window is not None:
+            window = self._requested_window
+            lo, hi = min(lo, window.start), max(hi, window.end)
+        elif self.graph.lifetime.bounded:
+            lifetime = self.graph.lifetime
+            lo, hi = min(lo, lifetime.start), max(hi, int(lifetime.end))
+        self._index = CompiledTVG(self.graph, Interval(lo, hi))
+        return self._index
+
+    @property
+    def compiled(self) -> CompiledTVG | None:
+        """The current index (None until the first query compiles one)."""
+        return self._index
+
+    def _resolve_horizon(self, horizon: int | None) -> int:
+        if horizon is not None:
+            return horizon
+        if self.graph.lifetime.bounded:
+            return int(self.graph.lifetime.end)
+        raise TimeDomainError(
+            "an explicit horizon is required on graphs with unbounded lifetime"
+        )
+
+    # -- the shared successor kernel -------------------------------------------
+
+    def successors(
+        self,
+        node: Hashable,
+        ready: int,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> list[tuple[Edge, int, int]]:
+        """All feasible ``(edge, departure, arrival)`` moves from ``(node, ready)``.
+
+        Departures are < ``horizon`` and listed in increasing order per
+        edge, edges in insertion order — the exact enumeration order of
+        the interpretive :func:`repro.core.traversal.successors`.
+        """
+        horizon = self._resolve_horizon(horizon)
+        if ready >= horizon:
+            return []
+        index = self.index_for(min(ready, horizon), horizon)
+        node_idx = index.node_index[node]
+        moves: list[tuple[Edge, int, int]] = []
+        if semantics.is_no_wait:
+            for ei in index.out_edge_indices(node_idx):
+                if index.present_at(ei, ready):
+                    moves.append(
+                        (index.edge_list[ei], ready, index.arrival(ei, ready))
+                    )
+            return moves
+        latest = semantics.latest_departure(ready, horizon)
+        for ei in index.out_edge_indices(node_idx):
+            edge = index.edge_list[ei]
+            const = int(index.const_latency[ei])
+            if const >= 0:
+                moves.extend(
+                    (edge, dep, dep + const)
+                    for dep in index.departures(ei, ready, latest)
+                )
+            else:
+                moves.extend(
+                    (edge, dep, dep + edge.latency(dep))
+                    for dep in index.departures(ei, ready, latest)
+                )
+        return moves
+
+    # -- accelerated single-source searches ------------------------------------
+
+    def reachable_states(
+        self,
+        sources: Iterable[tuple[Hashable, int]],
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+        max_hops: int | None = None,
+    ) -> set[tuple[Hashable, int]]:
+        from repro.core.traversal import reachable_states
+
+        return reachable_states(
+            self.graph, sources, semantics, horizon, max_hops, engine=self
+        )
+
+    def earliest_arrivals(
+        self,
+        source: Hashable,
+        start_time: int,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> dict[Hashable, int]:
+        from repro.core.traversal import earliest_arrivals
+
+        return earliest_arrivals(
+            self.graph, source, start_time, semantics, horizon, engine=self
+        )
+
+    def foremost_journey(
+        self,
+        source: Hashable,
+        target: Hashable,
+        start_time: int,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+        max_hops: int = 64,
+    ):
+        from repro.core.traversal import foremost_journey
+
+        return foremost_journey(
+            self.graph, source, target, start_time, semantics, horizon,
+            max_hops, engine=self,
+        )
+
+    def earliest_arrivals_unbounded(
+        self, source: Hashable, start_time: int, horizon: int
+    ) -> dict[Hashable, int]:
+        """Exact earliest arrivals under unbounded waiting, node-level.
+
+        With unbounded waiting, the feasible departures from a later
+        visit of a node are a *subset* of those from its earliest visit,
+        so expanding each node once — from its earliest known arrival —
+        covers every journey.  That collapses the temporal-state Dijkstra
+        to a plain node Dijkstra: per settled node, each out-edge costs
+        one binary search (constant latency) or one departure scan
+        (varying latency) instead of one expansion per visit date.
+        Valid only for ``WAIT``; bounded regimes go through the generic
+        state-level search.
+        """
+        index = self.index_for(min(start_time, horizon), horizon)
+        best: dict[Hashable, int] = {source: start_time}
+        best_idx: dict[int, int] = {index.node_index[source]: start_time}
+        settled: set[int] = set()
+        heap: list[tuple[int, int]] = [(start_time, index.node_index[source])]
+        while heap:
+            ready, node_idx = heapq.heappop(heap)
+            if node_idx in settled:
+                continue
+            settled.add(node_idx)
+            if ready >= horizon:
+                continue  # reachable, but no departure fits the horizon
+            for ei in index.out_edge_indices(node_idx):
+                target = index.target_idx[ei]
+                if target in settled:
+                    continue  # settled earlier, hence with arrival <= any new one
+                const = int(index.const_latency[ei])
+                if const >= 0:
+                    departure = index.next_present(ei, ready, horizon)
+                    if departure is None:
+                        continue
+                    arrival = departure + const
+                else:
+                    departures = index.departures(ei, ready, horizon)
+                    if not departures:
+                        continue
+                    latency = index.edge_list[ei].latency
+                    arrival = min(d + latency(d) for d in departures)
+                if arrival < best_idx.get(target, arrival + 1):
+                    best_idx[target] = arrival
+                    best[index.nodes[target]] = arrival
+                    heapq.heappush(heap, (arrival, target))
+        return best
+
+    # -- the batched multi-source sweep ----------------------------------------
+
+    def reachability_masks(
+        self,
+        start_time: int,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> tuple[list[Hashable], list[int]]:
+        """Every source's reachable set, in one pass.
+
+        Returns ``(nodes, masks)`` where bit ``i`` of ``masks[j]`` says
+        node ``nodes[j]`` is reachable from source ``nodes[i]`` (each
+        node trivially reaches itself).
+
+        One temporal-state search explores the same ``(node, time)``
+        space whichever node it starts from, so instead of ``n``
+        independent searches each state carries an integer bitmask of
+        the sources that reach it.  Arrivals are strictly later than
+        departures (latencies are positive), so processing states in
+        increasing time order makes every mask final the moment its
+        state is popped — one pass, no fixpoint iteration.
+        """
+        horizon = self._resolve_horizon(horizon)
+        index = self.index_for(min(start_time, horizon), horizon)
+        n = len(index.nodes)
+        node_mask = [0] * n
+        pending: dict[tuple[int, int], int] = {}
+        heap: list[tuple[int, int]] = []
+        for i in range(n):
+            pending[(i, start_time)] = 1 << i
+            heapq.heappush(heap, (start_time, i))
+        while heap:
+            time, node_idx = heapq.heappop(heap)
+            mask = pending.pop((node_idx, time), 0)
+            if not mask:
+                continue
+            node_mask[node_idx] |= mask
+            if time >= horizon:
+                continue
+            if semantics.is_no_wait:
+                for ei in index.out_edge_indices(node_idx):
+                    if index.present_at(ei, time):
+                        self._sweep_push(
+                            index, pending, heap, ei, time, mask
+                        )
+                continue
+            latest = semantics.latest_departure(time, horizon)
+            for ei in index.out_edge_indices(node_idx):
+                for dep in index.departures(ei, time, latest):
+                    self._sweep_push(index, pending, heap, ei, dep, mask)
+        return list(index.nodes), node_mask
+
+    @staticmethod
+    def _sweep_push(
+        index: CompiledTVG,
+        pending: dict[tuple[int, int], int],
+        heap: list[tuple[int, int]],
+        edge_idx: int,
+        departure: int,
+        mask: int,
+    ) -> None:
+        arrival = index.arrival(edge_idx, departure)
+        target = index.target_idx[edge_idx]
+        key = (target, arrival)
+        existing = pending.get(key)
+        if existing is None:
+            pending[key] = mask
+            heapq.heappush(heap, (arrival, target))
+        elif existing | mask != existing:
+            pending[key] = existing | mask
+
+    def reachability_matrix(
+        self,
+        start_time: int,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> tuple[list[Hashable], np.ndarray]:
+        """Boolean reachability matrix via the batched sweep.
+
+        Same contract as
+        :func:`repro.analysis.reachability.reachability_matrix`.
+        """
+        nodes, masks = self.reachability_masks(start_time, semantics, horizon)
+        n = len(nodes)
+        matrix = np.zeros((n, n), dtype=bool)
+        for j, mask in enumerate(masks):
+            i = 0
+            while mask:
+                if mask & 1:
+                    matrix[i, j] = True
+                mask >>= 1
+                i += 1
+            matrix[j, j] = True
+        return nodes, matrix
+
+    # -- simulator fast path ---------------------------------------------------
+
+    def out_edges_at(self, node: Hashable, time: int) -> list[Edge]:
+        """Edges leaving ``node`` present at ``time`` (compiled lookup).
+
+        Insertion-ordered, matching
+        :meth:`TimeVaryingGraph.out_edges_at`, so a simulation driven
+        through the engine is transmission-for-transmission identical.
+        """
+        index = self.index_for(time, time + 1)
+        node_idx = index.node_index[node]
+        return [
+            index.edge_list[ei]
+            for ei in index.out_edge_indices(node_idx)
+            if index.present_at(ei, time)
+        ]
+
+    def __repr__(self) -> str:
+        return f"TemporalEngine({self.graph!r}, index={self._index!r})"

@@ -1,0 +1,233 @@
+"""The compiled contact-sequence index (``CompiledTVG``).
+
+Interpretive journey search asks a Python :class:`PresenceFunction` one
+date at a time — a per-edge, per-date function call on the hottest path
+of the whole system.  :class:`CompiledTVG` lowers every *structured*
+presence into a sorted numpy array of contact dates over a bounded
+window, plus CSR-style per-node adjacency, so the two queries journey
+search needs become array operations:
+
+* *next presence at or after t* — one ``searchsorted`` (binary search);
+* *all departures in [a, b)* — one slice of the sorted contact array.
+
+Lowering rules
+--------------
+
+A presence is *structured* — exactly lowerable, no per-date calls — when
+it is built from ``always``/``never``, :class:`IntervalPresence`,
+:class:`PeriodicPresence`, and their ``shifted``/``dilated``/
+``union``/``intersect`` combinators.  For those, ``presence.support``
+already answers scan-free, so lowering an edge is one ``support`` call
+over the window materialized into ``np.int64`` dates.
+
+Black-box fallback
+------------------
+
+:class:`FunctionPresence` (and any unknown subclass) admits no exact
+lowering — the paper's Table 1 schedules are arbitrary computable
+predicates.  Those edges are *not* compiled: the index records them as
+opaque and the engine answers their queries through the original
+callable with bounded scans, byte-for-byte the interpretive semantics.
+A compiled and an interpretive run therefore always agree; compilation
+only accelerates the edges it can prove out.
+
+Invalidation
+------------
+
+The index snapshots :attr:`TimeVaryingGraph.version` at build time.
+Any structural mutation bumps the counter, and
+:class:`~repro.core.engine.TemporalEngine` transparently rebuilds a
+stale index before answering.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.edges import Edge
+from repro.core.intervals import Interval
+from repro.core.latency import ConstantLatency
+from repro.core.presence import (
+    IntervalPresence,
+    PeriodicPresence,
+    PresenceFunction,
+    _AlwaysPresence,
+    _CombinedPresence,
+    _DilatedPresence,
+    _NeverPresence,
+    _ShiftedPresence,
+)
+from repro.core.tvg import TimeVaryingGraph
+
+_STRUCTURED_LEAVES = (
+    _AlwaysPresence,
+    _NeverPresence,
+    IntervalPresence,
+    PeriodicPresence,
+)
+
+
+def is_structured(presence: PresenceFunction) -> bool:
+    """Whether ``presence`` lowers exactly (no per-date callable scans)."""
+    if isinstance(presence, _STRUCTURED_LEAVES):
+        return True
+    if isinstance(presence, (_ShiftedPresence, _DilatedPresence)):
+        return is_structured(presence.inner)
+    if isinstance(presence, _CombinedPresence):
+        return is_structured(presence.left) and is_structured(presence.right)
+    return False
+
+
+class CompiledTVG:
+    """A contact-sequence index of one graph over one time window.
+
+    For each edge ``i`` with a structured presence, ``contacts[i]`` is
+    the sorted ``np.int64`` array of its present dates within
+    ``[window.start, window.end)``; for black-box edges it is ``None``.
+    ``out_ptr``/``out_edge_idx`` form the CSR adjacency: the out-edge
+    indices of node ``j`` (in insertion order, matching
+    :meth:`TimeVaryingGraph.out_edges`) are
+    ``out_edge_idx[out_ptr[j]:out_ptr[j + 1]]``.
+    """
+
+    __slots__ = (
+        "graph",
+        "version",
+        "window",
+        "nodes",
+        "node_index",
+        "edge_list",
+        "contacts",
+        "const_latency",
+        "out_ptr",
+        "out_edge_idx",
+        "target_idx",
+        "_out_lists",
+    )
+
+    def __init__(self, graph: TimeVaryingGraph, window: Interval) -> None:
+        if window.empty:
+            window = Interval(window.start, window.start)
+        self.graph = graph
+        self.version = graph.version
+        self.window = window
+        self.nodes: tuple[Hashable, ...] = graph.nodes
+        self.node_index: dict[Hashable, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        self.edge_list: tuple[Edge, ...] = graph.edges
+        edge_pos = {edge.key: i for i, edge in enumerate(self.edge_list)}
+
+        self.contacts: list[np.ndarray | None] = []
+        #: Latency value when the edge's zeta is constant, else -1 (call it).
+        self.const_latency = np.empty(len(self.edge_list), dtype=np.int64)
+        for i, edge in enumerate(self.edge_list):
+            self.contacts.append(self._lower(edge.presence, window))
+            latency = edge.latency
+            self.const_latency[i] = (
+                latency.value if isinstance(latency, ConstantLatency) else -1
+            )
+
+        # CSR adjacency over edge indices, grouped by source node.
+        counts = np.zeros(len(self.nodes) + 1, dtype=np.int64)
+        per_node: list[list[int]] = [[] for _ in self.nodes]
+        for node in self.nodes:
+            j = self.node_index[node]
+            for edge in graph.out_edges(node):
+                per_node[j].append(edge_pos[edge.key])
+            counts[j + 1] = len(per_node[j])
+        self.out_ptr = np.cumsum(counts)
+        self.out_edge_idx = np.fromiter(
+            (ei for row in per_node for ei in row),
+            dtype=np.int64,
+            count=int(self.out_ptr[-1]),
+        )
+        # Hot-loop view of the CSR rows: plain tuples iterate faster than
+        # numpy slices, so snapshot each row once (derived, never diverges).
+        self._out_lists: tuple[tuple[int, ...], ...] = tuple(
+            tuple(self.out_edge_idx[self.out_ptr[j] : self.out_ptr[j + 1]].tolist())
+            for j in range(len(self.nodes))
+        )
+        #: Head-node index of each edge (for index-space sweeps).
+        self.target_idx: tuple[int, ...] = tuple(
+            self.node_index[edge.target] for edge in self.edge_list
+        )
+
+    @staticmethod
+    def _lower(presence: PresenceFunction, window: Interval) -> np.ndarray | None:
+        if not is_structured(presence):
+            return None
+        support = presence.support(window)
+        return np.fromiter(
+            support.times(), dtype=np.int64, count=support.total_length()
+        )
+
+    # -- staleness ------------------------------------------------------------
+
+    @property
+    def stale(self) -> bool:
+        """Whether the graph mutated after this index was built."""
+        return self.graph.version != self.version
+
+    def covers(self, start: int, end: int) -> bool:
+        """Whether ``[start, end)`` lies inside the compiled window."""
+        return start >= self.window.start and end <= self.window.end
+
+    # -- the two kernel queries ------------------------------------------------
+
+    def out_edge_indices(self, node_idx: int) -> Sequence[int]:
+        """Out-edge indices of a node, in insertion order."""
+        return self._out_lists[node_idx]
+
+    def next_present(self, edge_idx: int, time: int, limit: int) -> int | None:
+        """Earliest contact of edge ``edge_idx`` in ``[time, limit)``."""
+        contacts = self.contacts[edge_idx]
+        if contacts is None:
+            return self.edge_list[edge_idx].presence.next_present(time, limit)
+        pos = int(np.searchsorted(contacts, time, side="left"))
+        if pos < len(contacts) and contacts[pos] < limit:
+            return int(contacts[pos])
+        return None
+
+    def departures(self, edge_idx: int, start: int, end: int) -> list[int]:
+        """All contacts of edge ``edge_idx`` in ``[start, end)``, sorted."""
+        if end <= start:
+            return []
+        contacts = self.contacts[edge_idx]
+        if contacts is None:
+            support = self.edge_list[edge_idx].presence.support(Interval(start, end))
+            return list(support.times())
+        lo = int(np.searchsorted(contacts, start, side="left"))
+        hi = int(np.searchsorted(contacts, end, side="left"))
+        return contacts[lo:hi].tolist()
+
+    def present_at(self, edge_idx: int, time: int) -> bool:
+        """Membership test on the compiled contact sequence."""
+        contacts = self.contacts[edge_idx]
+        if contacts is None:
+            return self.edge_list[edge_idx].present_at(time)
+        pos = int(np.searchsorted(contacts, time, side="left"))
+        return pos < len(contacts) and int(contacts[pos]) == time
+
+    def arrival(self, edge_idx: int, departure: int) -> int:
+        """Arrival date of a traversal of ``edge_idx`` started at ``departure``."""
+        value = int(self.const_latency[edge_idx])
+        if value >= 0:
+            return departure + value
+        return departure + self.edge_list[edge_idx].latency(departure)
+
+    # -- stats ----------------------------------------------------------------
+
+    @property
+    def compiled_edge_count(self) -> int:
+        """How many edges lowered exactly (the rest use the fallback)."""
+        return sum(1 for c in self.contacts if c is not None)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTVG(|V|={len(self.nodes)}, |E|={len(self.edge_list)}, "
+            f"compiled={self.compiled_edge_count}, window=[{self.window.start}, "
+            f"{self.window.end}), version={self.version})"
+        )

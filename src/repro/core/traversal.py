@@ -12,12 +12,19 @@ state:
 Every function takes an explicit ``horizon`` (exclusive upper time
 bound).  TVGs may live forever and presence functions may be black-box
 callables, so unbounded search is never attempted implicitly.
+
+Every search here runs over one *successor kernel* — "all feasible
+single-hop moves out of a temporal state".  The default kernel is the
+interpretive one (per-edge presence scans, the ground-truth oracle);
+passing ``engine=`` a :class:`~repro.core.engine.TemporalEngine` swaps
+in the compiled contact-sequence kernel while the search algorithm —
+and therefore the result — stays identical.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Iterator
 
 from repro.core.edges import Edge
 from repro.core.intervals import Interval
@@ -25,6 +32,12 @@ from repro.core.journeys import Hop, Journey
 from repro.core.semantics import NO_WAIT, WaitingSemantics
 from repro.core.tvg import TimeVaryingGraph
 from repro.errors import TimeDomainError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from repro.core.engine import TemporalEngine
+
+#: A successor kernel: ``(node, ready) -> [(edge, departure, arrival)]``.
+StepFn = Callable[[Hashable, int], "list[tuple[Edge, int, int]]"]
 
 
 def edge_departures(
@@ -54,16 +67,50 @@ def successors(
     ready: int,
     semantics: WaitingSemantics = NO_WAIT,
     horizon: int | None = None,
+    engine: "TemporalEngine | None" = None,
 ) -> Iterator[tuple[Edge, int, int]]:
     """All feasible single-hop moves from the state ``(node, ready)``.
 
     Yields ``(edge, departure, arrival)`` triples.  ``horizon`` bounds
     departure dates; it defaults to the graph's (finite) lifetime end.
+    With ``engine=`` the moves come from the compiled kernel instead of
+    presence scans (same triples, same order).
     """
     horizon = _resolve_horizon(graph, horizon)
+    if engine is not None:
+        if engine.graph is not graph:
+            raise TimeDomainError(
+                "the engine passed to a traversal was built for a different graph"
+            )
+        yield from engine.successors(node, ready, semantics, horizon)
+        return
     for edge in graph.out_edges(node):
         for departure in edge_departures(edge, ready, semantics, horizon):
             yield edge, departure, departure + edge.latency(departure)
+
+
+def _step_fn(
+    graph: TimeVaryingGraph,
+    semantics: WaitingSemantics,
+    horizon: int,
+    engine: "TemporalEngine | None",
+) -> StepFn:
+    """Bind the successor kernel the searches below iterate over."""
+    if engine is not None:
+        if engine.graph is not graph:
+            raise TimeDomainError(
+                "the engine passed to a traversal was built for a different graph"
+            )
+        return lambda node, ready: engine.successors(node, ready, semantics, horizon)
+
+    def step(node: Hashable, ready: int) -> list[tuple[Edge, int, int]]:
+        return [
+            (edge, departure, departure + edge.latency(departure))
+            for edge in graph.out_edges(node)
+            for departure in edge_departures(edge, ready, semantics, horizon)
+        ]
+
+    return step
 
 
 def _resolve_horizon(graph: TimeVaryingGraph, horizon: int | None) -> int:
@@ -123,6 +170,7 @@ def reachable_states(
     semantics: WaitingSemantics = NO_WAIT,
     horizon: int | None = None,
     max_hops: int | None = None,
+    engine: "TemporalEngine | None" = None,
 ) -> set[tuple[Hashable, int]]:
     """All temporal states ``(node, arrival)`` reachable from the sources.
 
@@ -132,6 +180,7 @@ def reachable_states(
     distinct ``(node, time)`` pairs rather than the number of journeys.
     """
     horizon = _resolve_horizon(graph, horizon)
+    step = _step_fn(graph, semantics, horizon, engine)
     seen: set[tuple[Hashable, int]] = set()
     frontier: list[tuple[Hashable, int, int]] = []
     for node, ready in sources:
@@ -142,13 +191,11 @@ def reachable_states(
         node, ready, hops = frontier.pop()
         if max_hops is not None and hops >= max_hops:
             continue
-        for edge in graph.out_edges(node):
-            for departure in edge_departures(edge, ready, semantics, horizon):
-                arrival = departure + edge.latency(departure)
-                state = (edge.target, arrival)
-                if state not in seen:
-                    seen.add(state)
-                    frontier.append((edge.target, arrival, hops + 1))
+        for edge, _departure, arrival in step(node, ready):
+            state = (edge.target, arrival)
+            if state not in seen:
+                seen.add(state)
+                frontier.append((edge.target, arrival, hops + 1))
     return seen
 
 
@@ -158,9 +205,12 @@ def reachable_nodes(
     start_time: int,
     semantics: WaitingSemantics = NO_WAIT,
     horizon: int | None = None,
+    engine: "TemporalEngine | None" = None,
 ) -> set[Hashable]:
     """Nodes reachable from ``source`` by a feasible journey (source included)."""
-    states = reachable_states(graph, [(source, start_time)], semantics, horizon)
+    states = reachable_states(
+        graph, [(source, start_time)], semantics, horizon, engine=engine
+    )
     return {node for node, _time in states}
 
 
@@ -171,9 +221,12 @@ def can_reach(
     start_time: int,
     semantics: WaitingSemantics = NO_WAIT,
     horizon: int | None = None,
+    engine: "TemporalEngine | None" = None,
 ) -> bool:
     """Whether a feasible journey connects ``source`` to ``target``."""
-    return target in reachable_nodes(graph, source, start_time, semantics, horizon)
+    return target in reachable_nodes(
+        graph, source, start_time, semantics, horizon, engine=engine
+    )
 
 
 def earliest_arrivals(
@@ -182,6 +235,7 @@ def earliest_arrivals(
     start_time: int,
     semantics: WaitingSemantics = NO_WAIT,
     horizon: int | None = None,
+    engine: "TemporalEngine | None" = None,
 ) -> dict[Hashable, int]:
     """Earliest arrival date at every reachable node (*foremost* journeys).
 
@@ -192,6 +246,16 @@ def earliest_arrivals(
     every feasible departure up to the horizon is examined.
     """
     horizon = _resolve_horizon(graph, horizon)
+    if engine is not None and semantics.unbounded:
+        # Unbounded waiting admits an exact node-level Dijkstra (later
+        # visits of a node can never depart anywhere its earliest visit
+        # could not), much cheaper than the temporal-state search.
+        if engine.graph is not graph:
+            raise TimeDomainError(
+                "the engine passed to a traversal was built for a different graph"
+            )
+        return engine.earliest_arrivals_unbounded(source, start_time, horizon)
+    step = _step_fn(graph, semantics, horizon, engine)
     best: dict[Hashable, int] = {source: start_time}
     expanded: set[tuple[Hashable, int]] = set()
     queue: list[tuple[int, int, Hashable]] = [(start_time, 0, source)]
@@ -201,14 +265,12 @@ def earliest_arrivals(
         if (node, ready) in expanded:
             continue
         expanded.add((node, ready))
-        for edge in graph.out_edges(node):
-            for departure in edge_departures(edge, ready, semantics, horizon):
-                arrival = departure + edge.latency(departure)
-                if arrival < best.get(edge.target, arrival + 1):
-                    best[edge.target] = arrival
-                if (edge.target, arrival) not in expanded:
-                    tie += 1
-                    heapq.heappush(queue, (arrival, tie, edge.target))
+        for edge, _departure, arrival in step(node, ready):
+            if arrival < best.get(edge.target, arrival + 1):
+                best[edge.target] = arrival
+            if (edge.target, arrival) not in expanded:
+                tie += 1
+                heapq.heappush(queue, (arrival, tie, edge.target))
     return best
 
 
@@ -220,6 +282,7 @@ def foremost_journey(
     semantics: WaitingSemantics = NO_WAIT,
     horizon: int | None = None,
     max_hops: int = 64,
+    engine: "TemporalEngine | None" = None,
 ) -> Journey | None:
     """A journey arriving at ``target`` as early as any feasible journey can.
 
@@ -228,6 +291,7 @@ def foremost_journey(
     guaranteed feasible and foremost.
     """
     horizon = _resolve_horizon(graph, horizon)
+    step = _step_fn(graph, semantics, horizon, engine)
     parents: dict[tuple[Hashable, int], tuple[Hashable, int, Hop] | None] = {
         (source, start_time): None
     }
@@ -242,14 +306,12 @@ def foremost_journey(
             pass
         if hops >= max_hops:
             continue
-        for edge in graph.out_edges(node):
-            for departure in edge_departures(edge, ready, semantics, horizon):
-                arrival = departure + edge.latency(departure)
-                state = (edge.target, arrival)
-                if state not in parents:
-                    parents[state] = (node, ready, Hop(edge, departure))
-                    tie += 1
-                    heapq.heappush(queue, (arrival, tie, edge.target, hops + 1))
+        for edge, departure, arrival in step(node, ready):
+            state = (edge.target, arrival)
+            if state not in parents:
+                parents[state] = (node, ready, Hop(edge, departure))
+                tie += 1
+                heapq.heappush(queue, (arrival, tie, edge.target, hops + 1))
     return None
 
 

@@ -43,9 +43,23 @@ class TimeVaryingGraph:
         self.name = name
         self._nodes: dict[Hashable, None] = {}
         self._edges: dict[str, Edge] = {}
-        self._out: dict[Hashable, list[Edge]] = {}
-        self._in: dict[Hashable, list[Edge]] = {}
+        # Adjacency is keyed by edge key so removal is O(1) per endpoint
+        # (dicts preserve insertion order, keeping edge iteration stable).
+        self._out: dict[Hashable, dict[str, Edge]] = {}
+        self._in: dict[Hashable, dict[str, Edge]] = {}
         self._key_counter = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter.
+
+        Bumped on every structural change (node or edge added/removed),
+        so derived structures — notably the compiled contact-sequence
+        index of :mod:`repro.core.index` — can detect staleness cheaply
+        instead of re-validating the whole graph.
+        """
+        return self._version
 
     # -- nodes --------------------------------------------------------------------
 
@@ -53,8 +67,9 @@ class TimeVaryingGraph:
         """Add a node (idempotent); returns the node."""
         if node not in self._nodes:
             self._nodes[node] = None
-            self._out[node] = []
-            self._in[node] = []
+            self._out[node] = {}
+            self._in[node] = {}
+            self._version += 1
         return node
 
     def add_nodes(self, nodes: Iterable[Hashable]) -> None:
@@ -139,8 +154,9 @@ class TimeVaryingGraph:
 
     def _insert(self, edge: Edge) -> None:
         self._edges[edge.key] = edge
-        self._out[edge.source].append(edge)
-        self._in[edge.target].append(edge)
+        self._out[edge.source][edge.key] = edge
+        self._in[edge.target][edge.key] = edge
+        self._version += 1
 
     def remove_edge(self, key: str) -> Edge:
         """Remove and return the edge with the given key."""
@@ -148,8 +164,9 @@ class TimeVaryingGraph:
             edge = self._edges.pop(key)
         except KeyError:
             raise ReproError(f"no edge with key {key!r}") from None
-        self._out[edge.source].remove(edge)
-        self._in[edge.target].remove(edge)
+        del self._out[edge.source][key]
+        del self._in[edge.target][key]
+        self._version += 1
         return edge
 
     @property
@@ -174,17 +191,18 @@ class TimeVaryingGraph:
     def out_edges(self, node: Hashable) -> tuple[Edge, ...]:
         """Edges leaving ``node``."""
         self._require_node(node)
-        return tuple(self._out[node])
+        return tuple(self._out[node].values())
 
     def in_edges(self, node: Hashable) -> tuple[Edge, ...]:
         """Edges entering ``node``."""
         self._require_node(node)
-        return tuple(self._in[node])
+        return tuple(self._in[node].values())
 
     def edges_between(self, source: Hashable, target: Hashable) -> tuple[Edge, ...]:
         """All parallel edges from ``source`` to ``target``."""
         self._require_node(source)
-        return tuple(e for e in self._out[source] if e.target == target)
+        self._require_node(target)
+        return tuple(e for e in self._out[source].values() if e.target == target)
 
     def _require_node(self, node: Hashable) -> None:
         if node not in self._nodes:
@@ -202,7 +220,7 @@ class TimeVaryingGraph:
     def out_edges_at(self, node: Hashable, time: int) -> Iterator[Edge]:
         """Edges leaving ``node`` that are present at ``time``."""
         self._require_node(node)
-        for edge in self._out[node]:
+        for edge in self._out[node].values():
             if edge.present_at(time):
                 yield edge
 

@@ -16,12 +16,15 @@ stable orderings everywhere, so every report is reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable
 
 from repro.core.tvg import TimeVaryingGraph
 from repro.dynamics.messages import Message
 from repro.dynamics.nodes import NodeContext, Protocol
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.engine import TemporalEngine
 
 
 @dataclass
@@ -56,11 +59,22 @@ class Simulator:
         start: int | None = None,
         end: int | None = None,
         failures: dict | None = None,
+        engine: "TemporalEngine | None" = None,
     ) -> None:
         """``failures`` maps nodes to date containers during which the
         node is down: it cannot send, receive, or tick then (deliveries
-        arriving while down are lost; the buffer itself survives)."""
+        arriving while down are lost; the buffer itself survives).
+
+        ``engine`` swaps the per-round presence lookups (which edges are
+        up right now?) from per-edge presence calls to binary searches on
+        the engine's compiled contact sequences; the run is
+        transmission-for-transmission identical either way."""
         self.graph = graph
+        self.engine = engine
+        if engine is not None and engine.graph is not graph:
+            raise SimulationError(
+                "the engine passed to the simulator was built for a different graph"
+            )
         self.failures = failures or {}
         if self.failures:
             from repro.dynamics.failures import validate_failures
@@ -77,6 +91,11 @@ class Simulator:
         self.end = end
         if self.end < self.start:
             raise SimulationError(f"end {self.end} precedes start {self.start}")
+        if engine is not None:
+            # Warm the whole window up front: on unbounded-lifetime graphs
+            # the grow-only index would otherwise recompile every round as
+            # out_edges_at nudges the window forward one date at a time.
+            engine.index_for(self.start, self.end)
         self.protocols: dict[Hashable, Protocol] = {
             node: protocol_factory(node) for node in graph.nodes
         }
@@ -106,6 +125,8 @@ class Simulator:
         protocol = self.protocols[node]
         if self._is_down(node, time):
             present = []
+        elif self.engine is not None:
+            present = self.engine.out_edges_at(node, time)
         else:
             present = list(self.graph.out_edges_at(node, time))
 

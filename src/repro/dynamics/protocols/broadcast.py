@@ -147,6 +147,7 @@ def simulate_broadcast(
     end: int | None = None,
     failures: dict | None = None,
     persistent: bool = False,
+    engine=None,
 ) -> BroadcastOutcome:
     """Run one flood from ``origin`` and summarize it.
 
@@ -155,13 +156,16 @@ def simulate_broadcast(
     ``persistent=True`` to retransmit at every contact instant —
     otherwise a copy lost to a dead radio is never retried and the
     outcome undershoots the surviving-journey reachability.
+    ``engine`` is forwarded to the :class:`Simulator` for compiled
+    per-round presence lookups.
     """
     if buffering:
         factory = PersistentFlood if persistent else BufferedFlood
     else:
         factory = BufferlessFlood
     simulator = Simulator(
-        graph, lambda node: factory(node, origin), start, end, failures=failures
+        graph, lambda node: factory(node, origin), start, end,
+        failures=failures, engine=engine,
     )
     for protocol in simulator.protocols.values():
         protocol.simulator = simulator

@@ -1,0 +1,226 @@
+"""Tests for the compiled contact-sequence index and the temporal engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TemporalEngine
+from repro.core.index import CompiledTVG, is_structured
+from repro.core.intervals import Interval
+from repro.core.latency import function_latency
+from repro.core.presence import (
+    always,
+    at_times,
+    function_presence,
+    interval_presence,
+    never,
+    periodic_presence,
+)
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.core.traversal import (
+    earliest_arrivals,
+    foremost_journey,
+    reachable_states,
+    successors,
+)
+from repro.core.tvg import TimeVaryingGraph
+from repro.core.time_domain import Lifetime
+
+
+def build_graph():
+    g = TimeVaryingGraph(lifetime=Lifetime(0, 12), name="mixed")
+    g.add_edge("a", "b", presence=periodic_presence([0, 1], 4), key="ab")
+    g.add_edge("b", "c", presence=interval_presence([(3, 5), (8, 10)]), key="bc")
+    g.add_edge("c", "d", presence=always(), key="cd")
+    g.add_edge("d", "a", presence=never(), key="da")
+    g.add_edge(
+        "a", "d", presence=function_presence(lambda t: t % 5 == 2, "mod5"), key="ad"
+    )
+    g.add_edge("b", "d", presence=periodic_presence([1], 3).shifted(1), key="bd")
+    return g
+
+
+class TestLowering:
+    def test_structured_detection(self):
+        assert is_structured(always())
+        assert is_structured(never())
+        assert is_structured(at_times([1, 5]))
+        assert is_structured(periodic_presence([0], 3))
+        assert is_structured(periodic_presence([0], 3).shifted(2))
+        assert is_structured(periodic_presence([0], 3).dilated(2))
+        assert is_structured(at_times([1]) | periodic_presence([0], 2))
+        assert not is_structured(function_presence(lambda t: True))
+        assert not is_structured(at_times([1]) | function_presence(lambda t: True))
+
+    def test_contacts_match_presence_truth(self):
+        g = build_graph()
+        index = CompiledTVG(g, Interval(0, 12))
+        for i, edge in enumerate(index.edge_list):
+            truth = [t for t in range(12) if edge.present_at(t)]
+            if index.contacts[i] is None:
+                continue  # black-box edges are checked via queries below
+            assert index.contacts[i].tolist() == truth, edge.key
+
+    def test_blackbox_edge_not_compiled(self):
+        g = build_graph()
+        index = CompiledTVG(g, Interval(0, 12))
+        by_key = {e.key: i for i, e in enumerate(index.edge_list)}
+        assert index.contacts[by_key["ad"]] is None
+        assert index.compiled_edge_count == len(index.edge_list) - 1
+        # fallback queries still answer exactly
+        assert index.next_present(by_key["ad"], 0, 12) == 2
+        assert index.departures(by_key["ad"], 0, 12) == [2, 7]
+        assert index.present_at(by_key["ad"], 7)
+        assert not index.present_at(by_key["ad"], 3)
+
+    def test_kernel_queries(self):
+        g = build_graph()
+        index = CompiledTVG(g, Interval(0, 12))
+        by_key = {e.key: i for i, e in enumerate(index.edge_list)}
+        ab = by_key["ab"]
+        assert index.next_present(ab, 0, 12) == 0
+        assert index.next_present(ab, 2, 12) == 4
+        assert index.next_present(ab, 10, 12) is None
+        assert index.departures(ab, 0, 6) == [0, 1, 4, 5]
+        assert index.departures(ab, 6, 6) == []
+        assert index.present_at(ab, 5) and not index.present_at(ab, 2)
+
+    def test_csr_adjacency_matches_graph(self):
+        g = build_graph()
+        index = CompiledTVG(g, Interval(0, 12))
+        assert index.out_ptr[0] == 0 and index.out_ptr[-1] == len(index.edge_list)
+        for node in g.nodes:
+            j = index.node_index[node]
+            keys = [
+                index.edge_list[ei].key
+                for ei in index.out_edge_idx[index.out_ptr[j] : index.out_ptr[j + 1]]
+            ]
+            assert keys == [e.key for e in g.out_edges(node)]
+            assert list(index.out_edge_indices(j)) == list(
+                index.out_edge_idx[index.out_ptr[j] : index.out_ptr[j + 1]]
+            )
+
+    def test_varying_latency_not_constant_folded(self):
+        g = TimeVaryingGraph(lifetime=Lifetime(0, 8))
+        g.add_edge("a", "b", latency=function_latency(lambda t: t + 1), key="ab")
+        index = CompiledTVG(g, Interval(0, 8))
+        assert int(index.const_latency[0]) == -1
+        assert index.arrival(0, 3) == 7
+
+
+class TestInvalidation:
+    def test_stale_flag(self):
+        g = build_graph()
+        index = CompiledTVG(g, Interval(0, 12))
+        assert not index.stale
+        g.add_edge("d", "b", key="db")
+        assert index.stale
+
+    def test_engine_recompiles_on_mutation(self):
+        g = build_graph()
+        engine = TemporalEngine(g)
+        before = reachable_states(g, [("a", 0)], WAIT, engine=engine)
+        g.add_edge("d", "e", key="de")  # 'e' only reachable after the mutation
+        after = reachable_states(g, [("a", 0)], WAIT, engine=engine)
+        legacy = reachable_states(g, [("a", 0)], WAIT)
+        assert after == legacy
+        assert "e" in {node for node, _t in after}
+        assert before != after
+
+    def test_engine_recompiles_on_edge_removal(self):
+        g = build_graph()
+        engine = TemporalEngine(g)
+        reachable_states(g, [("a", 0)], WAIT, engine=engine)
+        g.remove_edge("ab")
+        assert reachable_states(g, [("a", 0)], WAIT, engine=engine) == reachable_states(
+            g, [("a", 0)], WAIT
+        )
+
+    def test_window_grows_on_demand(self):
+        g = TimeVaryingGraph()  # unbounded lifetime
+        g.add_edge("a", "b", presence=periodic_presence([0], 7), key="ab")
+        engine = TemporalEngine(g)
+        first = earliest_arrivals(g, "a", 0, WAIT, horizon=5, engine=engine)
+        assert first == {"a": 0, "b": 1}
+        wide = earliest_arrivals(g, "a", 2, WAIT, horizon=20, engine=engine)
+        assert wide == {"a": 2, "b": 8}
+        assert engine.compiled.covers(0, 20)
+
+
+class TestEngineAgainstOracle:
+    @pytest.mark.parametrize("semantics", [NO_WAIT, WAIT, bounded_wait(2)])
+    def test_mixed_graph_agreement(self, semantics):
+        g = build_graph()
+        engine = TemporalEngine(g)
+        for source in g.nodes:
+            assert reachable_states(
+                g, [(source, 0)], semantics, engine=engine
+            ) == reachable_states(g, [(source, 0)], semantics)
+            assert earliest_arrivals(
+                g, source, 0, semantics, engine=engine
+            ) == earliest_arrivals(g, source, 0, semantics)
+
+    def test_successors_order_matches(self):
+        g = build_graph()
+        engine = TemporalEngine(g)
+        for source in g.nodes:
+            for ready in range(4):
+                compiled = list(successors(g, source, ready, WAIT, engine=engine))
+                interpretive = list(successors(g, source, ready, WAIT))
+                assert compiled == interpretive
+
+    def test_foremost_journey_identical(self):
+        g = build_graph()
+        engine = TemporalEngine(g)
+        for semantics in (NO_WAIT, WAIT, bounded_wait(1)):
+            via_engine = foremost_journey(g, "a", "d", 0, semantics, engine=engine)
+            legacy = foremost_journey(g, "a", "d", 0, semantics)
+            if legacy is None:
+                assert via_engine is None
+            else:
+                assert via_engine.hops == legacy.hops
+
+    def test_engine_rejects_foreign_graph(self):
+        from repro.errors import TimeDomainError
+
+        g, other = build_graph(), build_graph()
+        engine = TemporalEngine(other)
+        with pytest.raises(TimeDomainError):
+            reachable_states(g, [("a", 0)], WAIT, engine=engine)
+        with pytest.raises(TimeDomainError):
+            list(successors(g, "a", 0, WAIT, engine=engine))
+
+    def test_reachability_matrix_rejects_foreign_engine(self):
+        from repro.analysis.reachability import reachability_matrix
+        from repro.errors import ReproError
+
+        g, other = build_graph(), build_graph()
+        with pytest.raises(ReproError):
+            reachability_matrix(g, 0, WAIT, engine=TemporalEngine(other))
+
+
+class TestSimulatorFastPath:
+    def test_out_edges_at_matches_graph(self):
+        g = build_graph()
+        engine = TemporalEngine(g)
+        for node in g.nodes:
+            for t in range(12):
+                assert engine.out_edges_at(node, t) == list(g.out_edges_at(node, t))
+
+    def test_broadcast_identical_with_engine(self):
+        from repro.core.generators import edge_markovian_tvg
+        from repro.dynamics.protocols.broadcast import simulate_broadcast
+
+        g = edge_markovian_tvg(10, horizon=30, birth=0.1, death=0.4, seed=5)
+        for buffering in (False, True):
+            plain = simulate_broadcast(g, 0, buffering)
+            fast = simulate_broadcast(g, 0, buffering, engine=TemporalEngine(g))
+            assert plain == fast
+
+    def test_simulator_rejects_foreign_engine(self):
+        from repro.dynamics.network import Simulator
+        from repro.dynamics.nodes import Protocol
+        from repro.errors import SimulationError
+
+        g, other = build_graph(), build_graph()
+        with pytest.raises(SimulationError):
+            Simulator(g, lambda node: Protocol(), engine=TemporalEngine(other))

@@ -59,14 +59,41 @@ class TestStructure:
         g.add_edge("a", "b", label="y", key="two")
         assert {e.key for e in g.edges_between("a", "b")} == {"one", "two"}
 
+    def test_edges_between_unknown_target(self, graph):
+        with pytest.raises(ReproError):
+            graph.edges_between("a", "zz")
+
+    def test_edges_between_unknown_source(self, graph):
+        with pytest.raises(ReproError):
+            graph.edges_between("zz", "a")
+
     def test_remove_edge(self, graph):
         graph.remove_edge("ab")
         assert not graph.has_edge("ab")
         assert {e.key for e in graph.out_edges("a")} == {"ac"}
 
+    def test_remove_edge_keeps_order(self, graph):
+        graph.add_edge("a", "d", key="ad")
+        graph.remove_edge("ac")
+        assert [e.key for e in graph.out_edges("a")] == ["ab", "ad"]
+
     def test_remove_missing_edge(self, graph):
         with pytest.raises(ReproError):
             graph.remove_edge("zz")
+
+    def test_version_counts_mutations(self, graph):
+        before = graph.version
+        graph.add_node("fresh")
+        assert graph.version == before + 1
+        graph.add_edge("fresh", "a", key="fa")
+        assert graph.version > before + 1
+        at_edge = graph.version
+        graph.remove_edge("fa")
+        assert graph.version == at_edge + 1
+        # read-only queries must not bump the counter
+        graph.out_edges("a")
+        graph.edges_between("a", "b")
+        assert graph.version == at_edge + 1
 
     def test_alphabet(self, graph):
         assert graph.alphabet == {"x", "y"}

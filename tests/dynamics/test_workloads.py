@@ -41,6 +41,7 @@ class TestRegistry:
 
 
 class TestScenarioShapes:
+    @pytest.mark.slow
     def test_sparse_dtn_is_paper_regime_often(self):
         hits = 0
         for seed in range(5):

@@ -9,6 +9,8 @@ One test drives the whole stack the way a downstream user would.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.analysis.classes import classify
 from repro.analysis.evolution import value_of_waiting
 from repro.analysis.spanners import foremost_broadcast_tree, tree_subgraph

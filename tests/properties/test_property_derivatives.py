@@ -17,25 +17,38 @@ from repro.automata.to_regex import nfa_to_regex
 seeds = st.integers(0, 100_000)
 words = st.text(alphabet="ab", max_size=6)
 
+# derandomize pins Hypothesis to a fixed example sequence so CI runs are
+# reproducible; deadline=None because DFA construction time varies wildly
+# with the drawn regex, not with any bug.
+DETERMINISTIC = settings(deadline=None, derandomize=True, print_blob=True)
+
 
 class TestEngineAgreement:
     @given(seeds, words)
-    @settings(max_examples=60, deadline=None)
+    @settings(DETERMINISTIC, max_examples=60)
     def test_membership_agreement(self, seed, word):
         node = random_regex("ab", depth=3, seed=seed)
         nfa = regex_to_nfa(node, alphabet="ab")
         assert matches(node, word) == nfa.accepts(word)
 
     @given(seeds)
-    @settings(max_examples=25, deadline=None)
+    @settings(DETERMINISTIC, max_examples=25)
     def test_dfa_construction_agreement(self, seed):
         node = random_regex("ab", depth=3, seed=seed)
         via_derivatives = derivative_dfa(node, alphabet="ab")
         via_thompson = regex_to_nfa(node, alphabet="ab").to_dfa()
         assert equivalent(via_derivatives, via_thompson)
 
+    def test_dfa_construction_agreement_regression(self):
+        # Seed 247 once drew (a|b)*(b*|aa), whose b-derivatives piled up
+        # ((R|b*)|b*)|b*... because union similarity was not ACI-complete.
+        node = random_regex("ab", depth=3, seed=247)
+        via_derivatives = derivative_dfa(node, alphabet="ab")
+        via_thompson = regex_to_nfa(node, alphabet="ab").to_dfa()
+        assert equivalent(via_derivatives, via_thompson)
+
     @given(seeds)
-    @settings(max_examples=25, deadline=None)
+    @settings(DETERMINISTIC, max_examples=25)
     def test_state_elimination_round_trip(self, seed):
         node = random_regex("ab", depth=3, seed=seed)
         source = regex_to_nfa(node, alphabet="ab")
@@ -46,7 +59,7 @@ class TestEngineAgreement:
         assert equivalent(source, rebuilt)
 
     @given(seeds, words)
-    @settings(max_examples=40, deadline=None)
+    @settings(DETERMINISTIC, max_examples=40)
     def test_three_way_membership(self, seed, word):
         node = random_regex("ab", depth=2, seed=seed)
         nfa = regex_to_nfa(node, alphabet="ab")

@@ -1,0 +1,164 @@
+"""Compiled-vs-interpretive equivalence (N-version checking).
+
+The interpretive journey search in :mod:`repro.core.traversal` is the
+ground-truth oracle; the compiled contact-sequence engine must agree
+with it *exactly* — same reachable temporal states, same earliest
+arrivals, same reachability matrices — on arbitrary graphs under all
+three waiting semantics.  Hypothesis drives random TVGs mixing every
+structured presence form (periodic, interval, shifted, dilated, unions)
+plus black-box predicates that force the engine's fallback path.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.reachability import (
+    reachability_matrix,
+    reachability_ratio,
+    semantics_gap_matrix,
+)
+from repro.core.engine import TemporalEngine
+from repro.core.presence import (
+    function_presence,
+    interval_presence,
+    periodic_presence,
+)
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.core.time_domain import Lifetime
+from repro.core.traversal import earliest_arrivals, reachable_states
+from repro.core.tvg import TimeVaryingGraph
+
+HORIZON = 12
+
+DETERMINISTIC = settings(deadline=None, derandomize=True, print_blob=True)
+
+semantics_strategy = st.one_of(
+    st.just(NO_WAIT),
+    st.just(WAIT),
+    st.integers(0, 3).map(bounded_wait),
+)
+
+
+@st.composite
+def presences(draw):
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        period = draw(st.integers(2, 5))
+        pattern = draw(
+            st.sets(st.integers(0, period - 1), min_size=1, max_size=period)
+        )
+        return periodic_presence(pattern, period)
+    if kind == 1:
+        pairs = draw(
+            st.lists(
+                st.tuples(st.integers(0, HORIZON - 1), st.integers(1, 4)),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        return interval_presence([(a, a + w) for a, w in pairs])
+    if kind == 2:
+        period = draw(st.integers(2, 4))
+        shift = draw(st.integers(-2, 3))
+        return periodic_presence([0], period).shifted(shift)
+    if kind == 3:
+        left = periodic_presence([draw(st.integers(0, 2))], 3)
+        right = interval_presence([(draw(st.integers(0, 6)), draw(st.integers(7, 11)))])
+        return left | right if draw(st.booleans()) else left & right
+    # Black-box: an opaque callable the index cannot lower (fallback path).
+    period = draw(st.integers(2, 5))
+    residue = draw(st.integers(0, period - 1))
+    return function_presence(lambda t, p=period, r=residue: t % p == r, "blackbox")
+
+
+@st.composite
+def tvgs(draw):
+    n = draw(st.integers(2, 5))
+    graph = TimeVaryingGraph(lifetime=Lifetime(0, HORIZON), name="random")
+    graph.add_nodes(range(n))
+    edge_count = draw(st.integers(1, 8))
+    for _ in range(edge_count):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            continue
+        graph.add_edge(u, v, presence=draw(presences()))
+    return graph
+
+
+@st.composite
+def tvgs_with_latencies(draw):
+    from repro.core.latency import constant_latency
+
+    graph = draw(tvgs())
+    rebuilt = TimeVaryingGraph(lifetime=graph.lifetime, name=graph.name)
+    rebuilt.add_nodes(graph.nodes)
+    for edge in graph.edges:
+        rebuilt.add_edge(
+            edge.source,
+            edge.target,
+            presence=edge.presence,
+            latency=constant_latency(draw(st.integers(1, 3))),
+            key=edge.key,
+        )
+    return rebuilt
+
+
+class TestCompiledEquivalence:
+    @given(tvgs_with_latencies(), semantics_strategy, st.integers(0, 3))
+    @settings(DETERMINISTIC, max_examples=40)
+    def test_reachable_states_agree(self, graph, semantics, start):
+        engine = TemporalEngine(graph)
+        for source in graph.nodes:
+            oracle = reachable_states(graph, [(source, start)], semantics)
+            compiled = reachable_states(
+                graph, [(source, start)], semantics, engine=engine
+            )
+            assert compiled == oracle
+
+    @given(tvgs_with_latencies(), semantics_strategy, st.integers(0, 3))
+    @settings(DETERMINISTIC, max_examples=40)
+    def test_earliest_arrivals_agree(self, graph, semantics, start):
+        engine = TemporalEngine(graph)
+        for source in graph.nodes:
+            oracle = earliest_arrivals(graph, source, start, semantics)
+            compiled = earliest_arrivals(
+                graph, source, start, semantics, engine=engine
+            )
+            assert compiled == oracle
+
+    @given(tvgs_with_latencies(), semantics_strategy)
+    @settings(DETERMINISTIC, max_examples=40)
+    def test_reachability_matrix_agrees(self, graph, semantics):
+        engine = TemporalEngine(graph)
+        oracle_nodes, oracle = reachability_matrix(graph, 0, semantics)
+        nodes, compiled = reachability_matrix(graph, 0, semantics, engine=engine)
+        assert nodes == oracle_nodes
+        assert np.array_equal(compiled, oracle)
+        assert reachability_ratio(
+            graph, 0, semantics, engine=engine
+        ) == reachability_ratio(graph, 0, semantics)
+
+    @given(tvgs_with_latencies())
+    @settings(DETERMINISTIC, max_examples=20)
+    def test_gap_matrix_agrees(self, graph):
+        engine = TemporalEngine(graph)
+        _nodes, oracle = semantics_gap_matrix(graph, 0)
+        _same, compiled = semantics_gap_matrix(graph, 0, engine=engine)
+        assert np.array_equal(compiled, oracle)
+
+    @given(tvgs_with_latencies(), semantics_strategy)
+    @settings(DETERMINISTIC, max_examples=20)
+    def test_agreement_survives_mutation(self, graph, semantics):
+        engine = TemporalEngine(graph)
+        reachable_states(graph, [(graph.nodes[0], 0)], semantics, engine=engine)
+        graph.add_edge(
+            graph.nodes[-1],
+            graph.nodes[0],
+            presence=periodic_presence([1], 3),
+            key="mutation",
+        )
+        for source in graph.nodes:
+            assert reachable_states(
+                graph, [(source, 0)], semantics, engine=engine
+            ) == reachable_states(graph, [(source, 0)], semantics)

@@ -57,6 +57,32 @@ class TestBroadcastCommand:
         assert "bufferless" in out and "buffered" in out
 
 
+class TestReachCommand:
+    def test_compiled_and_interpretive_agree(self, capsys):
+        args = ["reach", "--nodes", "8", "--period", "4", "--density", "0.2",
+                "--seed", "2", "--horizon", "12"]
+        assert main(args + ["--engine", "compiled"]) == 0
+        compiled = capsys.readouterr().out
+        assert main(args + ["--engine", "interpretive"]) == 0
+        interpretive = capsys.readouterr().out
+
+        def facts(text):
+            return [
+                line for line in text.splitlines()
+                if "ratio" in line or "gap" in line or "window" in line
+            ]
+
+        assert facts(compiled) == facts(interpretive)
+        assert "wait ratio" in compiled
+
+    def test_trace_input(self, tmp_path, capsys):
+        path = tmp_path / "contacts.trace"
+        path.write_text("a b 0 3\nb c 4 6\n", encoding="utf-8")
+        assert main(["reach", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "waiting-gap pairs" in out
+
+
 class TestTraceCommands:
     @pytest.fixture()
     def trace_file(self, tmp_path):
