@@ -38,11 +38,13 @@ from repro.core import (
     Edge,
     Hop,
     Journey,
+    LazyContactCache,
     Lifetime,
     NO_WAIT,
     TVGBuilder,
     TemporalEngine,
     TimeVaryingGraph,
+    UNREACHED,
     WAIT,
     WaitingSemantics,
     bounded_wait,
@@ -75,6 +77,7 @@ __all__ = [
     "Edge",
     "Hop",
     "Journey",
+    "LazyContactCache",
     "Lifetime",
     "NFA",
     "NO_WAIT",
@@ -83,6 +86,7 @@ __all__ = [
     "TemporalEngine",
     "TimeVaryingGraph",
     "TuringMachine",
+    "UNREACHED",
     "WAIT",
     "WaitingSemantics",
     "bounded_wait",

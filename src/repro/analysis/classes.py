@@ -23,11 +23,22 @@ every checker takes an explicit window and answers for it; periodic
 graphs get exact answers by construction.  The classifier reports the
 set of classes a graph exhibits on the window — the inclusion structure
 (C7 ⊆ C6 ⊆ C5, C9 ⊆ C2, ...) is asserted by the tests.
+
+Every checker and :func:`classify` accept an ``engine=`` hook.  With a
+:class:`~repro.core.engine.TemporalEngine`, each connectivity check
+(C1/C2/C3) is one batched arrival sweep instead of ``n`` interpretive
+searches, and the schedule checkers (C5–C10) read per-edge contact
+dates off the compiled index — black-box presences memoized by the
+:class:`~repro.core.index.LazyContactCache`, so repeated
+classifications never re-call a predicate on a date it already
+answered.  Verdicts are identical either way (proven by the
+differential oracle suite).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
@@ -35,67 +46,118 @@ from repro.analysis.reachability import reachability_ratio
 from repro.core.intervals import Interval
 from repro.core.semantics import WAIT
 from repro.core.snapshots import is_connected_at, snapshot
+from repro.core.time_domain import require_window
 from repro.core.tvg import TimeVaryingGraph
 from repro.errors import ReproError
 
-
-def _require_window(start: int, end: int) -> None:
-    if end <= start:
-        raise ReproError(f"empty window [{start}, {end})")
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.engine import TemporalEngine
 
 
 def is_temporally_connected_from(
-    graph: TimeVaryingGraph, start: int, end: int
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    engine: "TemporalEngine | None" = None,
 ) -> bool:
     """C2 on the window: TC from date ``start`` with horizon ``end``."""
-    _require_window(start, end)
-    return reachability_ratio(graph, start, WAIT, horizon=end) == 1.0
+    require_window(start, end)
+    return reachability_ratio(graph, start, WAIT, horizon=end, engine=engine) == 1.0
 
 
-def is_round_connected(graph: TimeVaryingGraph, start: int, end: int) -> bool:
+def is_round_connected(
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    engine: "TemporalEngine | None" = None,
+) -> bool:
     """C1: every node can reach every other *and hear back* in the window.
 
     Equivalent to TC of the window followed by TC of what remains after
     the forward journeys arrive; checked conservatively as TC from
-    ``start`` and TC from the window midpoint.
+    ``start`` and TC from the window midpoint.  A width-1 window leaves
+    no room for a reply (latencies are positive, so forward journeys
+    arrive after its only departure date): only the trivial single-node
+    graph is round connected there.
     """
-    _require_window(start, end)
+    require_window(start, end)
     midpoint = (start + end) // 2
+    if midpoint == start:
+        return graph.node_count <= 1
     return is_temporally_connected_from(
-        graph, start, midpoint
-    ) and is_temporally_connected_from(graph, midpoint, end)
+        graph, start, midpoint, engine=engine
+    ) and is_temporally_connected_from(graph, midpoint, end, engine=engine)
 
 
 def is_recurrently_connected(
-    graph: TimeVaryingGraph, start: int, end: int, stride: int = 1
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    stride: int = 1,
+    engine: "TemporalEngine | None" = None,
 ) -> bool:
     """C3 on the window: TC holds from every sampled start date."""
-    _require_window(start, end)
+    require_window(start, end)
     return all(
-        is_temporally_connected_from(graph, t, end)
+        is_temporally_connected_from(graph, t, end, engine=engine)
         for t in range(start, max(start + 1, end - 1), stride)
     )
 
 
-def edges_recurrent(graph: TimeVaryingGraph, start: int, end: int) -> bool:
+def _window_contacts(
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    engine: "TemporalEngine | None",
+) -> list[tuple[object, list[int]]]:
+    """Each edge paired with its sorted contact dates on ``[start, end)``.
+
+    With an engine the dates come off the compiled index — black-box
+    edges answered by the memoizing
+    :class:`~repro.core.index.LazyContactCache` — otherwise from the
+    interpretive presence support.
+    """
+    if engine is not None:
+        engine.require_graph(graph, "a class checker")
+        index = engine.index_for(start, end)
+        return [
+            (edge, index.departures(ei, start, end))
+            for ei, edge in enumerate(index.edge_list)
+        ]
+    window = Interval(start, end)
+    return [
+        (edge, sorted(edge.presence.support(window).times()))
+        for edge in graph.edges
+    ]
+
+
+def edges_recurrent(
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    engine: "TemporalEngine | None" = None,
+) -> bool:
     """C5 on the window: each footprint edge is present in both halves.
 
     The finite-window proxy for "appears infinitely often": an edge that
     is live early but silent through the whole second half fails.
     """
-    _require_window(start, end)
+    require_window(start, end)
     midpoint = (start + end) // 2
-    first, second = Interval(start, midpoint), Interval(midpoint, end)
-    for edge in graph.edges:
-        early = edge.presence.support(first)
-        late = edge.presence.support(second)
-        if bool(early) != bool(late):
+    for _edge, dates in _window_contacts(graph, start, end, engine):
+        early = bool(dates) and dates[0] < midpoint
+        late = bool(dates) and dates[-1] >= midpoint
+        if early != late:
             return False
     return True
 
 
 def edges_bounded_recurrent(
-    graph: TimeVaryingGraph, start: int, end: int, bound: int
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    bound: int,
+    engine: "TemporalEngine | None" = None,
 ) -> bool:
     """C6 on the window: every gap between appearances is <= ``bound``.
 
@@ -103,12 +165,10 @@ def edges_bounded_recurrent(
     footprint); edges with any appearance must reappear within the bound
     up to the window edge.
     """
-    _require_window(start, end)
+    require_window(start, end)
     if bound <= 0:
         raise ReproError(f"recurrence bound must be positive, got {bound}")
-    window = Interval(start, end)
-    for edge in graph.edges:
-        dates = sorted(edge.presence.support(window).times())
+    for _edge, dates in _window_contacts(graph, start, end, engine):
         if not dates:
             continue
         if dates[0] - start > bound:
@@ -121,40 +181,98 @@ def edges_bounded_recurrent(
     return True
 
 
-def edges_periodic(graph: TimeVaryingGraph, period: int, start: int, end: int) -> bool:
-    """C7 on the window: the schedule repeats with the given period."""
-    _require_window(start, end)
+def edges_periodic(
+    graph: TimeVaryingGraph,
+    period: int,
+    start: int,
+    end: int,
+    engine: "TemporalEngine | None" = None,
+) -> bool:
+    """C7 on the window: the schedule repeats with the given period.
+
+    Checked as: the contact dates of ``[start, end - period)`` shifted
+    by the period are exactly the contact dates of
+    ``[start + period, end)``.
+    """
+    require_window(start, end)
     if period <= 0:
         raise ReproError(f"period must be positive, got {period}")
-    for edge in graph.edges:
-        for t in range(start, end - period):
-            if edge.present_at(t) != edge.present_at(t + period):
-                return False
+    for _edge, dates in _window_contacts(graph, start, end, engine):
+        shifted = [t + period for t in dates if t < end - period]
+        late = [t for t in dates if t >= start + period]
+        if shifted != late:
+            return False
     return True
 
 
+def _pairs_by_date(
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    engine: "TemporalEngine",
+) -> dict[int, set[tuple]]:
+    """date -> the ``(source, target)`` pairs present, off the index."""
+    present: dict[int, set[tuple]] = {t: set() for t in range(start, end)}
+    for edge, dates in _window_contacts(graph, start, end, engine):
+        for t in dates:
+            present[t].add((edge.source, edge.target))
+    return present
+
+
+def _pairs_connected(graph: TimeVaryingGraph, pairs: set[tuple]) -> bool:
+    """Whether the undirected view of the pair set spans the graph."""
+    if graph.node_count <= 1:
+        return True
+    static = nx.Graph()
+    static.add_nodes_from(graph.nodes)
+    static.add_edges_from(pairs)
+    return nx.is_connected(static)
+
+
 def snapshots_always_connected(
-    graph: TimeVaryingGraph, start: int, end: int
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    engine: "TemporalEngine | None" = None,
 ) -> bool:
     """C9: every snapshot in the window is (weakly) connected."""
-    _require_window(start, end)
-    return all(is_connected_at(graph, t) for t in range(start, end))
+    require_window(start, end)
+    if engine is None:
+        return all(is_connected_at(graph, t) for t in range(start, end))
+    present = _pairs_by_date(graph, start, end, engine)
+    return all(_pairs_connected(graph, present[t]) for t in range(start, end))
 
 
-def interval_connectivity(graph: TimeVaryingGraph, start: int, end: int) -> int:
+def interval_connectivity(
+    graph: TimeVaryingGraph,
+    start: int,
+    end: int,
+    engine: "TemporalEngine | None" = None,
+) -> int:
     """The largest T such that the graph is T-interval connected (C10).
 
     T-interval connectivity (Kuhn–Lynch–Oshman): in every window of T
     consecutive dates some *stable* connected spanning subgraph exists.
     Returns 0 when even single snapshots disconnect somewhere.
     """
-    _require_window(start, end)
-    if not snapshots_always_connected(graph, start, end):
-        return 0
+    require_window(start, end)
+    if engine is None:
+        if not snapshots_always_connected(graph, start, end):
+            return 0
+        stable = _stable_connected
+    else:
+        present = _pairs_by_date(graph, start, end, engine)
+        if not all(_pairs_connected(graph, present[t]) for t in range(start, end)):
+            return 0
+
+        def stable(graph: TimeVaryingGraph, t0: int, t1: int) -> bool:
+            pairs = set.intersection(*(present[t] for t in range(t0, t1)))
+            return _pairs_connected(graph, pairs)
+
     best = 1
     for t_len in range(2, end - start + 1):
         if all(
-            _stable_connected(graph, t0, t0 + t_len)
+            stable(graph, t0, t0 + t_len)
             for t0 in range(start, end - t_len + 1)
         ):
             best = t_len
@@ -202,32 +320,40 @@ def classify(
     end: int,
     recurrence_bound: int | None = None,
     period: int | None = None,
+    engine: "TemporalEngine | None" = None,
 ) -> ClassReport:
     """Run all checkers and report the classes exhibited on the window.
 
     ``recurrence_bound`` and ``period`` default to window/4 and the
-    graph's declared period respectively.
+    graph's declared period respectively.  ``engine`` accelerates the
+    connectivity checkers (C1/C2/C3) through the batched arrival sweep
+    and the schedule checkers through the compiled contact arrays.
     """
-    _require_window(start, end)
+    require_window(start, end)
     bound = recurrence_bound if recurrence_bound is not None else max(1, (end - start) // 4)
     declared = period if period is not None else graph.period
     tags: set[str] = set()
-    if is_round_connected(graph, start, end):
+    if is_round_connected(graph, start, end, engine=engine):
         tags.add("C1")
-    if is_temporally_connected_from(graph, start, end):
+    if is_temporally_connected_from(graph, start, end, engine=engine):
         tags.add("C2")
-    if is_recurrently_connected(graph, start, end, stride=max(1, (end - start) // 8)):
+    if is_recurrently_connected(
+        graph, start, end, stride=max(1, (end - start) // 8), engine=engine
+    ):
         tags.add("C3")
-    if edges_recurrent(graph, start, end):
+    if edges_recurrent(graph, start, end, engine=engine):
         tags.add("C5")
-    if edges_bounded_recurrent(graph, start, end, bound):
+    if edges_bounded_recurrent(graph, start, end, bound, engine=engine):
         tags.add("C6")
-    if declared is not None and edges_periodic(graph, declared, start, end):
+    if declared is not None and edges_periodic(
+        graph, declared, start, end, engine=engine
+    ):
         tags.add("C7")
-    if snapshots_always_connected(graph, start, end):
-        tags.add("C9")
-    t_interval = interval_connectivity(graph, start, end)
+    t_interval = interval_connectivity(graph, start, end, engine=engine)
     if t_interval >= 1:
+        # interval_connectivity is positive exactly when every snapshot
+        # is connected, so C9 needs no second pass over the window.
+        tags.add("C9")
         tags.add("C10")
     return ClassReport(
         window=(start, end),

@@ -21,7 +21,6 @@ import numpy as np
 from repro.core.semantics import NO_WAIT, WAIT, WaitingSemantics
 from repro.core.traversal import reachable_nodes
 from repro.core.tvg import TimeVaryingGraph
-from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.core.engine import TemporalEngine
@@ -40,11 +39,7 @@ def reachability_matrix(
     ordering alongside so callers can label the axes.
     """
     if engine is not None:
-        if engine.graph is not graph:
-            raise ReproError(
-                "the engine passed to reachability_matrix was built for a "
-                "different graph"
-            )
+        engine.require_graph(graph, "reachability_matrix")
         return engine.reachability_matrix(start_time, semantics, horizon)
     nodes = list(graph.nodes)
     index = {node: i for i, node in enumerate(nodes)}

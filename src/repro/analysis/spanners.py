@@ -6,20 +6,34 @@ entered by the hop that first informed it.  Pruning a TVG to such a
 tree is the temporal analogue of a BFS spanning tree and yields the
 minimal contact set a buffered broadcast actually needs, which the
 benchmarks compare against the flood's transmission count.
+
+Engine route
+------------
+
+:func:`foremost_broadcast_tree` runs its temporal Dijkstra over the one
+shared successor kernel of :mod:`repro.core.traversal`: with ``engine=``
+a :class:`~repro.core.engine.TemporalEngine`, single-hop moves come from
+binary search on the compiled contact arrays instead of per-date
+presence scans.  The kernel enumerates moves in the same order either
+way, so the tree — entry hops included — is identical (proven by the
+differential oracle suite under all three waiting semantics).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.core.journeys import Hop
 from repro.core.semantics import WAIT, WaitingSemantics
-from repro.core.traversal import _resolve_horizon, edge_departures
+from repro.core.traversal import _resolve_horizon, _step_fn
 from repro.core.transforms import graph_like
 from repro.core.tvg import TimeVaryingGraph
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.engine import TemporalEngine
 
 
 @dataclass(frozen=True)
@@ -66,15 +80,18 @@ def foremost_broadcast_tree(
     start_time: int,
     semantics: WaitingSemantics = WAIT,
     horizon: int | None = None,
+    engine: "TemporalEngine | None" = None,
 ) -> BroadcastTree:
     """Compute the foremost broadcast tree by temporal Dijkstra.
 
     Each node's entry hop realizes its earliest possible arrival under
     the chosen semantics; the tree therefore has exactly one hop per
     reached node (minus the source), the temporal analogue of a BFS
-    tree.
+    tree.  With ``engine=`` the Dijkstra runs over the compiled
+    successor kernel — same algorithm, same tree, compiled lookups.
     """
     horizon = _resolve_horizon(graph, horizon)
+    step = _step_fn(graph, semantics, horizon, engine)
     informed: dict[Hashable, int] = {source: start_time}
     entry: dict[Hashable, Hop] = {}
     expanded: set[tuple[Hashable, int]] = set()
@@ -85,16 +102,14 @@ def foremost_broadcast_tree(
         if (node, ready) in expanded:
             continue
         expanded.add((node, ready))
-        for edge in graph.out_edges(node):
-            for departure in edge_departures(edge, ready, semantics, horizon):
-                arrival = departure + edge.latency(departure)
-                target = edge.target
-                if target not in informed or arrival < informed[target]:
-                    informed[target] = arrival
-                    entry[target] = Hop(edge, departure)
-                if (target, arrival) not in expanded:
-                    tie += 1
-                    heapq.heappush(queue, (arrival, tie, target))
+        for edge, departure, arrival in step(node, ready):
+            target = edge.target
+            if target not in informed or arrival < informed[target]:
+                informed[target] = arrival
+                entry[target] = Hop(edge, departure)
+            if (target, arrival) not in expanded:
+                tie += 1
+                heapq.heappush(queue, (arrival, tie, target))
     return BroadcastTree(
         source=source, start_time=start_time, entry_hop=entry, informed_at=informed
     )

@@ -10,6 +10,9 @@ Small, scriptable entry points over the library's showcase objects:
   network;
 * ``reach`` — reachability ratios and the waiting gap of a trace or
   random network, via the compiled engine or the interpretive oracle;
+* ``growth`` — the reachability growth curves ``r_wait``/``r_nowait``
+  and the integrated value of waiting, via one batched arrival sweep
+  per semantics (or the interpretive oracle);
 * ``render`` — print the ASCII schedule of a contact trace.
 
 All subcommands print plain text and exit non-zero on verification
@@ -125,24 +128,9 @@ def cmd_reach(args: argparse.Namespace) -> int:
 
     from repro.analysis.reachability import reachability_matrix
     from repro.core.engine import TemporalEngine
-    from repro.core.generators import periodic_random_tvg
 
-    if args.trace is not None:
-        from repro.dynamics.traces import load_trace
-
-        graph = load_trace(args.trace)
-    else:
-        graph = periodic_random_tvg(
-            args.nodes, period=args.period, density=args.density, seed=args.seed
-        )
-    horizon = args.horizon
-    if horizon is None:
-        if not graph.lifetime.bounded:
-            horizon = graph.lifetime.start + 3 * (graph.period or 8)
-        else:
-            horizon = int(graph.lifetime.end)
+    graph, start, horizon = _load_or_generate(args)
     engine = None if args.engine == "interpretive" else TemporalEngine(graph)
-    start = graph.lifetime.start
     began = time.perf_counter()
     # The gap needs the WAIT and NO_WAIT matrices anyway; reuse whichever
     # also answers the requested ratio instead of sweeping a third time.
@@ -165,6 +153,55 @@ def cmd_reach(args: argparse.Namespace) -> int:
     print(f"window:             [{start}, {horizon})")
     print(f"{args.semantics} ratio:         {ratio:.4f}")
     print(f"waiting-gap pairs:  {int(gap.sum())}")
+    print(f"elapsed:            {elapsed * 1e3:.1f} ms")
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    """The TVG and [start, horizon) window shared by reach/growth."""
+    from repro.core.generators import periodic_random_tvg
+
+    if args.trace is not None:
+        from repro.dynamics.traces import load_trace
+
+        graph = load_trace(args.trace)
+    else:
+        graph = periodic_random_tvg(
+            args.nodes, period=args.period, density=args.density, seed=args.seed
+        )
+    horizon = args.horizon
+    if horizon is None:
+        if not graph.lifetime.bounded:
+            horizon = graph.lifetime.start + 3 * (graph.period or 8)
+        else:
+            horizon = int(graph.lifetime.end)
+    return graph, graph.lifetime.start, horizon
+
+
+def cmd_growth(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.evolution import value_of_waiting
+    from repro.core.engine import TemporalEngine
+
+    graph, start, horizon = _load_or_generate(args)
+    engine = None if args.engine == "interpretive" else TemporalEngine(graph)
+    began = time.perf_counter()
+    value = value_of_waiting(graph, start, horizon, engine=engine)
+    elapsed = time.perf_counter() - began
+    saturation = value.wait_saturation_time
+    print(graph)
+    print(f"engine:             {args.engine}")
+    print(f"window:             [{start}, {horizon})")
+    print(f"r_wait(end):        {value.wait_curve[-1][1]:.4f}")
+    print(f"r_nowait(end):      {value.nowait_curve[-1][1]:.4f}")
+    print(f"waiting area:       {value.area:.4f}")
+    print(f"wait saturation:    {saturation if saturation is not None else '-'}")
+    if args.curve:
+        for (t, wait_value), (_t, nowait_value) in zip(
+            value.wait_curve, value.nowait_curve
+        ):
+            print(f"  t={t:4d}  r_wait {wait_value:.4f}  r_nowait {nowait_value:.4f}")
     print(f"elapsed:            {elapsed * 1e3:.1f} ms")
     return 0
 
@@ -213,23 +250,37 @@ def build_parser() -> argparse.ArgumentParser:
     bro.add_argument("--seed", type=int, default=0)
     bro.set_defaults(handler=cmd_broadcast)
 
+    def add_network_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace", default=None, help="trace file (else a random TVG)"
+        )
+        command.add_argument("--nodes", type=int, default=32)
+        command.add_argument("--period", type=int, default=8)
+        command.add_argument("--density", type=float, default=0.1)
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument("--horizon", type=int, default=None)
+        command.add_argument(
+            "--engine",
+            choices=["compiled", "interpretive"],
+            default="compiled",
+            help="compiled contact-sequence engine (default) or the legacy scans",
+        )
+
     rea = sub.add_parser(
         "reach", help="reachability ratios and the waiting gap of a network"
     )
-    rea.add_argument("--trace", default=None, help="trace file (else a random TVG)")
-    rea.add_argument("--nodes", type=int, default=32)
-    rea.add_argument("--period", type=int, default=8)
-    rea.add_argument("--density", type=float, default=0.1)
-    rea.add_argument("--seed", type=int, default=0)
-    rea.add_argument("--horizon", type=int, default=None)
+    add_network_options(rea)
     rea.add_argument("--semantics", type=_semantics, default=WAIT)
-    rea.add_argument(
-        "--engine",
-        choices=["compiled", "interpretive"],
-        default="compiled",
-        help="compiled contact-sequence engine (default) or the legacy scans",
-    )
     rea.set_defaults(handler=cmd_reach)
+
+    gro = sub.add_parser(
+        "growth", help="reachability growth curves and the value of waiting"
+    )
+    add_network_options(gro)
+    gro.add_argument(
+        "--curve", action="store_true", help="print the per-date curve values"
+    )
+    gro.set_defaults(handler=cmd_growth)
 
     ren = sub.add_parser("render", help="ASCII schedule of a contact trace")
     ren.add_argument("trace")

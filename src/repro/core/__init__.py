@@ -35,11 +35,11 @@ from repro.core.semantics import (
     WaitingSemantics,
     bounded_wait,
 )
-from repro.core.time_domain import INFINITY, Lifetime
+from repro.core.time_domain import INFINITY, Lifetime, require_window
 from repro.core.tvg import TimeVaryingGraph
 from repro.core.builders import TVGBuilder
-from repro.core.index import CompiledTVG
-from repro.core.engine import TemporalEngine
+from repro.core.index import CompiledTVG, LazyContactCache
+from repro.core.engine import UNREACHED, TemporalEngine
 
 __all__ = [
     "BOUNDED_WAIT",
@@ -50,11 +50,13 @@ __all__ = [
     "Interval",
     "IntervalSet",
     "Journey",
+    "LazyContactCache",
     "LatencyFunction",
     "Lifetime",
     "NO_WAIT",
     "PresenceFunction",
     "TemporalEngine",
+    "UNREACHED",
     "TVGBuilder",
     "TimeVaryingGraph",
     "WAIT",
@@ -69,5 +71,6 @@ __all__ = [
     "interval_presence",
     "never",
     "periodic_presence",
+    "require_window",
     "table_latency",
 ]

@@ -12,12 +12,18 @@ calls.  On top of the kernel it offers:
   to :mod:`repro.core.traversal` with ``engine=self``, so compiled and
   interpretive runs execute the *same algorithm* and differ only in how
   successors are produced);
-* a **batched multi-source sweep** (:meth:`reachability_masks`) that
-  computes every source's reachable set in ONE pass over the temporal
-  state space — each state carries a bitmask of the sources that reach
-  it, masks merge as states are processed in increasing time order —
-  powering :func:`repro.analysis.reachability.reachability_matrix`
-  without running ``n`` independent searches;
+* a **batched all-pairs arrival sweep** (:meth:`arrival_matrix`) that
+  records, for every (source, target) pair, the first date a journey
+  arrives — in ONE pass over the temporal state space.  Each state
+  carries a bitmask of the sources that reach it; masks merge as states
+  are processed in increasing time order, and the first pop that brings
+  a source's bit to a node *is* that pair's earliest arrival.  The
+  matrix serves every consumer that reduces to earliest arrivals:
+  :func:`repro.analysis.reachability.reachability_matrix` (arrival is
+  finite), :func:`repro.analysis.evolution.reachability_growth`
+  (cumulative count of arrivals <= t, O(log) per prefix instead of a
+  full matrix per prefix), and the connectivity predicates of
+  :mod:`repro.analysis.classes`;
 * a fast per-round presence lookup (:meth:`out_edges_at`) for the
   :class:`~repro.dynamics.network.Simulator`.
 
@@ -25,9 +31,12 @@ The engine transparently recompiles its index when the graph mutates
 (version counter) or a query needs a wider time window (grow-only).
 Edges whose presence cannot be lowered (black-box
 :class:`~repro.core.presence.FunctionPresence`) fall back to the
-interpretive scan inside the kernel, so results are always identical to
+interpretive scan inside the kernel — memoized through one long-lived
+:class:`~repro.core.index.LazyContactCache` that survives index
+rebuilds, so each black-box predicate is invoked at most once per
+(edge, date) across repeated queries.  Results are always identical to
 the legacy path — the interpretive implementation remains the
-ground-truth oracle, checked by the equivalence property suite.
+ground-truth oracle, checked by the equivalence property suites.
 """
 
 from __future__ import annotations
@@ -38,11 +47,16 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from repro.core.edges import Edge
-from repro.core.index import CompiledTVG
+from repro.core.index import CompiledTVG, LazyContactCache
 from repro.core.intervals import Interval
 from repro.core.semantics import NO_WAIT, WaitingSemantics
 from repro.core.tvg import TimeVaryingGraph
 from repro.errors import TimeDomainError
+
+#: Sentinel arrival date for unreachable pairs in :meth:`TemporalEngine.
+#: arrival_matrix` — larger than any real date, so ``matrix <= t``
+#: comparisons need no special casing.
+UNREACHED: int = np.iinfo(np.int64).max
 
 
 class TemporalEngine:
@@ -61,6 +75,10 @@ class TemporalEngine:
             window = Interval(*window)
         self._requested_window = window
         self._index: CompiledTVG | None = None
+        # One cache for the engine's whole lifetime: it survives index
+        # rebuilds (window growth, staleness), so black-box predicates
+        # are never re-scanned for dates already seen.
+        self._contact_cache = LazyContactCache(graph)
 
     # -- index lifecycle -------------------------------------------------------
 
@@ -86,13 +104,30 @@ class TemporalEngine:
         elif self.graph.lifetime.bounded:
             lifetime = self.graph.lifetime
             lo, hi = min(lo, lifetime.start), max(hi, int(lifetime.end))
-        self._index = CompiledTVG(self.graph, Interval(lo, hi))
+        self._index = CompiledTVG(self.graph, Interval(lo, hi), self._contact_cache)
         return self._index
 
     @property
     def compiled(self) -> CompiledTVG | None:
         """The current index (None until the first query compiles one)."""
         return self._index
+
+    @property
+    def contact_cache(self) -> LazyContactCache:
+        """The engine's lazy black-box lowering cache."""
+        return self._contact_cache
+
+    def require_graph(self, graph: TimeVaryingGraph, caller: str) -> None:
+        """Raise unless this engine was built for ``graph``.
+
+        The one shared guard every ``engine=`` hook runs before
+        answering, so a mismatched engine fails the same way at every
+        entry point.
+        """
+        if self.graph is not graph:
+            raise TimeDomainError(
+                f"the engine passed to {caller} was built for a different graph"
+            )
 
     def _resolve_horizon(self, horizon: int | None) -> int:
         if horizon is not None:
@@ -242,17 +277,20 @@ class TemporalEngine:
 
     # -- the batched multi-source sweep ----------------------------------------
 
-    def reachability_masks(
+    def arrival_matrix(
         self,
         start_time: int,
         semantics: WaitingSemantics = NO_WAIT,
         horizon: int | None = None,
-    ) -> tuple[list[Hashable], list[int]]:
-        """Every source's reachable set, in one pass.
+    ) -> tuple[list[Hashable], np.ndarray]:
+        """All-pairs earliest arrivals, in one pass.
 
-        Returns ``(nodes, masks)`` where bit ``i`` of ``masks[j]`` says
-        node ``nodes[j]`` is reachable from source ``nodes[i]`` (each
-        node trivially reaches itself).
+        Returns ``(nodes, matrix)`` where ``matrix[i, j]`` is the first
+        date a journey from ``nodes[i]`` (ready at ``start_time``) can
+        arrive at ``nodes[j]`` — :data:`UNREACHED` for pairs no journey
+        joins, ``start_time`` on the diagonal (the trivial journey).
+        Departures are bounded by ``horizon``; arrivals may exceed it,
+        exactly as in :func:`repro.core.traversal.earliest_arrivals`.
 
         One temporal-state search explores the same ``(node, time)``
         space whichever node it starts from, so instead of ``n``
@@ -260,11 +298,14 @@ class TemporalEngine:
         the sources that reach it.  Arrivals are strictly later than
         departures (latencies are positive), so processing states in
         increasing time order makes every mask final the moment its
-        state is popped — one pass, no fixpoint iteration.
+        state is popped — and the first pop that brings source ``i``'s
+        bit to node ``j`` is the pair's earliest arrival.  One pass, no
+        fixpoint iteration.
         """
         horizon = self._resolve_horizon(horizon)
         index = self.index_for(min(start_time, horizon), horizon)
         n = len(index.nodes)
+        arrival = np.full((n, n), UNREACHED, dtype=np.int64)
         node_mask = [0] * n
         pending: dict[tuple[int, int], int] = {}
         heap: list[tuple[int, int]] = []
@@ -276,7 +317,13 @@ class TemporalEngine:
             mask = pending.pop((node_idx, time), 0)
             if not mask:
                 continue
-            node_mask[node_idx] |= mask
+            new = mask & ~node_mask[node_idx]
+            if new:
+                node_mask[node_idx] |= new
+                while new:
+                    low = new & -new
+                    arrival[low.bit_length() - 1, node_idx] = time
+                    new ^= low
             if time >= horizon:
                 continue
             if semantics.is_no_wait:
@@ -290,7 +337,30 @@ class TemporalEngine:
             for ei in index.out_edge_indices(node_idx):
                 for dep in index.departures(ei, time, latest):
                     self._sweep_push(index, pending, heap, ei, dep, mask)
-        return list(index.nodes), node_mask
+        return list(index.nodes), arrival
+
+    def reachability_masks(
+        self,
+        start_time: int,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+    ) -> tuple[list[Hashable], list[int]]:
+        """Every source's reachable set, in one pass.
+
+        Returns ``(nodes, masks)`` where bit ``i`` of ``masks[j]`` says
+        node ``nodes[j]`` is reachable from source ``nodes[i]`` (each
+        node trivially reaches itself).  Derived from
+        :meth:`arrival_matrix`: reachable means the earliest arrival is
+        finite.
+        """
+        nodes, arrival = self.arrival_matrix(start_time, semantics, horizon)
+        masks = []
+        for j in range(len(nodes)):
+            mask = 0
+            for i in np.flatnonzero(arrival[:, j] != UNREACHED):
+                mask |= 1 << int(i)
+            masks.append(mask)
+        return nodes, masks
 
     @staticmethod
     def _sweep_push(
@@ -322,17 +392,9 @@ class TemporalEngine:
         Same contract as
         :func:`repro.analysis.reachability.reachability_matrix`.
         """
-        nodes, masks = self.reachability_masks(start_time, semantics, horizon)
-        n = len(nodes)
-        matrix = np.zeros((n, n), dtype=bool)
-        for j, mask in enumerate(masks):
-            i = 0
-            while mask:
-                if mask & 1:
-                    matrix[i, j] = True
-                mask >>= 1
-                i += 1
-            matrix[j, j] = True
+        nodes, arrival = self.arrival_matrix(start_time, semantics, horizon)
+        matrix = arrival != UNREACHED
+        np.fill_diagonal(matrix, True)
         return nodes, matrix
 
     # -- simulator fast path ---------------------------------------------------

@@ -31,6 +31,21 @@ callable with bounded scans, byte-for-byte the interpretive semantics.
 A compiled and an interpretive run therefore always agree; compilation
 only accelerates the edges it can prove out.
 
+Lazy black-box lowering
+-----------------------
+
+A black-box predicate is arbitrary but *deterministic*, so its answers
+can be memoized.  :class:`LazyContactCache` lowers black-box edges
+lazily: the first query over a window scans the predicate once and
+stores the resulting contact dates as a sorted array; later queries are
+answered from the array, and wider queries extend the scanned window by
+calling the predicate only on the *new* dates.  The cache outlives index
+rebuilds (the :class:`~repro.core.engine.TemporalEngine` owns one and
+threads it through every :class:`CompiledTVG` it compiles), so across
+repeated analysis queries each predicate is invoked at most once per
+(edge, date).  Graph mutation flushes the cache through the same version
+counter that invalidates the index.
+
 Invalidation
 ------------
 
@@ -80,6 +95,105 @@ def is_structured(presence: PresenceFunction) -> bool:
     return False
 
 
+class LazyContactCache:
+    """Memoized contact arrays for black-box presences of one graph.
+
+    Per edge (keyed by edge key) the cache holds a sorted list of
+    disjoint scanned *segments* ``(lo, hi, contacts)`` — the sorted
+    ``np.int64`` contact dates found in ``[lo, hi)``.  A query inside
+    scanned territory is pure array work; a query reaching outside
+    scans only the uncovered gaps it actually touches and merges the
+    result with any overlapping or adjacent segments.  Queries far from
+    earlier ones therefore start a new segment instead of scanning the
+    no-man's-land in between, and across the cache's lifetime each
+    predicate is invoked **at most once per (edge, date)** — the lazy
+    counterpart of the eager lowering :class:`CompiledTVG` applies to
+    structured presences.
+
+    The cache snapshots :attr:`TimeVaryingGraph.version` and flushes
+    itself when the graph mutates, mirroring index invalidation.
+    """
+
+    __slots__ = ("graph", "version", "_segments")
+
+    def __init__(self, graph: TimeVaryingGraph) -> None:
+        self.graph = graph
+        self.version = graph.version
+        #: edge key -> sorted disjoint (lo, hi, contact dates) segments.
+        self._segments: dict[str, list[tuple[int, int, np.ndarray]]] = {}
+
+    def __len__(self) -> int:
+        """Number of edges with at least one scanned segment."""
+        return len(self._segments)
+
+    def scanned_window(self, edge: Edge) -> tuple[int, int] | None:
+        """The hull ``(lo, hi)`` of the segments scanned for ``edge``.
+
+        Dates inside the hull but between disjoint segments have *not*
+        been scanned; None when the edge was never queried.
+        """
+        segments = self._segments.get(edge.key)
+        if not segments:
+            return None
+        return segments[0][0], segments[-1][1]
+
+    def contacts(self, edge: Edge, start: int, end: int) -> np.ndarray:
+        """Sorted contact dates of ``edge`` in ``[start, end)``.
+
+        The predicate is called only on dates of ``[start, end)`` never
+        scanned before.
+        """
+        if self.graph.version != self.version:
+            self._segments.clear()
+            self.version = self.graph.version
+        if end <= start:
+            return _EMPTY_CONTACTS
+        segments = self._segments.get(edge.key, [])
+        before: list[tuple[int, int, np.ndarray]] = []
+        absorbed: list[tuple[int, int, np.ndarray]] = []
+        after: list[tuple[int, int, np.ndarray]] = []
+        for segment in segments:
+            lo, hi, _dates = segment
+            if hi < start:
+                before.append(segment)
+            elif lo > end:
+                after.append(segment)
+            else:  # overlapping or adjacent: merge into the query's span
+                absorbed.append(segment)
+        merged_lo = min([start] + [lo for lo, _hi, _d in absorbed])
+        merged_hi = max([end] + [hi for _lo, hi, _d in absorbed])
+        pieces: list[np.ndarray] = []
+        cursor = merged_lo
+        for lo, hi, dates in absorbed:
+            if cursor < lo:
+                pieces.append(self._scan(edge, cursor, lo))
+            pieces.append(dates)
+            cursor = hi
+        if cursor < merged_hi:
+            pieces.append(self._scan(edge, cursor, merged_hi))
+        merged = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+        self._segments[edge.key] = before + [(merged_lo, merged_hi, merged)] + after
+        left = int(np.searchsorted(merged, start, side="left"))
+        right = int(np.searchsorted(merged, end, side="left"))
+        return merged[left:right]
+
+    @staticmethod
+    def _scan(edge: Edge, start: int, end: int) -> np.ndarray:
+        return np.fromiter(
+            (t for t in range(start, end) if edge.present_at(t)), dtype=np.int64
+        )
+
+    def __repr__(self) -> str:
+        segments = sum(len(s) for s in self._segments.values())
+        return (
+            f"LazyContactCache({len(self)} edges scanned in {segments} "
+            f"segments, version={self.version})"
+        )
+
+
+_EMPTY_CONTACTS = np.empty(0, dtype=np.int64)
+
+
 class CompiledTVG:
     """A contact-sequence index of one graph over one time window.
 
@@ -90,6 +204,10 @@ class CompiledTVG:
     indices of node ``j`` (in insertion order, matching
     :meth:`TimeVaryingGraph.out_edges`) are
     ``out_edge_idx[out_ptr[j]:out_ptr[j + 1]]``.
+
+    ``cache`` optionally supplies a :class:`LazyContactCache`; with one,
+    black-box queries are memoized through it instead of re-calling the
+    predicate on every scan.
     """
 
     __slots__ = (
@@ -100,6 +218,7 @@ class CompiledTVG:
         "node_index",
         "edge_list",
         "contacts",
+        "cache",
         "const_latency",
         "out_ptr",
         "out_edge_idx",
@@ -107,12 +226,18 @@ class CompiledTVG:
         "_out_lists",
     )
 
-    def __init__(self, graph: TimeVaryingGraph, window: Interval) -> None:
+    def __init__(
+        self,
+        graph: TimeVaryingGraph,
+        window: Interval,
+        cache: LazyContactCache | None = None,
+    ) -> None:
         if window.empty:
             window = Interval(window.start, window.start)
         self.graph = graph
         self.version = graph.version
         self.window = window
+        self.cache = cache
         self.nodes: tuple[Hashable, ...] = graph.nodes
         self.node_index: dict[Hashable, int] = {
             node: i for i, node in enumerate(self.nodes)
@@ -185,7 +310,11 @@ class CompiledTVG:
         """Earliest contact of edge ``edge_idx`` in ``[time, limit)``."""
         contacts = self.contacts[edge_idx]
         if contacts is None:
-            return self.edge_list[edge_idx].presence.next_present(time, limit)
+            edge = self.edge_list[edge_idx]
+            if self.cache is None:
+                return edge.presence.next_present(time, limit)
+            found = self.cache.contacts(edge, time, limit)
+            return int(found[0]) if len(found) else None
         pos = int(np.searchsorted(contacts, time, side="left"))
         if pos < len(contacts) and contacts[pos] < limit:
             return int(contacts[pos])
@@ -197,8 +326,11 @@ class CompiledTVG:
             return []
         contacts = self.contacts[edge_idx]
         if contacts is None:
-            support = self.edge_list[edge_idx].presence.support(Interval(start, end))
-            return list(support.times())
+            edge = self.edge_list[edge_idx]
+            if self.cache is None:
+                support = edge.presence.support(Interval(start, end))
+                return list(support.times())
+            return self.cache.contacts(edge, start, end).tolist()
         lo = int(np.searchsorted(contacts, start, side="left"))
         hi = int(np.searchsorted(contacts, end, side="left"))
         return contacts[lo:hi].tolist()
@@ -207,7 +339,10 @@ class CompiledTVG:
         """Membership test on the compiled contact sequence."""
         contacts = self.contacts[edge_idx]
         if contacts is None:
-            return self.edge_list[edge_idx].present_at(time)
+            edge = self.edge_list[edge_idx]
+            if self.cache is None:
+                return edge.present_at(time)
+            return bool(len(self.cache.contacts(edge, time, time + 1)))
         pos = int(np.searchsorted(contacts, time, side="left"))
         return pos < len(contacts) and int(contacts[pos]) == time
 

@@ -21,6 +21,24 @@ from repro.errors import TimeDomainError
 INFINITY: float = math.inf
 
 
+def require_window(start: int, end: int) -> None:
+    """Validate the half-open study window ``[start, end)``.
+
+    The analysis layer's shared precondition: every bounded-window
+    checker and curve works over ``[start, end)`` and an empty window
+    would silently produce vacuous answers, so it raises
+    :class:`TimeDomainError` instead.
+
+    >>> require_window(0, 5)
+    >>> require_window(5, 5)
+    Traceback (most recent call last):
+        ...
+    repro.errors.TimeDomainError: empty window [5, 5)
+    """
+    if end <= start:
+        raise TimeDomainError(f"empty window [{start}, {end})")
+
+
 @dataclass(frozen=True)
 class Lifetime:
     """The time span ``[start, end)`` over which a TVG is studied.

@@ -78,10 +78,7 @@ def successors(
     """
     horizon = _resolve_horizon(graph, horizon)
     if engine is not None:
-        if engine.graph is not graph:
-            raise TimeDomainError(
-                "the engine passed to a traversal was built for a different graph"
-            )
+        engine.require_graph(graph, "a traversal")
         yield from engine.successors(node, ready, semantics, horizon)
         return
     for edge in graph.out_edges(node):
@@ -97,10 +94,7 @@ def _step_fn(
 ) -> StepFn:
     """Bind the successor kernel the searches below iterate over."""
     if engine is not None:
-        if engine.graph is not graph:
-            raise TimeDomainError(
-                "the engine passed to a traversal was built for a different graph"
-            )
+        engine.require_graph(graph, "a traversal")
         return lambda node, ready: engine.successors(node, ready, semantics, horizon)
 
     def step(node: Hashable, ready: int) -> list[tuple[Edge, int, int]]:
@@ -250,10 +244,7 @@ def earliest_arrivals(
         # Unbounded waiting admits an exact node-level Dijkstra (later
         # visits of a node can never depart anywhere its earliest visit
         # could not), much cheaper than the temporal-state search.
-        if engine.graph is not graph:
-            raise TimeDomainError(
-                "the engine passed to a traversal was built for a different graph"
-            )
+        engine.require_graph(graph, "a traversal")
         return engine.earliest_arrivals_unbounded(source, start_time, horizon)
     step = _step_fn(graph, semantics, horizon, engine)
     best: dict[Hashable, int] = {source: start_time}

@@ -138,3 +138,56 @@ class TestClassifier:
     def test_report_renders(self):
         text = str(classify(rotor(), 0, 24))
         assert "classes on [0, 24)" in text
+
+
+class TestEngineRoute:
+    def test_classify_identical_via_engine(self):
+        from repro.core.engine import TemporalEngine
+
+        for graph, window in ((rotor(), (0, 24)), (dying_edge_graph(), (0, 20))):
+            engine = TemporalEngine(graph)
+            assert classify(graph, *window, engine=engine) == classify(graph, *window)
+
+    def test_checkers_identical_via_engine(self):
+        from repro.core.engine import TemporalEngine
+
+        g = rotor()
+        engine = TemporalEngine(g)
+        assert is_temporally_connected_from(g, 0, 24, engine=engine)
+        assert is_round_connected(g, 0, 24, engine=engine)
+        assert edges_recurrent(g, 0, 24, engine=engine)
+        assert edges_bounded_recurrent(g, 0, 24, 3, engine=engine)
+        assert not edges_bounded_recurrent(g, 0, 24, 2, engine=engine)
+        assert edges_periodic(g, 3, 0, 24, engine=engine)
+        assert not edges_periodic(g, 2, 0, 24, engine=engine)
+        assert not snapshots_always_connected(g, 0, 24, engine=engine)
+        assert interval_connectivity(g, 0, 24, engine=engine) == 0
+
+    def test_interval_connectivity_static_via_engine(self):
+        from repro.core.engine import TemporalEngine
+        from repro.core.transforms import graph_like
+
+        g = static_graph([("a", "b"), ("b", "a")])
+        bounded = graph_like(g)
+        bounded.lifetime = type(bounded.lifetime)(0, 6)
+        for edge in g.edges:
+            bounded.add_edge_object(edge)
+        engine = TemporalEngine(bounded)
+        assert interval_connectivity(bounded, 0, 6, engine=engine) == 6
+        assert snapshots_always_connected(bounded, 0, 6, engine=engine)
+
+    def test_width_one_window_classifies(self):
+        # No room for a round trip in one date: C1 only for the trivial
+        # graph — and classify must not crash on a valid [t, t+1).
+        g = static_graph([("a", "b"), ("b", "a")])
+        assert not is_round_connected(g, 0, 1)
+        report = classify(g, 0, 1)
+        assert "C1" not in report
+        solo = TVGBuilder().lifetime(0, 3).node("s").build()
+        assert is_round_connected(solo, 1, 2)
+
+    def test_foreign_engine_rejected(self):
+        from repro.core.engine import TemporalEngine
+
+        with pytest.raises(ReproError):
+            edges_recurrent(rotor(), 0, 24, engine=TemporalEngine(rotor()))

@@ -88,3 +88,37 @@ class TestValueOfWaiting:
         value = value_of_waiting(bounded, 0, 6)
         assert value.area == pytest.approx(0.0)
         assert value.final_gap == pytest.approx(0.0)
+
+
+class TestEngineRoute:
+    def test_growth_via_engine_matches_interpretive(self):
+        from repro.core.engine import TemporalEngine
+
+        g = rotor()
+        engine = TemporalEngine(g)
+        for semantics in (WAIT, NO_WAIT):
+            assert reachability_growth(
+                g, 0, 12, semantics, engine=engine
+            ) == reachability_growth(g, 0, 12, semantics)
+
+    def test_value_of_waiting_via_engine(self):
+        from repro.core.engine import TemporalEngine
+
+        g = rotor()
+        engine = TemporalEngine(g)
+        assert value_of_waiting(g, 0, 12, engine=engine) == value_of_waiting(g, 0, 12)
+
+    def test_single_node_with_engine(self):
+        from repro.core.builders import TVGBuilder
+        from repro.core.engine import TemporalEngine
+
+        g = TVGBuilder().lifetime(0, 3).node("solo").build()
+        assert reachability_growth(g, 0, 3, WAIT, engine=TemporalEngine(g)) == [
+            (0, 1.0), (1, 1.0), (2, 1.0)
+        ]
+
+    def test_foreign_engine_rejected(self):
+        from repro.core.engine import TemporalEngine
+
+        with pytest.raises(ReproError):
+            reachability_growth(rotor(), 0, 12, WAIT, engine=TemporalEngine(rotor()))

@@ -85,3 +85,26 @@ class TestSpanner:
         again = earliest_arrivals(pruned, 0, 0, WAIT, horizon=25)
         for node in tree.reached:
             assert again[node] == original[node]
+
+
+class TestEngineRoute:
+    def test_tree_identical_via_engine(self, chain):
+        from repro.core.engine import TemporalEngine
+
+        engine = TemporalEngine(chain)
+        for semantics in (WAIT, NO_WAIT):
+            oracle = foremost_broadcast_tree(chain, "a", 0, semantics)
+            compiled = foremost_broadcast_tree(chain, "a", 0, semantics, engine=engine)
+            assert compiled.informed_at == oracle.informed_at
+            assert compiled.entry_hop == oracle.entry_hop
+
+    def test_random_graph_tree_via_engine(self):
+        from repro.core.engine import TemporalEngine
+
+        g = edge_markovian_tvg(10, horizon=30, birth=0.1, death=0.4, seed=2)
+        engine = TemporalEngine(g)
+        oracle = foremost_broadcast_tree(g, 0, 0, WAIT, horizon=30)
+        compiled = foremost_broadcast_tree(g, 0, 0, WAIT, horizon=30, engine=engine)
+        assert compiled.informed_at == oracle.informed_at
+        assert compiled.entry_hop == oracle.entry_hop
+        assert spanner_savings(g, compiled) == spanner_savings(g, oracle)

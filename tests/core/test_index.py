@@ -224,3 +224,67 @@ class TestSimulatorFastPath:
         g, other = build_graph(), build_graph()
         with pytest.raises(SimulationError):
             Simulator(g, lambda node: Protocol(), engine=TemporalEngine(other))
+
+
+class TestArrivalMatrix:
+    @pytest.mark.parametrize("semantics", [NO_WAIT, WAIT, bounded_wait(2)])
+    def test_rows_match_single_source_searches(self, semantics):
+        from repro.core.engine import UNREACHED
+
+        g = build_graph()
+        engine = TemporalEngine(g)
+        nodes, matrix = engine.arrival_matrix(0, semantics)
+        for i, source in enumerate(nodes):
+            oracle = earliest_arrivals(g, source, 0, semantics)
+            row = {
+                nodes[j]: int(matrix[i, j])
+                for j in range(len(nodes))
+                if matrix[i, j] != UNREACHED
+            }
+            assert row == oracle, (source, semantics)
+
+    def test_diagonal_is_start_time(self):
+        g = build_graph()
+        nodes, matrix = TemporalEngine(g).arrival_matrix(3, WAIT)
+        for i in range(len(nodes)):
+            assert matrix[i, i] == 3
+
+    def test_masks_and_matrix_derive_from_arrivals(self):
+        import numpy as np
+
+        from repro.core.engine import UNREACHED
+
+        g = build_graph()
+        engine = TemporalEngine(g)
+        nodes, arrival = engine.arrival_matrix(0, WAIT)
+        _same, masks = engine.reachability_masks(0, WAIT)
+        _also, boolean = engine.reachability_matrix(0, WAIT)
+        assert np.array_equal(boolean, arrival != UNREACHED)
+        for j in range(len(nodes)):
+            expected = 0
+            for i in range(len(nodes)):
+                if arrival[i, j] != UNREACHED:
+                    expected |= 1 << i
+            assert masks[j] == expected
+
+    def test_arrivals_past_horizon_are_kept(self):
+        # b->c departs at 3 (the last date < horizon) with unit latency:
+        # the arrival at 4 == horizon is still recorded, matching the
+        # interpretive convention (departures bounded, arrivals not).
+        from repro.core.engine import UNREACHED
+
+        g = build_graph()
+        nodes, matrix = TemporalEngine(g).arrival_matrix(0, WAIT, horizon=4)
+        idx = {node: k for k, node in enumerate(nodes)}
+        oracle = earliest_arrivals(g, "a", 0, WAIT, horizon=4)
+        assert oracle["c"] == 4  # lands exactly on the horizon
+        row = {
+            n: int(matrix[idx["a"], idx[n]])
+            for n in nodes
+            if matrix[idx["a"], idx[n]] != UNREACHED
+        }
+        assert row == oracle
+        # d's only out-edge never fires: the whole row is unreachable.
+        assert all(
+            int(matrix[idx["d"], idx[n]]) == UNREACHED for n in "abc"
+        )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.time_domain import INFINITY, Lifetime
+from repro.core.time_domain import INFINITY, Lifetime, require_window
 from repro.errors import TimeDomainError
 
 
@@ -59,3 +59,40 @@ class TestLifetime:
         Lifetime(0, 10).require(3)
         with pytest.raises(TimeDomainError):
             Lifetime(0, 10).require(10)
+
+
+class TestRequireWindow:
+    """The analysis layer's one shared window validation."""
+
+    def test_valid_windows_pass(self):
+        require_window(0, 1)
+        require_window(-3, 5)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(TimeDomainError, match=r"empty window \[5, 5\)"):
+            require_window(5, 5)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(TimeDomainError, match=r"empty window \[7, 3\)"):
+            require_window(7, 3)
+
+    def test_error_is_catchable_as_repro_error(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            require_window(0, 0)
+
+    def test_analysis_layer_uses_the_shared_helper(self):
+        """evolution and classes raise the one unified message."""
+        from repro.analysis.classes import is_temporally_connected_from
+        from repro.analysis.evolution import density_curve, reachability_growth
+        from repro.core.builders import TVGBuilder
+
+        g = TVGBuilder().lifetime(0, 10).contact("a", "b").build()
+        for call in (
+            lambda: density_curve(g, 4, 4),
+            lambda: reachability_growth(g, 6, 2),
+            lambda: is_temporally_connected_from(g, 4, 4),
+        ):
+            with pytest.raises(TimeDomainError, match="empty window"):
+                call()

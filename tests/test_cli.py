@@ -83,6 +83,40 @@ class TestReachCommand:
         assert "waiting-gap pairs" in out
 
 
+class TestGrowthCommand:
+    def test_compiled_and_interpretive_agree(self, capsys):
+        args = ["growth", "--nodes", "8", "--period", "4", "--density", "0.2",
+                "--seed", "2", "--horizon", "12"]
+        assert main(args + ["--engine", "compiled"]) == 0
+        compiled = capsys.readouterr().out
+        assert main(args + ["--engine", "interpretive"]) == 0
+        interpretive = capsys.readouterr().out
+
+        def facts(text):
+            return [
+                line for line in text.splitlines()
+                if "r_wait" in line or "r_nowait" in line or "area" in line
+                or "saturation" in line or "window" in line
+            ]
+
+        assert facts(compiled) == facts(interpretive)
+        assert "r_wait(end)" in compiled
+        assert "waiting area" in compiled
+
+    def test_curve_flag_prints_per_date_values(self, capsys):
+        assert main(["growth", "--nodes", "6", "--period", "4", "--density",
+                     "0.25", "--seed", "1", "--horizon", "8", "--curve"]) == 0
+        out = capsys.readouterr().out
+        assert "t=   0" in out and "t=   7" in out
+
+    def test_trace_input(self, tmp_path, capsys):
+        path = tmp_path / "contacts.trace"
+        path.write_text("a b 0 3\nb c 4 6\n", encoding="utf-8")
+        assert main(["growth", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "wait saturation" in out
+
+
 class TestTraceCommands:
     @pytest.fixture()
     def trace_file(self, tmp_path):
