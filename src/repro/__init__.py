@@ -66,6 +66,7 @@ from repro.constructions import (
     regex_to_tvg,
 )
 from repro.machines import Decider, TuringMachine, predicate_decider, tm_decider
+from repro.service import QueryCache, ServiceClient, TVGService
 
 __version__ = "1.0.0"
 
@@ -81,8 +82,11 @@ __all__ = [
     "Lifetime",
     "NFA",
     "NO_WAIT",
+    "QueryCache",
+    "ServiceClient",
     "TVGAutomaton",
     "TVGBuilder",
+    "TVGService",
     "TemporalEngine",
     "TimeVaryingGraph",
     "TuringMachine",

@@ -60,6 +60,30 @@ def component_curve(graph: TimeVaryingGraph, start: int, end: int) -> list[tuple
     ]
 
 
+def growth_curve_from_arrivals(
+    arrival: np.ndarray, start: int, end: int
+) -> list[tuple[int, float]]:
+    """The growth curve derived from an all-pairs arrival matrix.
+
+    ``arrival`` is the output of
+    :meth:`~repro.core.engine.TemporalEngine.arrival_matrix`; sort its
+    off-diagonal finite entries once and each prefix date is a binary
+    search.  Shared by :func:`reachability_growth` and the query
+    service, which reuses one cached matrix across query families.
+    """
+    from repro.core.engine import UNREACHED
+
+    n = arrival.shape[0]
+    if n <= 1:
+        return [(t, 1.0) for t in range(start, end)]
+    total_pairs = n * (n - 1)
+    off_diagonal = arrival[~np.eye(n, dtype=bool)]
+    arrivals = np.sort(off_diagonal[off_diagonal != UNREACHED])
+    dates = np.arange(start, end, dtype=np.int64)
+    joined = np.searchsorted(arrivals, dates, side="right")
+    return [(int(t), int(count) / total_pairs) for t, count in zip(dates, joined)]
+
+
 def reachability_growth(
     graph: TimeVaryingGraph,
     start: int,
@@ -86,16 +110,8 @@ def reachability_growth(
     total_pairs = n * (n - 1)
     if engine is not None:
         engine.require_graph(graph, "reachability_growth")
-        from repro.core.engine import UNREACHED
-
         _nodes, arrival = engine.arrival_matrix(start, semantics, horizon=end)
-        off_diagonal = arrival[~np.eye(n, dtype=bool)]
-        arrivals = np.sort(off_diagonal[off_diagonal != UNREACHED])
-        dates = np.arange(start, end, dtype=np.int64)
-        joined = np.searchsorted(arrivals, dates, side="right")
-        return [
-            (int(t), int(count) / total_pairs) for t, count in zip(dates, joined)
-        ]
+        return growth_curve_from_arrivals(arrival, start, end)
     earliest: dict[tuple[Hashable, Hashable], int] = {}
     for source in nodes:
         states = reachable_states(graph, [(source, start)], semantics, horizon=end)

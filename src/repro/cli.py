@@ -13,6 +13,9 @@ Small, scriptable entry points over the library's showcase objects:
 * ``growth`` — the reachability growth curves ``r_wait``/``r_nowait``
   and the integrated value of waiting, via one batched arrival sweep
   per semantics (or the interpretive oracle);
+* ``serve`` — run the long-lived JSON-lines query service over a trace
+  or generated network (queries and mutations over one socket, results
+  cached per graph version);
 * ``render`` — print the ASCII schedule of a contact trace.
 
 All subcommands print plain text and exit non-zero on verification
@@ -206,6 +209,25 @@ def cmd_growth(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import run_service
+    from repro.service.service import TVGService
+
+    graph, start, horizon = _load_or_generate(args)
+    service = TVGService(
+        graph, window=(start, horizon), cache_size=args.cache_size
+    )
+    print(graph)
+    print(f"window:             [{start}, {horizon})")
+    try:
+        asyncio.run(run_service(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def cmd_render(args: argparse.Namespace) -> int:
     from repro.core.render import render_schedule
     from repro.dynamics.traces import load_trace
@@ -250,7 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
     bro.add_argument("--seed", type=int, default=0)
     bro.set_defaults(handler=cmd_broadcast)
 
-    def add_network_options(command: argparse.ArgumentParser) -> None:
+    def add_network_options(
+        command: argparse.ArgumentParser, engine_choice: bool = True
+    ) -> None:
         command.add_argument(
             "--trace", default=None, help="trace file (else a random TVG)"
         )
@@ -259,12 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--density", type=float, default=0.1)
         command.add_argument("--seed", type=int, default=0)
         command.add_argument("--horizon", type=int, default=None)
-        command.add_argument(
-            "--engine",
-            choices=["compiled", "interpretive"],
-            default="compiled",
-            help="compiled contact-sequence engine (default) or the legacy scans",
-        )
+        if engine_choice:
+            command.add_argument(
+                "--engine",
+                choices=["compiled", "interpretive"],
+                default="compiled",
+                help="compiled contact-sequence engine (default) or the legacy scans",
+            )
 
     rea = sub.add_parser(
         "reach", help="reachability ratios and the waiting gap of a network"
@@ -281,6 +306,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--curve", action="store_true", help="print the per-date curve values"
     )
     gro.set_defaults(handler=cmd_growth)
+
+    srv = sub.add_parser(
+        "serve", help="run the JSON-lines query service over a network"
+    )
+    # The service always queries through the engine, so no --engine flag.
+    add_network_options(srv, engine_choice=False)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7712)
+    srv.add_argument(
+        "--cache-size", type=int, default=256,
+        help="max memoized query results held across mutations",
+    )
+    srv.set_defaults(handler=cmd_serve)
 
     ren = sub.add_parser("render", help="ASCII schedule of a contact trace")
     ren.add_argument("trace")

@@ -74,6 +74,10 @@ class Edge:
         """The same edge carrying a different symbol."""
         return replace(self, label=label)
 
+    def with_presence(self, presence: PresenceFunction) -> "Edge":
+        """The same edge following a different schedule."""
+        return replace(self, presence=presence)
+
     def reversed(self, key: str | None = None) -> "Edge":
         """The edge with source and target swapped (same schedule).
 

@@ -169,6 +169,21 @@ class TimeVaryingGraph:
         self._version += 1
         return edge
 
+    def set_presence(self, key: str, presence: PresenceFunction) -> Edge:
+        """Swap the schedule of an existing edge; returns the new edge.
+
+        Endpoints, label, key, and latency are preserved, and the swap
+        bumps :attr:`version` exactly once (a remove + re-add would bump
+        twice), so derived caches are invalidated without scanning.
+        """
+        old = self.edge(key)
+        edge = old.with_presence(presence)
+        self._edges[key] = edge
+        self._out[edge.source][key] = edge
+        self._in[edge.target][key] = edge
+        self._version += 1
+        return edge
+
     @property
     def edges(self) -> tuple[Edge, ...]:
         """All edges, in insertion order."""

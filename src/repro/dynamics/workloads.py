@@ -1,13 +1,24 @@
-"""Named workload scenarios.
+"""Named workload scenarios and the service workload driver.
 
 One registry of the dynamic-network scenarios the examples and
 benchmarks exercise, so every harness draws the same graphs from the
 same seeds.  Each factory returns a fully-built TVG plus the metadata a
 harness needs (suggested source/destination, window).
+
+The *service trace* half (:func:`generate_service_trace`,
+:func:`replay_service_trace`) turns a scenario into a deterministic
+mixed stream of query and mutation operations in the wire-protocol
+shape of :mod:`repro.service.server`, and replays such a stream against
+a live :class:`~repro.service.service.TVGService` through the exact
+dispatcher the socket server uses.  Replays are pure functions of
+``(trace, initial graph)``: the same trace against two fresh services
+yields identical answer streams, which is what lets the benchmark
+compare cached and cold runs answer-for-answer.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
@@ -135,3 +146,111 @@ def make_workload(name: str, seed: int = 0) -> Workload:
 def all_workloads(seed: int = 0) -> list[Workload]:
     """One instance of every scenario."""
     return [make_workload(name, seed) for name in workload_names()]
+
+
+# -- service workload traces ----------------------------------------------------
+
+#: Relative weights of the query operations in a generated trace.
+_QUERY_OPS = ("reach", "arrival", "growth", "classify")
+_QUERY_WEIGHTS = (5, 5, 2, 1)
+
+
+def _random_presence_spec(rng: random.Random, horizon: int) -> dict:
+    """A structured presence spec drawn from the wire-encodable forms."""
+    kind = rng.randrange(3)
+    if kind == 0:
+        period = rng.randint(2, 6)
+        pattern = sorted(
+            rng.sample(range(period), rng.randint(1, period))
+        )
+        return {"kind": "periodic", "pattern": pattern, "period": period}
+    if kind == 1:
+        a = rng.randrange(max(1, horizon - 1))
+        b = rng.randint(a + 1, max(a + 1, horizon))
+        return {"kind": "intervals", "pairs": [[a, b]]}
+    return {"kind": "always"}
+
+
+def generate_service_trace(
+    workload: Workload,
+    operations: int = 100,
+    mutation_every: int = 5,
+    seed: int = 0,
+) -> list[dict]:
+    """A deterministic mixed query/mutation trace for one scenario.
+
+    Every ``mutation_every``-th operation is a mutation (cycling through
+    add/remove/set-presence as the evolving edge population allows);
+    the rest are queries drawn over the workload's nodes and window
+    under both ``wait`` and ``nowait`` semantics.  The trace is plain
+    wire-protocol dicts — JSON-able, replayable, and self-contained:
+    removals and presence swaps only name keys the trace itself added,
+    so replaying against any fresh instance of the scenario is valid.
+    """
+    rng = random.Random(seed)
+    nodes = list(workload.graph.nodes)
+    start, end = workload.window
+    trace: list[dict] = []
+    added_keys: list[str] = []
+    counter = 0
+    for position in range(operations):
+        if mutation_every and position % mutation_every == mutation_every - 1:
+            choice = rng.randrange(3)
+            if choice == 1 and added_keys:  # remove a key this trace added
+                key = added_keys.pop(rng.randrange(len(added_keys)))
+                trace.append({"op": "remove_edge", "key": key})
+                continue
+            if choice == 2 and added_keys:  # reschedule one of ours
+                key = added_keys[rng.randrange(len(added_keys))]
+                trace.append({
+                    "op": "set_presence",
+                    "key": key,
+                    "presence": _random_presence_spec(rng, end),
+                })
+                continue
+            key = f"trace{counter}"
+            counter += 1
+            added_keys.append(key)
+            source, target = rng.sample(nodes, 2)
+            trace.append({
+                "op": "add_edge",
+                "source": source,
+                "target": target,
+                "key": key,
+                "presence": _random_presence_spec(rng, end),
+            })
+            continue
+        op = rng.choices(_QUERY_OPS, weights=_QUERY_WEIGHTS)[0]
+        semantics = rng.choice(("wait", "nowait"))
+        if op in ("reach", "arrival"):
+            trace.append({
+                "op": op,
+                "source": rng.choice(nodes),
+                "target": rng.choice(nodes),
+                "start": start,
+                "horizon": end,
+                "semantics": semantics,
+            })
+        elif op == "growth":
+            trace.append({
+                "op": "growth", "start": start, "end": end,
+                "semantics": semantics,
+            })
+        else:
+            trace.append({"op": "classify", "start": start, "end": end})
+    return trace
+
+
+def replay_service_trace(service, trace: list[dict]) -> list[dict]:
+    """Replay a trace against a live service; returns the answer stream.
+
+    Each operation goes through
+    :func:`repro.service.server.handle_request` — the same dispatcher
+    the socket front end uses — so a replay exercises exactly the
+    production code path, minus the socket.  The returned responses are
+    in trace order; errors surface as ``ok: false`` entries rather than
+    raising, keeping answer streams comparable across runs.
+    """
+    from repro.service.server import handle_request
+
+    return [handle_request(service, dict(op)) for op in trace]

@@ -90,3 +90,8 @@ class TraceFormatError(ReproError):
     def __init__(self, line_number: int, message: str) -> None:
         super().__init__(f"trace parse error on line {line_number}: {message}")
         self.line_number = line_number
+
+
+class ServiceError(ReproError):
+    """A query-service request was malformed or cannot be answered
+    (unknown operation, unserializable presence, bad semantics string)."""

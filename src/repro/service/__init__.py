@@ -1,0 +1,42 @@
+"""Long-lived query service over a mutating time-varying graph.
+
+The :class:`TVGService` owns one :class:`~repro.core.tvg.TimeVaryingGraph`
+plus one :class:`~repro.core.engine.TemporalEngine` and answers the
+paper's query hierarchy — reachability, earliest arrivals, growth
+curves, class membership — while accepting structural mutations between
+queries.  A :class:`QueryCache` keyed by ``(graph.version, window,
+semantics, query)`` makes repeated queries between mutations free;
+every mutation bumps the version and invalidates exactly the stale
+entries.
+
+``server``/``client`` wrap the service in an asyncio JSON-lines
+protocol (``python -m repro serve``), and ``wire`` defines the
+JSON-serializable specs for presences, latencies, and semantics that
+cross the socket.
+"""
+
+from repro.service.cache import MISS, QueryCache
+from repro.service.client import ServiceClient
+from repro.service.server import handle_request, serve_service
+from repro.service.service import TVGService
+from repro.service.wire import (
+    latency_from_spec,
+    latency_to_spec,
+    parse_semantics,
+    presence_from_spec,
+    presence_to_spec,
+)
+
+__all__ = [
+    "MISS",
+    "QueryCache",
+    "ServiceClient",
+    "TVGService",
+    "handle_request",
+    "latency_from_spec",
+    "latency_to_spec",
+    "parse_semantics",
+    "presence_from_spec",
+    "presence_to_spec",
+    "serve_service",
+]

@@ -1,0 +1,140 @@
+"""Asyncio client for the JSON-lines query service.
+
+One method per protocol operation, mirroring :class:`TVGService`'s
+in-process API, so call sites can swap a local service for a remote one
+by awaiting.  Errors the server reports come back as
+:class:`~repro.errors.ServiceError`.
+
+Usage::
+
+    client = await ServiceClient.connect("127.0.0.1", 7712)
+    assert await client.reach("a", "c", start=0, horizon=10)
+    await client.add_edge("c", "d", presence={"kind": "periodic",
+                                              "pattern": [0], "period": 2})
+    print(await client.stats())
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Hashable
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """One connection to a running TVG query service."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        # One in-flight request per connection: the lock pairs each
+        # response line with the request that asked for it, so one
+        # client may be shared across concurrent coroutines.
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 7712) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, op: str, **params: Any) -> Any:
+        """Send one operation and await its result (raises on error)."""
+        async with self._lock:
+            self._next_id += 1
+            payload = {"op": op, "id": self._next_id, **params}
+            self._writer.write(json.dumps(payload).encode() + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+            if not line:
+                raise ServiceError("connection closed by server")
+            response = json.loads(line)
+        if response.get("id") != payload["id"]:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {payload['id']}"
+            )
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response.get("result")
+
+    # -- queries ---------------------------------------------------------------
+
+    async def reach(
+        self,
+        source: Hashable,
+        target: Hashable,
+        start: int,
+        horizon: int,
+        semantics: str = "wait",
+    ) -> bool:
+        return await self.request(
+            "reach", source=source, target=target, start=start,
+            horizon=horizon, semantics=semantics,
+        )
+
+    async def arrival(
+        self,
+        source: Hashable,
+        target: Hashable,
+        start: int,
+        horizon: int,
+        semantics: str = "wait",
+    ) -> int | None:
+        return await self.request(
+            "arrival", source=source, target=target, start=start,
+            horizon=horizon, semantics=semantics,
+        )
+
+    async def growth(
+        self, start: int, end: int, semantics: str = "wait"
+    ) -> list[tuple[int, float]]:
+        curve = await self.request(
+            "growth", start=start, end=end, semantics=semantics
+        )
+        return [(t, r) for t, r in curve]
+
+    async def classify(self, start: int, end: int) -> dict:
+        return await self.request("classify", start=start, end=end)
+
+    # -- mutations -------------------------------------------------------------
+
+    async def add_edge(
+        self,
+        source: Hashable,
+        target: Hashable,
+        key: str | None = None,
+        label: str | None = None,
+        presence: dict | None = None,
+        latency: dict | None = None,
+    ) -> str:
+        return await self.request(
+            "add_edge", source=source, target=target, key=key, label=label,
+            presence=presence, latency=latency,
+        )
+
+    async def remove_edge(self, key: str) -> str:
+        return await self.request("remove_edge", key=key)
+
+    async def set_presence(self, key: str, presence: dict) -> str:
+        return await self.request("set_presence", key=key, presence=presence)
+
+    # -- observability ---------------------------------------------------------
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def ping(self) -> str:
+        return await self.request("ping")
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover — peer raced us
+            pass

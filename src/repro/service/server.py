@@ -1,0 +1,162 @@
+"""Asyncio JSON-lines front end for :class:`TVGService`.
+
+Protocol: one JSON object per line in each direction.  Requests carry
+an ``op`` plus its parameters (and an optional ``id`` echoed back);
+responses are ``{"ok": true, "result": ...}`` or ``{"ok": false,
+"error": "..."}``.  The dispatcher :func:`handle_request` is a plain
+synchronous function over a service — the event loop serializes
+handlers, which is exactly the consistency model the versioned cache
+needs (no query ever observes a half-applied mutation) — so it is also
+what the workload driver replays traces through and what the unit tests
+exercise without opening sockets.
+
+Operations
+----------
+
+======  =====================================================
+op      parameters
+======  =====================================================
+reach         source, target, start, horizon, semantics?
+arrival       source, target, start, horizon, semantics?
+growth        start, end, semantics?
+classify      start, end
+add_edge      source, target, key?, label?, presence?, latency?
+remove_edge   key
+set_presence  key, presence
+stats         —
+ping          —
+======  =====================================================
+
+``semantics`` is a wire string (default ``"wait"``); ``presence`` and
+``latency`` are the specs of :mod:`repro.service.wire`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import ReproError, ServiceError
+from repro.service.service import TVGService
+from repro.service.wire import latency_from_spec, parse_semantics, presence_from_spec
+
+
+def _query_args(params: dict) -> dict:
+    semantics = parse_semantics(params.get("semantics", "wait"))
+    return {
+        "start": params["start"],
+        "horizon": params["horizon"],
+        "semantics": semantics,
+    }
+
+
+def dispatch(service: TVGService, op: str, params: dict) -> Any:
+    """Apply one operation to the service; returns the raw result."""
+    if op == "reach":
+        return service.reach(params["source"], params["target"], **_query_args(params))
+    if op == "arrival":
+        return service.arrival(
+            params["source"], params["target"], **_query_args(params)
+        )
+    if op == "growth":
+        semantics = parse_semantics(params.get("semantics", "wait"))
+        curve = service.growth(params["start"], params["end"], semantics)
+        return [[t, r] for t, r in curve]
+    if op == "classify":
+        return service.classify(params["start"], params["end"])
+    if op == "add_edge":
+        return service.add_edge(
+            params["source"],
+            params["target"],
+            label=params.get("label"),
+            presence=presence_from_spec(params.get("presence")),
+            latency=latency_from_spec(params.get("latency")),
+            key=params.get("key"),
+        )
+    if op == "remove_edge":
+        return service.remove_edge(params["key"])
+    if op == "set_presence":
+        return service.set_presence(
+            params["key"], presence_from_spec(params["presence"])
+        )
+    if op == "stats":
+        return service.stats()
+    if op == "ping":
+        return "pong"
+    raise ServiceError(f"unknown operation {op!r}")
+
+
+def handle_request(service: TVGService, request: dict) -> dict:
+    """One request dict in, one response dict out; never raises.
+
+    Library errors (unknown node/edge, bad window, bad spec) come back
+    as ``ok: false`` with the message, so one bad request cannot take
+    down the connection — or the replay — that carries it.
+    """
+    response: dict[str, Any] = {}
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    try:
+        if not isinstance(request, dict) or "op" not in request:
+            raise ServiceError("request must be an object with an 'op' field")
+        result = dispatch(service, request["op"], request)
+        response.update(ok=True, result=result)
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        detail = repr(exc.args[0]) if isinstance(exc, KeyError) and exc.args else str(exc)
+        response.update(ok=False, error=f"{type(exc).__name__}: {detail}")
+    return response
+
+
+async def _handle_connection(
+    service: TVGService, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response = {"ok": False, "error": f"bad JSON: {exc}"}
+            else:
+                response = handle_request(service, request)
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            # Server shutdown cancels in-flight handlers mid-teardown;
+            # the transport is already closing, so exit quietly instead
+            # of surfacing the cancellation through asyncio's callback.
+            pass
+
+
+async def serve_service(
+    service: TVGService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Start serving; ``port=0`` picks a free port (see the socket name).
+
+    Returns the asyncio server; callers own its lifecycle
+    (``async with server: await server.serve_forever()``).
+    """
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host, port)
+
+
+async def run_service(
+    service: TVGService, host: str = "127.0.0.1", port: int = 7712
+) -> None:
+    """Serve forever (the CLI entry point's coroutine)."""
+    server = await serve_service(service, host, port)
+    sockets = server.sockets or ()
+    for sock in sockets:
+        print(f"serving {service.graph.name or 'TVG'} on {sock.getsockname()}")
+    async with server:
+        await server.serve_forever()

@@ -1,0 +1,219 @@
+"""The long-lived query service over one mutating time-varying graph.
+
+:class:`TVGService` is the in-process core the asyncio server wraps: it
+owns the graph, one :class:`~repro.core.engine.TemporalEngine` (whose
+compiled index and :class:`~repro.core.index.LazyContactCache` survive
+across queries), and one :class:`~repro.service.cache.QueryCache` of
+finished results keyed by ``(graph.version, window, semantics, query)``.
+
+Reads and writes interleave freely:
+
+* a *query* first consults the cache at the graph's current version; on
+  a miss it computes through the engine and stores the result.
+  ``reach``, ``arrival``, and ``growth`` all derive from the batched
+  arrival sweep, whose matrix is cached once per ``(version, window,
+  semantics)`` — point queries are array lookups and the growth curve
+  one sort on top; ``classify`` runs its checkers through the engine
+  and is cached at the result level;
+* a *mutation* (``add_edge``, ``remove_edge``, ``set_presence``) bumps
+  :attr:`TimeVaryingGraph.version` through the graph's own mutators and
+  then purges exactly the stale cache entries.  The engine notices the
+  version bump on its next query and recompiles lazily — the service
+  never recomputes eagerly on write.
+
+Answers are always equal to a fresh interpretive computation on the
+current graph; the stateful differential harness in
+``tests/properties/test_property_service.py`` drives adversarial
+mutation/query schedules against a shadow copy to prove it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.analysis.classes import classify as classify_graph
+from repro.analysis.evolution import growth_curve_from_arrivals
+from repro.core.engine import UNREACHED, TemporalEngine
+from repro.core.intervals import Interval
+from repro.core.latency import LatencyFunction
+from repro.core.presence import PresenceFunction
+from repro.core.semantics import WAIT, WaitingSemantics
+from repro.core.time_domain import require_window
+from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ServiceError
+from repro.service.cache import MISS, QueryCache
+
+
+class TVGService:
+    """Answer reachability queries over a graph that mutates under you.
+
+    ``cache_size`` bounds the number of memoized results; ``window``
+    optionally pre-declares the engine's compiled window.
+    """
+
+    def __init__(
+        self,
+        graph: TimeVaryingGraph,
+        window: Interval | tuple[int, int] | None = None,
+        cache_size: int = 256,
+    ) -> None:
+        self.graph = graph
+        self.engine = TemporalEngine(graph, window)
+        self.cache = QueryCache(max_entries=cache_size)
+        self.queries_served = 0
+        self.mutations_applied = 0
+
+    # -- the cached sweep ------------------------------------------------------
+
+    def _cached(self, query: tuple, compute):
+        version = self.graph.version
+        value = self.cache.get(version, query)
+        if value is MISS:
+            value = compute()
+            self.cache.put(version, query, value)
+        return value
+
+    def _arrival_matrix(
+        self, start: int, horizon: int, semantics: WaitingSemantics
+    ) -> tuple[dict[Hashable, int], np.ndarray]:
+        """The sweep's matrix plus a node->row index, cached per window.
+
+        Every point query at the same ``(version, window, semantics)``
+        shares this one entry, so a burst of ``reach``/``arrival``
+        calls between mutations costs a single sweep.
+        """
+
+        def compute():
+            nodes, matrix = self.engine.arrival_matrix(
+                start, semantics, horizon=horizon
+            )
+            return {node: i for i, node in enumerate(nodes)}, matrix
+
+        return self._cached(("arrival_matrix", start, horizon, str(semantics)), compute)
+
+    # -- queries ---------------------------------------------------------------
+
+    def arrival(
+        self,
+        source: Hashable,
+        target: Hashable,
+        start: int,
+        horizon: int,
+        semantics: WaitingSemantics = WAIT,
+    ) -> int | None:
+        """Earliest date a journey from ``source`` (ready at ``start``)
+        arrives at ``target``, or None if no journey joins them.
+
+        Departures are bounded by ``horizon``; the trivial journey puts
+        ``start`` on the diagonal.
+        """
+        self.queries_served += 1
+        index, matrix = self._arrival_matrix(start, horizon, semantics)
+        try:
+            value = int(matrix[index[source], index[target]])
+        except KeyError as exc:
+            raise ServiceError(f"unknown node {exc.args[0]!r}") from None
+        return None if value == UNREACHED else value
+
+    def reach(
+        self,
+        source: Hashable,
+        target: Hashable,
+        start: int,
+        horizon: int,
+        semantics: WaitingSemantics = WAIT,
+    ) -> bool:
+        """Whether a journey joins the pair within the window."""
+        return self.arrival(source, target, start, horizon, semantics) is not None
+
+    def growth(
+        self,
+        start: int,
+        end: int,
+        semantics: WaitingSemantics = WAIT,
+    ) -> list[tuple[int, float]]:
+        """The reachability growth curve ``r(t)`` on ``[start, end)``.
+
+        Derived from the same cached arrival matrix the point queries
+        use, so a growth query never re-runs a sweep that ``reach``/
+        ``arrival`` already paid for on the window (or vice versa).
+        """
+        self.queries_served += 1
+        require_window(start, end)
+
+        def compute():
+            _index, arrival = self._arrival_matrix(start, end, semantics)
+            return growth_curve_from_arrivals(arrival, start, end)
+
+        return self._cached(("growth", start, end, str(semantics)), compute)
+
+    def classify(self, start: int, end: int) -> dict:
+        """Class membership on the window, as a JSON-able report."""
+        self.queries_served += 1
+
+        def compute():
+            report = classify_graph(self.graph, start, end, engine=self.engine)
+            return {
+                "classes": sorted(report.classes),
+                "interval_connectivity": report.interval_connectivity,
+            }
+
+        return self._cached(("classify", start, end), compute)
+
+    # -- mutations -------------------------------------------------------------
+
+    def _mutated(self) -> None:
+        self.mutations_applied += 1
+        self.cache.purge_stale(self.graph.version)
+
+    def add_edge(
+        self,
+        source: Hashable,
+        target: Hashable,
+        label: str | None = None,
+        presence: PresenceFunction | None = None,
+        latency: LatencyFunction | None = None,
+        key: str | None = None,
+    ) -> str:
+        """Add a directed edge; returns the (possibly generated) key."""
+        edge = self.graph.add_edge(
+            source, target, label=label, presence=presence, latency=latency, key=key
+        )
+        self._mutated()
+        return edge.key
+
+    def remove_edge(self, key: str) -> str:
+        """Remove the edge with the given key; returns the key."""
+        self.graph.remove_edge(key)
+        self._mutated()
+        return key
+
+    def set_presence(self, key: str, presence: PresenceFunction) -> str:
+        """Swap the schedule of an existing edge in place."""
+        self.graph.set_presence(key, presence)
+        self._mutated()
+        return key
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-able snapshot of service and cache state."""
+        return {
+            "graph": {
+                "name": self.graph.name,
+                "nodes": self.graph.node_count,
+                "edges": self.graph.edge_count,
+                "version": self.graph.version,
+            },
+            "queries_served": self.queries_served,
+            "mutations_applied": self.mutations_applied,
+            "cache": self.cache.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TVGService({self.graph!r}, {self.queries_served} queries, "
+            f"{self.mutations_applied} mutations, cache={self.cache!r})"
+        )

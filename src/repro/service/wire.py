@@ -1,0 +1,133 @@
+"""JSON-serializable specs for the values that cross the service socket.
+
+The wire protocol is JSON lines, so presences, latencies, and waiting
+semantics need a round-trippable plain-data form:
+
+* presence — ``{"kind": "always" | "never"}``,
+  ``{"kind": "periodic", "pattern": [...], "period": p}``,
+  ``{"kind": "intervals", "pairs": [[a, b], ...]}``, or
+  ``{"kind": "at", "times": [...]}``;
+* latency — ``{"kind": "constant", "value": v}``;
+* semantics — the CLI strings ``"wait"``, ``"nowait"``, ``"wait[d]"``.
+
+Black-box :class:`~repro.core.presence.FunctionPresence` and callable
+latencies have no finite description, so they are rejected with a
+:class:`~repro.errors.ServiceError` — remote mutations are limited to
+the structured forms the compiled index lowers exactly.  In-process
+callers of :class:`~repro.service.service.TVGService` may still pass
+arbitrary presence objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.latency import ConstantLatency, LatencyFunction, constant_latency
+from repro.core.presence import (
+    IntervalPresence,
+    PeriodicPresence,
+    PresenceFunction,
+    _AlwaysPresence,
+    _NeverPresence,
+    always,
+    interval_presence,
+    never,
+    periodic_presence,
+)
+from repro.core.semantics import NO_WAIT, WAIT, WaitingSemantics, bounded_wait
+from repro.errors import ServiceError
+
+
+def presence_to_spec(presence: PresenceFunction) -> dict[str, Any]:
+    """The JSON-able description of a structured presence."""
+    if isinstance(presence, _AlwaysPresence):
+        return {"kind": "always"}
+    if isinstance(presence, _NeverPresence):
+        return {"kind": "never"}
+    if isinstance(presence, PeriodicPresence):
+        return {
+            "kind": "periodic",
+            "pattern": sorted(presence.pattern),
+            "period": presence.period,
+        }
+    if isinstance(presence, IntervalPresence):
+        return {
+            "kind": "intervals",
+            "pairs": [[iv.start, iv.end] for iv in presence.intervals],
+        }
+    raise ServiceError(
+        f"presence {presence!r} has no wire form; use always/never/"
+        f"periodic/interval presences over the protocol"
+    )
+
+
+def presence_from_spec(spec: dict[str, Any] | None) -> PresenceFunction:
+    """Rebuild a presence from its wire spec (None means always)."""
+    if spec is None:
+        return always()
+    try:
+        kind = spec["kind"]
+    except (TypeError, KeyError):
+        raise ServiceError(f"malformed presence spec {spec!r}") from None
+    try:
+        if kind == "always":
+            return always()
+        if kind == "never":
+            return never()
+        if kind == "periodic":
+            return periodic_presence(spec["pattern"], spec["period"])
+        if kind == "intervals":
+            return interval_presence(tuple(pair) for pair in spec["pairs"])
+        if kind == "at":
+            from repro.core.presence import at_times
+
+            return at_times(spec["times"])
+    except ServiceError:
+        raise
+    except Exception as exc:
+        raise ServiceError(f"malformed presence spec {spec!r}: {exc}") from None
+    raise ServiceError(f"unknown presence kind {kind!r}")
+
+
+def latency_to_spec(latency: LatencyFunction) -> dict[str, Any]:
+    """The JSON-able description of a constant latency."""
+    if isinstance(latency, ConstantLatency):
+        return {"kind": "constant", "value": latency.value}
+    raise ServiceError(
+        f"latency {latency!r} has no wire form; only constant latencies "
+        f"cross the protocol"
+    )
+
+
+def latency_from_spec(spec: dict[str, Any] | None) -> LatencyFunction:
+    """Rebuild a latency from its wire spec (None means unit latency)."""
+    if spec is None:
+        return constant_latency(1)
+    try:
+        kind = spec["kind"]
+    except (TypeError, KeyError):
+        raise ServiceError(f"malformed latency spec {spec!r}") from None
+    if kind == "constant":
+        try:
+            return constant_latency(spec["value"])
+        except Exception as exc:
+            raise ServiceError(f"malformed latency spec {spec!r}: {exc}") from None
+    raise ServiceError(f"unknown latency kind {kind!r}")
+
+
+def parse_semantics(text: str) -> WaitingSemantics:
+    """The semantics named by its CLI/wire string (inverse of ``str``)."""
+    if not isinstance(text, str):
+        raise ServiceError(f"semantics must be a string, got {text!r}")
+    if text == "wait":
+        return WAIT
+    if text == "nowait":
+        return NO_WAIT
+    if text.startswith("wait[") and text.endswith("]"):
+        try:
+            return bounded_wait(int(text[5:-1]))
+        except ValueError:
+            pass
+    raise ServiceError(
+        f"unknown semantics {text!r}; use 'wait', 'nowait', or 'wait[d]'"
+    )

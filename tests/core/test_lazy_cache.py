@@ -144,6 +144,60 @@ class TestCacheQueries:
         assert predicate.max_calls_per_date() == 2
 
 
+class TestRemoveReaddInvalidation:
+    """Removing an edge and re-adding a same-keyed edge with a different
+    schedule must flush the cache's segments — not just the compiled
+    index.  Segments are keyed by edge *key*, so a missed flush would
+    silently serve the old predicate's contacts for the new edge."""
+
+    def test_same_key_readd_is_not_served_stale(self):
+        first = CountingPredicate(3, 1)  # contacts 1, 4, 7, 10
+        g = blackbox_graph(first)
+        cache = LazyContactCache(g)
+        assert cache.contacts(g.edge("ab"), 0, 12).tolist() == [1, 4, 7, 10]
+        g.remove_edge("ab")
+        second = CountingPredicate(3, 2)  # contacts 2, 5, 8, 11
+        readded = g.add_edge(
+            "a", "b", presence=function_presence(second, "recounted"), key="ab"
+        )
+        assert cache.contacts(readded, 0, 12).tolist() == [2, 5, 8, 11]
+        assert sorted(set(second.calls)) == list(range(0, 12)), (
+            "the new predicate must actually be consulted"
+        )
+        assert cache.scanned_window(readded) == (0, 12)
+
+    def test_set_presence_flushes_too(self):
+        first = CountingPredicate(3, 1)
+        g = blackbox_graph(first)
+        cache = LazyContactCache(g)
+        assert cache.contacts(g.edge("ab"), 0, 12).tolist() == [1, 4, 7, 10]
+        second = CountingPredicate(3, 0)  # contacts 0, 3, 6, 9
+        swapped = g.set_presence("ab", function_presence(second, "swapped"))
+        assert cache.contacts(swapped, 0, 12).tolist() == [0, 3, 6, 9]
+        assert second.calls, "the swapped-in predicate must be consulted"
+
+    def test_engine_answers_track_the_readded_schedule(self):
+        """End to end: a query, the remove/re-add, then the same query —
+        the engine path must agree with the interpretive oracle on the
+        new schedule (a stale segment would leave it on the old one)."""
+        first = CountingPredicate(3, 1)
+        g = blackbox_graph(first)
+        engine = TemporalEngine(g)
+        assert earliest_arrivals(g, "a", 0, WAIT, engine=engine) == (
+            earliest_arrivals(g, "a", 0, WAIT)
+        )
+        g.remove_edge("ab")
+        g.add_edge(
+            "a", "b",
+            presence=function_presence(CountingPredicate(5, 4), "recounted"),
+            key="ab",
+        )
+        for semantics in (NO_WAIT, WAIT):
+            assert earliest_arrivals(g, "a", 0, semantics, engine=engine) == (
+                earliest_arrivals(g, "a", 0, semantics)
+            )
+
+
 class TestEngineIntegration:
     def test_engine_owns_one_cache_across_rebuilds(self):
         predicate = CountingPredicate()

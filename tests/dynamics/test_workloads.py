@@ -1,15 +1,20 @@
-"""Tests for the workload registry."""
+"""Tests for the workload registry and the service trace driver."""
+
+import json
 
 import pytest
 
 from repro.analysis.connectivity import classify_connectivity
 from repro.dynamics.workloads import (
     all_workloads,
+    generate_service_trace,
     make_workload,
+    replay_service_trace,
     sparse_dtn,
     workload_names,
 )
 from repro.errors import ReproError
+from repro.service.service import TVGService
 
 
 class TestRegistry:
@@ -63,3 +68,80 @@ class TestScenarioShapes:
         assert presence_density(a.graph, *a.window) == presence_density(
             b.graph, *b.window
         )
+
+
+class TestServiceTraces:
+    def test_generation_is_deterministic_and_jsonable(self):
+        workload = make_workload("flaky-backbone")
+        first = generate_service_trace(workload, operations=60, seed=3)
+        second = generate_service_trace(workload, operations=60, seed=3)
+        assert first == second
+        assert len(first) == 60
+        assert first == json.loads(json.dumps(first))
+        assert generate_service_trace(workload, operations=60, seed=4) != first
+
+    def test_trace_mixes_queries_and_mutations(self):
+        workload = make_workload("flaky-backbone")
+        trace = generate_service_trace(
+            workload, operations=50, mutation_every=5, seed=1
+        )
+        ops = {entry["op"] for entry in trace}
+        mutations = [
+            e for e in trace
+            if e["op"] in ("add_edge", "remove_edge", "set_presence")
+        ]
+        assert len(mutations) == 10  # every 5th of 50
+        assert {"reach", "arrival"} <= ops
+
+    def test_mutation_every_zero_means_queries_only(self):
+        workload = make_workload("flaky-backbone")
+        trace = generate_service_trace(
+            workload, operations=30, mutation_every=0, seed=0
+        )
+        assert all(
+            e["op"] in ("reach", "arrival", "growth", "classify") for e in trace
+        )
+
+    def test_replay_twice_yields_identical_answer_streams(self):
+        """The determinism guard for the benchmark: a recorded workload
+        replayed against two fresh services answers identically."""
+        trace = generate_service_trace(
+            make_workload("flaky-backbone"), operations=60, seed=9
+        )
+        streams = [
+            replay_service_trace(
+                TVGService(make_workload("flaky-backbone").graph), trace
+            )
+            for _ in range(2)
+        ]
+        assert streams[0] == streams[1]
+        assert len(streams[0]) == 60
+        assert all(response["ok"] for response in streams[0])
+
+    def test_replay_actually_mutates_the_service(self):
+        workload = make_workload("night-bus")
+        service = TVGService(workload.graph)
+        version = service.graph.version
+        trace = generate_service_trace(
+            workload, operations=20, mutation_every=2, seed=2
+        )
+        responses = replay_service_trace(service, trace)
+        assert service.graph.version > version
+        assert service.mutations_applied == 10
+        assert all(response["ok"] for response in responses)
+
+    def test_removals_only_name_keys_the_trace_added(self):
+        workload = make_workload("flaky-backbone")
+        initial_keys = {e.key for e in workload.graph.edges}
+        trace = generate_service_trace(
+            workload, operations=200, mutation_every=2, seed=11
+        )
+        added, touched = set(), []
+        for entry in trace:
+            if entry["op"] == "add_edge":
+                added.add(entry["key"])
+            elif entry["op"] in ("remove_edge", "set_presence"):
+                touched.append(entry["key"])
+        assert touched, "a long trace should remove or reschedule something"
+        assert all(key in added for key in touched)
+        assert not any(key in initial_keys for key in added)

@@ -1,0 +1,91 @@
+"""Unit tests for the versioned LRU query cache."""
+
+import pytest
+
+from repro.service.cache import MISS, QueryCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = QueryCache()
+        assert cache.get(0, "q") is MISS
+        cache.put(0, "q", 42)
+        assert cache.get(0, "q") == 42
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_none_is_a_cacheable_value(self):
+        cache = QueryCache()
+        cache.put(0, "unreachable-pair", None)
+        assert cache.get(0, "unreachable-pair") is None
+        assert cache.hits == 1
+
+    def test_versions_partition_the_keyspace(self):
+        cache = QueryCache()
+        cache.put(0, "q", "old")
+        cache.put(1, "q", "new")
+        assert cache.get(0, "q") == "old"
+        assert cache.get(1, "q") == "new"
+
+    def test_put_overwrites(self):
+        cache = QueryCache()
+        cache.put(0, "q", 1)
+        cache.put(0, "q", 2)
+        assert cache.get(0, "q") == 2
+        assert len(cache) == 1
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=0)
+
+
+class TestLRU:
+    def test_capacity_evicts_least_recently_used(self):
+        cache = QueryCache(max_entries=2)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        assert cache.get(0, "a") == 1  # refresh 'a'; 'b' is now LRU
+        cache.put(0, "c", 3)
+        assert cache.get(0, "b") is MISS
+        assert cache.get(0, "a") == 1
+        assert cache.get(0, "c") == 3
+        assert cache.evictions == 1
+
+    def test_len_never_exceeds_capacity(self):
+        cache = QueryCache(max_entries=3)
+        for i in range(10):
+            cache.put(0, f"q{i}", i)
+            assert len(cache) <= 3
+
+
+class TestPurgeStale:
+    def test_purges_exactly_the_stale_entries(self):
+        cache = QueryCache()
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        cache.put(1, "c", 3)
+        assert cache.purge_stale(1) == 2
+        assert cache.get(1, "c") == 3
+        assert cache.get(0, "a") is MISS
+        assert cache.purged == 2
+
+    def test_purge_with_nothing_stale_is_a_noop(self):
+        cache = QueryCache()
+        cache.put(5, "a", 1)
+        assert cache.purge_stale(5) == 0
+        assert cache.get(5, "a") == 1
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        cache = QueryCache(max_entries=4)
+        cache.get(0, "q")
+        cache.put(0, "q", 1)
+        cache.get(0, "q")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 4
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_hit_rate_without_traffic(self):
+        assert QueryCache().hit_rate == 0.0

@@ -133,3 +133,82 @@ class TestTraceCommands:
         code = main(["extract", trace_file, "--initial", "a"])
         assert code == 0
         assert "minimal wait-language DFA" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_parser_wires_the_service_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--nodes", "6", "--cache-size", "32"]
+        )
+        from repro.cli import cmd_serve
+
+        assert args.handler is cmd_serve
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.cache_size == 32
+
+    @pytest.mark.service
+    def test_serves_a_client_end_to_end(self):
+        """Boot the CLI's service in a thread on an ephemeral port and
+        drive one query through a real client."""
+        import asyncio
+        import threading
+
+        from repro.service.client import ServiceClient
+        from repro.service.service import TVGService
+
+        # Reuse the CLI's own graph construction, then run its coroutine.
+        args = build_parser().parse_args(
+            ["serve", "--nodes", "6", "--period", "4", "--density", "0.3",
+             "--seed", "1", "--horizon", "12", "--port", "0"]
+        )
+        from repro.cli import _load_or_generate
+
+        graph, start, horizon = _load_or_generate(args)
+        service = TVGService(graph, window=(start, horizon))
+        started = threading.Event()
+        captured = {}
+
+        def serve_in_thread():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+
+            async def boot():
+                from repro.service.server import serve_service
+
+                server = await serve_service(service, port=0)
+                captured["port"] = server.sockets[0].getsockname()[1]
+                captured["loop"] = loop
+                started.set()
+                async with server:
+                    try:
+                        await server.serve_forever()
+                    except asyncio.CancelledError:
+                        pass
+
+            try:
+                loop.run_until_complete(boot())
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=serve_in_thread, daemon=True)
+        thread.start()
+        try:
+            assert started.wait(timeout=10), "server failed to start"
+
+            async def query():
+                client = await ServiceClient.connect(port=captured["port"])
+                try:
+                    assert await client.ping() == "pong"
+                    stats = await client.stats()
+                    assert stats["graph"]["nodes"] == 6
+                finally:
+                    await client.close()
+
+            asyncio.run(query())
+        finally:
+            if "loop" in captured:
+                captured["loop"].call_soon_threadsafe(
+                    lambda: [t.cancel() for t in asyncio.all_tasks(captured["loop"])]
+                )
+            thread.join(timeout=10)
