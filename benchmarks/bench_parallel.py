@@ -1,0 +1,150 @@
+"""E11 — the process-sharded all-pairs arrival sweep.
+
+Times ``TemporalEngine.arrival_matrix`` on a ~400-node periodic TVG
+serially and sharded across 4 worker processes
+(:mod:`repro.core.parallel`), under both WAIT and NO_WAIT.  Two claims
+are checked:
+
+* **exactness** — the sharded matrix equals the serial one element for
+  element (asserted unconditionally, every run);
+* **speedup** — with 4 shards on a host with >= 4 CPUs the sweep is at
+  least 2x faster.  The speedup *gate* only applies where it can
+  physically hold: on fewer cores the numbers are still measured and
+  recorded, but the assertion is skipped (sandboxes often pin 1 CPU).
+
+Sharding wins twice: blocks run concurrently, and each block's bitmask
+is as wide as the *block*, so mask merges are a few machine words
+instead of an n-bit bignum — which is why the per-block sweeps in total
+cost less than one serial pass even before parallelism.  Emits
+``BENCH_parallel.json`` next to this file so CI can track both effects.
+
+Run standalone (``python benchmarks/bench_parallel.py``) or through
+pytest (``pytest benchmarks/bench_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+RESULT_FILE = Path(__file__).parent / "BENCH_parallel.json"
+
+NODES = 400
+PERIOD = 8
+DENSITY = 0.008
+SEED = 7
+HORIZON = 32
+SHARDS = 4
+REQUIRED_SPEEDUP = 2.0
+REQUIRED_CPUS = 4
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    import numpy as np
+
+    from repro.core.engine import TemporalEngine
+    from repro.core.generators import periodic_random_tvg
+    from repro.core.semantics import NO_WAIT, WAIT
+
+    graph = periodic_random_tvg(
+        NODES, period=PERIOD, density=DENSITY, labels="ab", seed=SEED
+    )
+    engine = TemporalEngine(graph)
+    # Compile outside the timed sections: both paths share the index
+    # (the sharded one also lowers its plan from it).
+    _, compile_seconds = _timed(lambda: engine.index_for(0, HORIZON))
+
+    results = {
+        "graph": {
+            "nodes": graph.node_count,
+            "edges": graph.edge_count,
+            "period": PERIOD,
+            "density": DENSITY,
+            "horizon": HORIZON,
+            "seed": SEED,
+        },
+        "compile_seconds": compile_seconds,
+        "shards": SHARDS,
+        "cpus": os.cpu_count(),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "required_cpus": REQUIRED_CPUS,
+        "cases": {},
+    }
+
+    for label, semantics in (("wait", WAIT), ("nowait", NO_WAIT)):
+        (_nodes, serial), serial_seconds = _timed(
+            lambda s=semantics: engine.arrival_matrix(0, s, horizon=HORIZON)
+        )
+        (_same, sharded), sharded_seconds = _timed(
+            lambda s=semantics: engine.arrival_matrix(
+                0, s, horizon=HORIZON, shards=SHARDS
+            )
+        )
+        assert np.array_equal(serial, sharded), (
+            f"sharded sweep diverged from serial under {label}"
+        )
+        results["cases"][f"arrival_matrix_{label}"] = {
+            "serial_seconds": serial_seconds,
+            "sharded_seconds": sharded_seconds,
+            "speedup": serial_seconds / sharded_seconds,
+        }
+    return results
+
+
+def emit(results: dict) -> None:
+    RESULT_FILE.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\n## E11  Sharded arrival sweep -> {RESULT_FILE.name}")
+    for case, row in results["cases"].items():
+        print(
+            f"{case:28s} serial {row['serial_seconds'] * 1e3:9.1f} ms"
+            f"   sharded({results['shards']}) {row['sharded_seconds'] * 1e3:8.1f} ms"
+            f"   speedup {row['speedup']:6.2f}x"
+        )
+
+
+def _gate_applies() -> bool:
+    return (os.cpu_count() or 1) >= REQUIRED_CPUS
+
+
+def test_parallel_speedup():
+    """The acceptance gate: identical matrices always; >= 2x at 4
+    workers wherever 4 CPUs exist to run them."""
+    results = run_benchmark()
+    emit(results)
+    if not _gate_applies():
+        import pytest
+
+        pytest.skip(
+            f"speedup gate needs >= {REQUIRED_CPUS} CPUs "
+            f"(host has {os.cpu_count()}); exactness was still asserted"
+        )
+    for case, row in results["cases"].items():
+        assert row["speedup"] >= REQUIRED_SPEEDUP, (
+            f"{case}: speedup {row['speedup']:.2f}x below the "
+            f"{REQUIRED_SPEEDUP}x floor at {SHARDS} workers"
+        )
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    results = run_benchmark()
+    emit(results)
+    if _gate_applies():
+        for case, row in results["cases"].items():
+            assert row["speedup"] >= REQUIRED_SPEEDUP, (
+                f"{case}: {row['speedup']:.2f}x < {REQUIRED_SPEEDUP}x"
+            )
+    else:
+        print(
+            f"(speedup gate skipped: host has {os.cpu_count()} CPUs, "
+            f"needs >= {REQUIRED_CPUS}; exactness asserted)"
+        )

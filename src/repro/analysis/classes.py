@@ -59,10 +59,16 @@ def is_temporally_connected_from(
     start: int,
     end: int,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> bool:
     """C2 on the window: TC from date ``start`` with horizon ``end``."""
     require_window(start, end)
-    return reachability_ratio(graph, start, WAIT, horizon=end, engine=engine) == 1.0
+    return (
+        reachability_ratio(
+            graph, start, WAIT, horizon=end, engine=engine, shards=shards
+        )
+        == 1.0
+    )
 
 
 def is_round_connected(
@@ -70,6 +76,7 @@ def is_round_connected(
     start: int,
     end: int,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> bool:
     """C1: every node can reach every other *and hear back* in the window.
 
@@ -85,8 +92,10 @@ def is_round_connected(
     if midpoint == start:
         return graph.node_count <= 1
     return is_temporally_connected_from(
-        graph, start, midpoint, engine=engine
-    ) and is_temporally_connected_from(graph, midpoint, end, engine=engine)
+        graph, start, midpoint, engine=engine, shards=shards
+    ) and is_temporally_connected_from(
+        graph, midpoint, end, engine=engine, shards=shards
+    )
 
 
 def is_recurrently_connected(
@@ -95,11 +104,12 @@ def is_recurrently_connected(
     end: int,
     stride: int = 1,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> bool:
     """C3 on the window: TC holds from every sampled start date."""
     require_window(start, end)
     return all(
-        is_temporally_connected_from(graph, t, end, engine=engine)
+        is_temporally_connected_from(graph, t, end, engine=engine, shards=shards)
         for t in range(start, max(start + 1, end - 1), stride)
     )
 
@@ -321,24 +331,27 @@ def classify(
     recurrence_bound: int | None = None,
     period: int | None = None,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> ClassReport:
     """Run all checkers and report the classes exhibited on the window.
 
     ``recurrence_bound`` and ``period`` default to window/4 and the
     graph's declared period respectively.  ``engine`` accelerates the
     connectivity checkers (C1/C2/C3) through the batched arrival sweep
-    and the schedule checkers through the compiled contact arrays.
+    — shardable across worker processes via ``shards`` — and the
+    schedule checkers through the compiled contact arrays.
     """
     require_window(start, end)
     bound = recurrence_bound if recurrence_bound is not None else max(1, (end - start) // 4)
     declared = period if period is not None else graph.period
     tags: set[str] = set()
-    if is_round_connected(graph, start, end, engine=engine):
+    if is_round_connected(graph, start, end, engine=engine, shards=shards):
         tags.add("C1")
-    if is_temporally_connected_from(graph, start, end, engine=engine):
+    if is_temporally_connected_from(graph, start, end, engine=engine, shards=shards):
         tags.add("C2")
     if is_recurrently_connected(
-        graph, start, end, stride=max(1, (end - start) // 8), engine=engine
+        graph, start, end, stride=max(1, (end - start) // 8),
+        engine=engine, shards=shards,
     ):
         tags.add("C3")
     if edges_recurrent(graph, start, end, engine=engine):

@@ -90,6 +90,7 @@ def reachability_growth(
     end: int,
     semantics: WaitingSemantics = WAIT,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> list[tuple[int, float]]:
     """``r(t)``: fraction of ordered pairs joined by a journey arriving
     by date ``t`` (journeys start at ``start``).
@@ -100,7 +101,8 @@ def reachability_growth(
     With ``engine=`` the curve derives from one batched arrival sweep:
     sort the off-diagonal earliest arrivals once, then each prefix is a
     binary search — O(n^2 log n) total instead of a full reachability
-    computation per prefix length.
+    computation per prefix length.  ``shards`` partitions that sweep
+    across worker processes; the interpretive path ignores it.
     """
     require_window(start, end)
     nodes = list(graph.nodes)
@@ -110,7 +112,9 @@ def reachability_growth(
     total_pairs = n * (n - 1)
     if engine is not None:
         engine.require_graph(graph, "reachability_growth")
-        _nodes, arrival = engine.arrival_matrix(start, semantics, horizon=end)
+        _nodes, arrival = engine.arrival_matrix(
+            start, semantics, horizon=end, shards=shards
+        )
         return growth_curve_from_arrivals(arrival, start, end)
     earliest: dict[tuple[Hashable, Hashable], int] = {}
     for source in nodes:
@@ -163,13 +167,19 @@ def value_of_waiting(
     start: int,
     end: int,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> WaitingValue:
     """Both growth curves and their integrated gap.
 
     With ``engine=`` the two curves cost exactly two batched arrival
-    sweeps (one per semantics).
+    sweeps (one per semantics), each shardable across processes via
+    ``shards``.
     """
     return WaitingValue(
-        wait_curve=reachability_growth(graph, start, end, WAIT, engine=engine),
-        nowait_curve=reachability_growth(graph, start, end, NO_WAIT, engine=engine),
+        wait_curve=reachability_growth(
+            graph, start, end, WAIT, engine=engine, shards=shards
+        ),
+        nowait_curve=reachability_growth(
+            graph, start, end, NO_WAIT, engine=engine, shards=shards
+        ),
     )

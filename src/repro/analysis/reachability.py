@@ -32,15 +32,18 @@ def reachability_matrix(
     semantics: WaitingSemantics = NO_WAIT,
     horizon: int | None = None,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> tuple[list[Hashable], np.ndarray]:
     """Boolean matrix ``M[i, j]`` = node ``j`` reachable from node ``i``.
 
     Diagonal entries are True (the trivial journey).  Returns the node
-    ordering alongside so callers can label the axes.
+    ordering alongside so callers can label the axes.  ``shards``
+    partitions the engine's sweep across worker processes
+    (:mod:`repro.core.parallel`); the interpretive path ignores it.
     """
     if engine is not None:
         engine.require_graph(graph, "reachability_matrix")
-        return engine.reachability_matrix(start_time, semantics, horizon)
+        return engine.reachability_matrix(start_time, semantics, horizon, shards)
     nodes = list(graph.nodes)
     index = {node: i for i, node in enumerate(nodes)}
     matrix = np.zeros((len(nodes), len(nodes)), dtype=bool)
@@ -58,9 +61,12 @@ def reachability_ratio(
     semantics: WaitingSemantics = NO_WAIT,
     horizon: int | None = None,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> float:
     """Fraction of ordered pairs ``(u, v), u != v`` connected by a journey."""
-    nodes, matrix = reachability_matrix(graph, start_time, semantics, horizon, engine)
+    nodes, matrix = reachability_matrix(
+        graph, start_time, semantics, horizon, engine, shards
+    )
     n = len(nodes)
     if n <= 1:
         return 1.0
@@ -73,6 +79,7 @@ def semantics_gap_matrix(
     start_time: int,
     horizon: int | None = None,
     engine: "TemporalEngine | None" = None,
+    shards: int | None = None,
 ) -> tuple[list[Hashable], np.ndarray]:
     """Pairs reachable with waiting but not without.
 
@@ -80,6 +87,10 @@ def semantics_gap_matrix(
     pair — the paper's gap, node by node.  With an engine this is two
     batched sweeps (one per semantics) instead of ``2n`` searches.
     """
-    nodes, with_wait = reachability_matrix(graph, start_time, WAIT, horizon, engine)
-    _same, without = reachability_matrix(graph, start_time, NO_WAIT, horizon, engine)
+    nodes, with_wait = reachability_matrix(
+        graph, start_time, WAIT, horizon, engine, shards
+    )
+    _same, without = reachability_matrix(
+        graph, start_time, NO_WAIT, horizon, engine, shards
+    )
     return nodes, with_wait & ~without

@@ -27,20 +27,20 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import NO_WAIT, WAIT, bounded_wait, figure1_automaton, nowait_automaton_for
-from repro.core.semantics import WaitingSemantics
+from repro import NO_WAIT, WAIT, figure1_automaton, nowait_automaton_for
+from repro.core.semantics import WaitingSemantics, parse_semantics
+from repro.errors import SemanticsError
 
 
 def _semantics(text: str) -> WaitingSemantics:
-    if text == "wait":
-        return WAIT
-    if text == "nowait":
-        return NO_WAIT
-    if text.startswith("wait[") and text.endswith("]"):
-        return bounded_wait(int(text[5:-1]))
-    raise argparse.ArgumentTypeError(
-        f"unknown semantics {text!r}; use wait, nowait, or wait[d]"
-    )
+    """Argparse adapter over the one shared semantics grammar
+    (:func:`repro.core.semantics.parse_semantics`): malformed strings —
+    including a negative bound like ``wait[-1]`` — become a clean
+    argparse usage error instead of a traceback."""
+    try:
+        return parse_semantics(text)
+    except SemanticsError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def cmd_figure1(args: argparse.Namespace) -> int:
@@ -137,8 +137,12 @@ def cmd_reach(args: argparse.Namespace) -> int:
     began = time.perf_counter()
     # The gap needs the WAIT and NO_WAIT matrices anyway; reuse whichever
     # also answers the requested ratio instead of sweeping a third time.
-    _nodes, with_wait = reachability_matrix(graph, start, WAIT, horizon, engine=engine)
-    _same, without = reachability_matrix(graph, start, NO_WAIT, horizon, engine=engine)
+    _nodes, with_wait = reachability_matrix(
+        graph, start, WAIT, horizon, engine=engine, shards=args.shards
+    )
+    _same, without = reachability_matrix(
+        graph, start, NO_WAIT, horizon, engine=engine, shards=args.shards
+    )
     gap = with_wait & ~without
     if args.semantics == WAIT:
         matrix = with_wait
@@ -146,7 +150,7 @@ def cmd_reach(args: argparse.Namespace) -> int:
         matrix = without
     else:
         _also, matrix = reachability_matrix(
-            graph, start, args.semantics, horizon, engine=engine
+            graph, start, args.semantics, horizon, engine=engine, shards=args.shards
         )
     n = graph.node_count
     ratio = 1.0 if n <= 1 else (int(matrix.sum()) - n) / (n * (n - 1))
@@ -190,7 +194,7 @@ def cmd_growth(args: argparse.Namespace) -> int:
     graph, start, horizon = _load_or_generate(args)
     engine = None if args.engine == "interpretive" else TemporalEngine(graph)
     began = time.perf_counter()
-    value = value_of_waiting(graph, start, horizon, engine=engine)
+    value = value_of_waiting(graph, start, horizon, engine=engine, shards=args.shards)
     elapsed = time.perf_counter() - began
     saturation = value.wait_saturation_time
     print(graph)
@@ -217,7 +221,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     graph, start, horizon = _load_or_generate(args)
     service = TVGService(
-        graph, window=(start, horizon), cache_size=args.cache_size
+        graph, window=(start, horizon), cache_size=args.cache_size,
+        shards=args.shards,
     )
     print(graph)
     print(f"window:             [{start}, {horizon})")
@@ -283,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--density", type=float, default=0.1)
         command.add_argument("--seed", type=int, default=0)
         command.add_argument("--horizon", type=int, default=None)
+        command.add_argument(
+            "--shards", type=int, default=None,
+            help="shard the arrival sweep across N worker processes "
+            "(compiled engine only; tiny graphs stay serial)",
+        )
         if engine_choice:
             command.add_argument(
                 "--engine",

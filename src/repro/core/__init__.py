@@ -34,12 +34,14 @@ from repro.core.semantics import (
     WAIT,
     WaitingSemantics,
     bounded_wait,
+    parse_semantics,
 )
 from repro.core.time_domain import INFINITY, Lifetime, require_window
 from repro.core.tvg import TimeVaryingGraph
 from repro.core.builders import TVGBuilder
 from repro.core.index import CompiledTVG, LazyContactCache
 from repro.core.engine import UNREACHED, TemporalEngine
+from repro.core.parallel import SweepPlan, sharded_arrival_matrix
 
 __all__ = [
     "BOUNDED_WAIT",
@@ -55,6 +57,7 @@ __all__ = [
     "Lifetime",
     "NO_WAIT",
     "PresenceFunction",
+    "SweepPlan",
     "TemporalEngine",
     "UNREACHED",
     "TVGBuilder",
@@ -70,7 +73,9 @@ __all__ = [
     "function_presence",
     "interval_presence",
     "never",
+    "parse_semantics",
     "periodic_presence",
     "require_window",
+    "sharded_arrival_matrix",
     "table_latency",
 ]

@@ -91,13 +91,27 @@ class TemporalEngine:
         back and forth.  Unbounded-lifetime graphs (e.g. periodic ones)
         need no declaration: every query arrives with explicit bounds
         and the window tracks the widest seen.
+
+        Growth is *geometric*: a query past the window extends the new
+        bound, in whichever direction it grew, to at least double the
+        old span — so a rolling sequence of per-date lookups (the
+        simulator's ``out_edges_at`` fast path on an unbounded-lifetime
+        graph), ascending or descending, triggers O(log rounds)
+        recompiles instead of one per round.  Staleness rebuilds keep
+        the window as-is — mutations must not inflate it.
         """
         index = self._index
         if index is not None and not index.stale and index.covers(start, end):
             return index
         lo, hi = start, end
         if index is not None:
-            lo, hi = min(lo, index.window.start), max(hi, index.window.end)
+            old_lo, old_hi = index.window.start, index.window.end
+            span = old_hi - old_lo
+            lo, hi = min(lo, old_lo), max(hi, old_hi)
+            if hi > old_hi:
+                hi = max(hi, lo + 2 * span)
+            if lo < old_lo:
+                lo = min(lo, hi - 2 * span)
         elif self._requested_window is not None:
             window = self._requested_window
             lo, hi = min(lo, window.start), max(hi, window.end)
@@ -282,6 +296,7 @@ class TemporalEngine:
         start_time: int,
         semantics: WaitingSemantics = NO_WAIT,
         horizon: int | None = None,
+        shards: int | None = None,
     ) -> tuple[list[Hashable], np.ndarray]:
         """All-pairs earliest arrivals, in one pass.
 
@@ -301,8 +316,21 @@ class TemporalEngine:
         state is popped — and the first pop that brings source ``i``'s
         bit to node ``j`` is the pair's earliest arrival.  One pass, no
         fixpoint iteration.
+
+        ``shards`` > 1 partitions the source set into blocks and sweeps
+        each in its own worker process
+        (:mod:`repro.core.parallel`) — element-for-element the same
+        matrix; requests of 1 shard (or tiny graphs, where process
+        overhead dominates) run the serial sweep below.
         """
         horizon = self._resolve_horizon(horizon)
+        if shards is not None:
+            from repro.core import parallel
+
+            if parallel.effective_shards(self.graph.node_count, shards) > 1:
+                return parallel.sharded_arrival_matrix(
+                    self, start_time, semantics, horizon, shards
+                )
         index = self.index_for(min(start_time, horizon), horizon)
         n = len(index.nodes)
         arrival = np.full((n, n), UNREACHED, dtype=np.int64)
@@ -344,6 +372,7 @@ class TemporalEngine:
         start_time: int,
         semantics: WaitingSemantics = NO_WAIT,
         horizon: int | None = None,
+        shards: int | None = None,
     ) -> tuple[list[Hashable], list[int]]:
         """Every source's reachable set, in one pass.
 
@@ -351,15 +380,21 @@ class TemporalEngine:
         node ``nodes[j]`` is reachable from source ``nodes[i]`` (each
         node trivially reaches itself).  Derived from
         :meth:`arrival_matrix`: reachable means the earliest arrival is
-        finite.
+        finite.  Each column packs straight into a mask int
+        (``packbits`` + little-endian bytes puts row ``i`` at bit
+        ``i``), so deriving the masks is column ops, not an O(n^2)
+        Python loop.
         """
-        nodes, arrival = self.arrival_matrix(start_time, semantics, horizon)
-        masks = []
-        for j in range(len(nodes)):
-            mask = 0
-            for i in np.flatnonzero(arrival[:, j] != UNREACHED):
-                mask |= 1 << int(i)
-            masks.append(mask)
+        nodes, arrival = self.arrival_matrix(start_time, semantics, horizon, shards)
+        if not nodes:
+            return nodes, []
+        packed = np.packbits(arrival != UNREACHED, axis=0, bitorder="little")
+        column_bytes = packed.T.tobytes()
+        width = packed.shape[0]
+        masks = [
+            int.from_bytes(column_bytes[j * width : (j + 1) * width], "little")
+            for j in range(len(nodes))
+        ]
         return nodes, masks
 
     @staticmethod
@@ -386,13 +421,14 @@ class TemporalEngine:
         start_time: int,
         semantics: WaitingSemantics = NO_WAIT,
         horizon: int | None = None,
+        shards: int | None = None,
     ) -> tuple[list[Hashable], np.ndarray]:
         """Boolean reachability matrix via the batched sweep.
 
         Same contract as
         :func:`repro.analysis.reachability.reachability_matrix`.
         """
-        nodes, arrival = self.arrival_matrix(start_time, semantics, horizon)
+        nodes, arrival = self.arrival_matrix(start_time, semantics, horizon, shards)
         matrix = arrival != UNREACHED
         np.fill_diagonal(matrix, True)
         return nodes, matrix

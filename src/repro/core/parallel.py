@@ -1,0 +1,261 @@
+"""The process-sharded all-pairs arrival sweep.
+
+The batched bitmask sweep of
+:meth:`~repro.core.engine.TemporalEngine.arrival_matrix` is
+embarrassingly partitionable by *source blocks*: the arrival dates a
+sweep records for source ``i`` never depend on which other sources share
+the pass (masks are bookkeeping, not state), so splitting the source set
+into blocks and sweeping each block independently yields sub-matrices
+that stack into the exact serial matrix — element for element.
+
+Sharding it across processes takes one extra step: a worker cannot hold
+the graph.  Presences and latencies are arbitrary Python callables
+(black-box :class:`~repro.core.presence.FunctionPresence`, lambda
+latencies) that may not pickle — and even when they do, re-evaluating a
+black-box predicate in ``k`` workers would break the engine's
+at-most-once-per-(edge, date) contract.  So the parent first *lowers the
+whole sweep to plain data*: a :class:`SweepPlan` of per-edge contact
+dates (black-box edges resolved through the engine's long-lived
+:class:`~repro.core.index.LazyContactCache`, so each predicate still
+fires at most once per (edge, date)) with the matching arrival dates
+precomputed (swallowing callable latencies), plus the CSR adjacency.
+The plan is tuples of ints — picklable, compact, and exactly what the
+block sweep :func:`sweep_block` needs.
+
+Workers then run the identical sweep over their block, with masks as
+wide as the *block* instead of the whole node set — on big graphs the
+serial sweep's masks are multi-word bignums, so blocks also shrink every
+mask merge to a few machine words.  ``benchmarks/bench_parallel.py``
+gates the resulting speedup; ``tests/properties/test_property_parallel``
+proves bit-for-bit equality with the serial sweep under all three
+waiting semantics, black-box edges included.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.engine import UNREACHED
+from repro.core.semantics import WaitingSemantics
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.engine import TemporalEngine
+
+#: Below this many nodes the per-process overhead (fork + pickling the
+#: plan + stacking) dwarfs the sweep itself, so ``shards`` requests fall
+#: back to the serial sweep.
+MIN_PARALLEL_NODES: int = 8
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """One sweep lowered to plain data (only ints and tuples — picklable).
+
+    ``contacts[e]`` holds edge ``e``'s sorted departure dates within
+    ``[start_time, horizon)`` and ``arrivals[e]`` the aligned arrival
+    dates (``dep + zeta(e, dep)`` precomputed, so callable latencies
+    never cross a process boundary).  ``out_edges[j]`` lists the
+    out-edge indices of node ``j`` in insertion order and
+    ``target_idx[e]`` the head node of edge ``e`` — the same CSR view
+    the compiled index uses.  ``max_wait`` is the waiting bound (None
+    for unbounded, 0 for no-wait).
+    """
+
+    n: int
+    out_edges: tuple[tuple[int, ...], ...]
+    target_idx: tuple[int, ...]
+    contacts: tuple[tuple[int, ...], ...]
+    arrivals: tuple[tuple[int, ...], ...]
+    start_time: int
+    horizon: int
+    max_wait: int | None
+
+
+def build_sweep_plan(
+    engine: "TemporalEngine",
+    start_time: int,
+    semantics: WaitingSemantics,
+    horizon: int,
+) -> tuple[list[Hashable], SweepPlan]:
+    """Lower one sweep over ``engine``'s graph into a :class:`SweepPlan`.
+
+    Runs entirely in the parent: black-box presences are resolved here,
+    through the engine's :class:`~repro.core.index.LazyContactCache`, so
+    arbitrary predicates never need to pickle and each still fires at
+    most once per (edge, date) across the engine's lifetime.  Returns
+    the node ordering alongside (the matrix axes).
+    """
+    index = engine.index_for(min(start_time, horizon), horizon)
+    contacts: list[tuple[int, ...]] = []
+    arrivals: list[tuple[int, ...]] = []
+    for ei in range(len(index.edge_list)):
+        departures = index.departures(ei, start_time, horizon)
+        contacts.append(tuple(departures))
+        arrivals.append(tuple(index.arrival(ei, dep) for dep in departures))
+    plan = SweepPlan(
+        n=len(index.nodes),
+        out_edges=tuple(
+            tuple(index.out_edge_indices(j)) for j in range(len(index.nodes))
+        ),
+        target_idx=tuple(index.target_idx),
+        contacts=tuple(contacts),
+        arrivals=tuple(arrivals),
+        start_time=start_time,
+        horizon=horizon,
+        max_wait=semantics.max_wait,
+    )
+    return list(index.nodes), plan
+
+
+def partition_sources(n: int, shards: int) -> list[tuple[int, ...]]:
+    """Split sources ``0..n-1`` into at most ``shards`` contiguous,
+    balanced, non-empty blocks (sizes differ by at most one)."""
+    shards = max(1, min(shards, n))
+    base, extra = divmod(n, shards)
+    blocks: list[tuple[int, ...]] = []
+    lo = 0
+    for b in range(shards):
+        size = base + (1 if b < extra else 0)
+        if size:
+            blocks.append(tuple(range(lo, lo + size)))
+        lo += size
+    return blocks
+
+
+def sweep_block(plan: SweepPlan, sources: Sequence[int]) -> np.ndarray:
+    """The bitmask sweep restricted to one source block.
+
+    Row ``r`` of the returned ``(len(sources), n)`` int64 matrix is the
+    earliest-arrival row of source ``sources[r]`` — identical to that
+    source's row in the serial sweep, because a source's arrival dates
+    never depend on which other sources share the pass.  Masks are block
+    positions, so a block of ``b`` sources pays for ``b``-bit merges
+    however large the full graph is.
+    """
+    arrival = np.full((len(sources), plan.n), UNREACHED, dtype=np.int64)
+    node_mask = [0] * plan.n
+    pending: dict[tuple[int, int], int] = {}
+    heap: list[tuple[int, int]] = []
+    start = plan.start_time
+    for row, node_idx in enumerate(sources):
+        key = (node_idx, start)
+        pending[key] = pending.get(key, 0) | (1 << row)
+        heapq.heappush(heap, (start, node_idx))
+    horizon = plan.horizon
+    max_wait = plan.max_wait
+    out_edges = plan.out_edges
+    target_idx = plan.target_idx
+    contacts = plan.contacts
+    arrivals = plan.arrivals
+    while heap:
+        time, node_idx = heapq.heappop(heap)
+        mask = pending.pop((node_idx, time), 0)
+        if not mask:
+            continue
+        new = mask & ~node_mask[node_idx]
+        if new:
+            node_mask[node_idx] |= new
+            while new:
+                low = new & -new
+                arrival[low.bit_length() - 1, node_idx] = time
+                new ^= low
+        if time >= horizon:
+            continue
+        latest = horizon if max_wait is None else min(horizon, time + max_wait + 1)
+        for ei in out_edges[node_idx]:
+            dates = contacts[ei]
+            lo = bisect_left(dates, time)
+            hi = bisect_left(dates, latest, lo)
+            if lo == hi:
+                continue
+            arrs = arrivals[ei]
+            target = target_idx[ei]
+            for k in range(lo, hi):
+                key = (target, arrs[k])
+                existing = pending.get(key)
+                if existing is None:
+                    pending[key] = mask
+                    heapq.heappush(heap, (arrs[k], target))
+                elif existing | mask != existing:
+                    pending[key] = existing | mask
+    return arrival
+
+
+def effective_shards(n: int, shards: int | None) -> int:
+    """The worker count a request actually gets: 1 (serial) for absent
+    or unit requests and for tiny graphs, else ``min(shards, n)``."""
+    if shards is None or shards <= 1 or n < MIN_PARALLEL_NODES:
+        return 1
+    return min(shards, n)
+
+
+#: The worker's copy of the plan, installed once per process by the
+#: pool initializer — blocks are then the only per-task payload, so the
+#: plan (the big object: O(|E| x window) ints) is never re-pickled per
+#: shard.
+_WORKER_PLAN: SweepPlan | None = None
+
+
+def _install_worker_plan(plan: SweepPlan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _sweep_task(sources: tuple[int, ...]) -> np.ndarray:
+    """Module-level worker entry point (picklable by reference)."""
+    return sweep_block(_WORKER_PLAN, sources)
+
+
+def _pool_context():
+    import multiprocessing
+
+    # Fork keeps worker start cheap and inherits the warm interpreter;
+    # platforms without it (or with it disabled) use their default.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-fork platforms
+        return multiprocessing.get_context()
+
+
+def sharded_arrival_matrix(
+    engine: "TemporalEngine",
+    start_time: int,
+    semantics: WaitingSemantics,
+    horizon: int,
+    shards: int,
+) -> tuple[list[Hashable], np.ndarray]:
+    """All-pairs earliest arrivals via ``shards`` worker processes.
+
+    Lowers the sweep to a :class:`SweepPlan` in the parent, ships it to
+    a process pool (one task per source block), and stacks the per-block
+    sub-matrices into the full ``(n, n)`` matrix — element for element
+    equal to :meth:`TemporalEngine.arrival_matrix` run serially.  Falls
+    back to in-process block sweeps if the platform refuses to spawn
+    workers, so the answer is never lost to sandboxing.
+    """
+    nodes, plan = build_sweep_plan(engine, start_time, semantics, horizon)
+    blocks = partition_sources(plan.n, shards)
+    if not blocks:
+        return nodes, np.full((0, 0), UNREACHED, dtype=np.int64)
+    if len(blocks) == 1:
+        return nodes, sweep_block(plan, blocks[0])
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ProcessPoolExecutor(
+            max_workers=len(blocks),
+            mp_context=_pool_context(),
+            initializer=_install_worker_plan,
+            initargs=(plan,),
+        ) as pool:
+            parts = list(pool.map(_sweep_task, blocks))
+    except (OSError, BrokenProcessPool):  # pragma: no cover — hosts that
+        # forbid subprocesses outright or kill workers mid-flight
+        parts = [sweep_block(plan, block) for block in blocks]
+    return nodes, np.vstack(parts)

@@ -85,3 +85,36 @@ def bounded_wait(d: int) -> WaitingSemantics:
 
 #: Alias matching the paper's ``L_wait[d]`` notation.
 BOUNDED_WAIT = bounded_wait
+
+
+def parse_semantics(text: str) -> WaitingSemantics:
+    """The semantics named by its string form (inverse of ``str``).
+
+    Accepts ``"wait"``, ``"nowait"``, and ``"wait[d]"`` with ``d`` a
+    non-negative integer; anything else raises
+    :class:`~repro.errors.SemanticsError`.  This is the ONE grammar for
+    semantics strings — the CLI and the service wire protocol both parse
+    through it and wrap the error into their native type
+    (``argparse.ArgumentTypeError`` / ``ServiceError``), so a malformed
+    ``wait[-1]`` is a clean diagnostic at every boundary, never a raw
+    traceback.
+    """
+    if not isinstance(text, str):
+        raise SemanticsError(f"semantics must be a string, got {text!r}")
+    if text == "wait":
+        return WAIT
+    if text == "nowait":
+        return NO_WAIT
+    if text.startswith("wait[") and text.endswith("]"):
+        body = text[5:-1]
+        try:
+            bound = int(body)
+        except ValueError:
+            raise SemanticsError(
+                f"malformed waiting bound {body!r} in {text!r}; "
+                f"wait[d] needs an integer d >= 0"
+            ) from None
+        return bounded_wait(bound)
+    raise SemanticsError(
+        f"unknown semantics {text!r}; use 'wait', 'nowait', or 'wait[d]'"
+    )

@@ -50,7 +50,10 @@ class TVGService:
     """Answer reachability queries over a graph that mutates under you.
 
     ``cache_size`` bounds the number of memoized results; ``window``
-    optionally pre-declares the engine's compiled window.
+    optionally pre-declares the engine's compiled window.  ``shards``
+    opts cache-miss arrival sweeps into the process-sharded sweep
+    (:mod:`repro.core.parallel`) — answers are identical, so cache keys
+    and hit behaviour don't change.
     """
 
     def __init__(
@@ -58,10 +61,12 @@ class TVGService:
         graph: TimeVaryingGraph,
         window: Interval | tuple[int, int] | None = None,
         cache_size: int = 256,
+        shards: int | None = None,
     ) -> None:
         self.graph = graph
         self.engine = TemporalEngine(graph, window)
         self.cache = QueryCache(max_entries=cache_size)
+        self.shards = shards
         self.queries_served = 0
         self.mutations_applied = 0
 
@@ -87,7 +92,7 @@ class TVGService:
 
         def compute():
             nodes, matrix = self.engine.arrival_matrix(
-                start, semantics, horizon=horizon
+                start, semantics, horizon=horizon, shards=self.shards
             )
             return {node: i for i, node in enumerate(nodes)}, matrix
 
@@ -154,7 +159,9 @@ class TVGService:
         self.queries_served += 1
 
         def compute():
-            report = classify_graph(self.graph, start, end, engine=self.engine)
+            report = classify_graph(
+                self.graph, start, end, engine=self.engine, shards=self.shards
+            )
             return {
                 "classes": sorted(report.classes),
                 "interval_connectivity": report.interval_connectivity,

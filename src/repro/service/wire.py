@@ -34,8 +34,9 @@ from repro.core.presence import (
     never,
     periodic_presence,
 )
-from repro.core.semantics import NO_WAIT, WAIT, WaitingSemantics, bounded_wait
-from repro.errors import ServiceError
+from repro.core.semantics import WaitingSemantics
+from repro.core.semantics import parse_semantics as parse_semantics_string
+from repro.errors import SemanticsError, ServiceError
 
 
 def presence_to_spec(presence: PresenceFunction) -> dict[str, Any]:
@@ -116,18 +117,14 @@ def latency_from_spec(spec: dict[str, Any] | None) -> LatencyFunction:
 
 
 def parse_semantics(text: str) -> WaitingSemantics:
-    """The semantics named by its CLI/wire string (inverse of ``str``)."""
-    if not isinstance(text, str):
-        raise ServiceError(f"semantics must be a string, got {text!r}")
-    if text == "wait":
-        return WAIT
-    if text == "nowait":
-        return NO_WAIT
-    if text.startswith("wait[") and text.endswith("]"):
-        try:
-            return bounded_wait(int(text[5:-1]))
-        except ValueError:
-            pass
-    raise ServiceError(
-        f"unknown semantics {text!r}; use 'wait', 'nowait', or 'wait[d]'"
-    )
+    """The semantics named by its wire string (inverse of ``str``).
+
+    The grammar lives in :func:`repro.core.semantics.parse_semantics` —
+    shared with the CLI — wrapped here into the service's native
+    :class:`~repro.errors.ServiceError` so malformed strings (``wait[-1]``,
+    ``wait[]``, ``wait[x]``) become protocol errors, not tracebacks.
+    """
+    try:
+        return parse_semantics_string(text)
+    except SemanticsError as exc:
+        raise ServiceError(str(exc)) from None

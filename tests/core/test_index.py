@@ -288,3 +288,93 @@ class TestArrivalMatrix:
         assert all(
             int(matrix[idx["d"], idx[n]]) == UNREACHED for n in "abc"
         )
+
+
+class TestGeometricWindowRegrowth:
+    """Regression for the exact-fit regrowth bug: per-date lookups on an
+    unbounded-lifetime graph used to recompile the whole index every
+    round (O(rounds x compile)).  Growth is geometric now, so a rolling
+    query sequence costs O(log rounds) rebuilds."""
+
+    ROUNDS = 100
+
+    def _counting_engine(self, monkeypatch, graph):
+        import repro.core.engine as engine_module
+
+        builds: list[Interval] = []
+        real = engine_module.CompiledTVG
+
+        def counting(tvg, window, cache=None):
+            builds.append(window)
+            return real(tvg, window, cache)
+
+        monkeypatch.setattr(engine_module, "CompiledTVG", counting)
+        return TemporalEngine(graph), builds
+
+    def _unbounded_graph(self):
+        g = TimeVaryingGraph(name="unbounded")
+        g.add_edge("a", "b", presence=periodic_presence([0], 2), key="ab")
+        g.add_edge("b", "a", presence=periodic_presence([1], 2), key="ba")
+        return g
+
+    def test_rolling_lookups_rebuild_logarithmically(self, monkeypatch):
+        """The simulator's per-round fast path: out_edges_at over an
+        ever-advancing date must not recompile per round."""
+        g = self._unbounded_graph()
+        engine, builds = self._counting_engine(monkeypatch, g)
+        for t in range(self.ROUNDS):
+            engine.out_edges_at("a", t)
+        # Exact-fit regrowth would build ~ROUNDS indexes; geometric
+        # doubling needs at most log2(ROUNDS) + a seed build.
+        assert len(builds) <= self.ROUNDS.bit_length() + 2
+        # And the answers stay right: presence is residue-0 periodic.
+        assert engine.out_edges_at("a", self.ROUNDS) == [g.edge("ab")]
+        assert engine.out_edges_at("a", self.ROUNDS + 1) == []
+
+    def test_descending_lookups_rebuild_logarithmically(self, monkeypatch):
+        """Leftward growth must be geometric too: a replay walking
+        *backwards* through time would otherwise regrow exact-fit once
+        per date (the ascending bug, mirrored)."""
+        g = self._unbounded_graph()
+        engine, builds = self._counting_engine(monkeypatch, g)
+        for t in range(self.ROUNDS, 0, -1):
+            engine.out_edges_at("a", t)
+        assert len(builds) <= self.ROUNDS.bit_length() + 2
+        assert engine.out_edges_at("a", 2) == [g.edge("ab")]
+        assert engine.out_edges_at("a", 3) == []
+
+    def test_simulator_run_rebuild_count(self, monkeypatch):
+        """A full 100-round Simulator run through the engine compiles
+        O(log rounds) indexes (the warm-up covers the window up front)."""
+        from repro.dynamics.network import Simulator
+        from repro.dynamics.nodes import Protocol
+
+        g = self._unbounded_graph()
+        engine, builds = self._counting_engine(monkeypatch, g)
+        report = Simulator(
+            g, lambda node: Protocol(), start=0, end=self.ROUNDS, engine=engine
+        ).run()
+        assert report.end == self.ROUNDS
+        assert len(builds) <= self.ROUNDS.bit_length() + 2
+
+    def test_growth_rebuilds_preserve_contacts(self, monkeypatch):
+        """Geometric growth must not change what the index answers."""
+        g = self._unbounded_graph()
+        engine, _builds = self._counting_engine(monkeypatch, g)
+        for t in range(0, 50, 7):
+            assert engine.successors("a", t, WAIT, horizon=t + 10) == list(
+                successors(g, "a", t, WAIT, horizon=t + 10)
+            )
+
+    def test_staleness_rebuild_keeps_the_window(self, monkeypatch):
+        """Mutation-triggered rebuilds must NOT inflate the window —
+        doubling belongs to growth only, else a mutating service would
+        balloon its compiled span."""
+        g = self._unbounded_graph()
+        engine, builds = self._counting_engine(monkeypatch, g)
+        engine.index_for(0, 16)
+        for round_ in range(5):
+            g.add_edge("a", "b", key=f"extra{round_}")
+            engine.index_for(0, 16)
+        spans = [(w.start, w.end) for w in builds]
+        assert spans == [(0, 16)] * 6

@@ -244,3 +244,71 @@ class TestEngineIntegration:
                 assert earliest_arrivals(
                     g, "a", 0, semantics, engine=engine
                 ) == earliest_arrivals(g, "a", 0, semantics)
+
+
+class TestSegmentAdjacency:
+    """Edge cases of the segment-merge classification: a segment is
+    absorbed (not skipped) when it merely *touches* the query — scanned
+    ``hi == start`` or ``lo == end`` — and a bridging query across two
+    disjoint segments scans exactly the gap between them.  Pins the
+    at-most-once-per-(edge, date) contract the sharded sweep's parent
+    pre-lowering relies on."""
+
+    def _cache(self, horizon=40):
+        predicate = CountingPredicate()
+        g = blackbox_graph(predicate, horizon=horizon)
+        return predicate, g, LazyContactCache(g), g.edge("ab")
+
+    def test_right_touching_segment_absorbed(self):
+        # Existing segment ends exactly where the query starts (hi == start).
+        predicate, _g, cache, edge = self._cache()
+        cache.contacts(edge, 0, 10)
+        predicate.calls.clear()
+        assert cache.contacts(edge, 10, 18).tolist() == [10, 13, 16]
+        assert sorted(predicate.calls) == list(range(10, 18))
+        assert cache.scanned_window(edge) == (0, 18)
+        assert len(cache._segments[edge.key]) == 1  # merged, not stacked
+        assert predicate.max_calls_per_date() == 1
+
+    def test_left_touching_segment_absorbed(self):
+        # Existing segment starts exactly where the query ends (lo == end).
+        predicate, _g, cache, edge = self._cache()
+        cache.contacts(edge, 10, 20)
+        predicate.calls.clear()
+        assert cache.contacts(edge, 2, 10).tolist() == [4, 7]
+        assert sorted(predicate.calls) == list(range(2, 10))
+        assert cache.scanned_window(edge) == (2, 20)
+        assert len(cache._segments[edge.key]) == 1
+        assert predicate.max_calls_per_date() == 1
+
+    def test_bridging_query_absorbs_both_neighbours(self):
+        # Two disjoint segments; the bridge touches both ends exactly
+        # (hi == start of the query AND lo == end of it) and must scan
+        # only the gap, once.
+        predicate, _g, cache, edge = self._cache()
+        cache.contacts(edge, 0, 4)
+        cache.contacts(edge, 8, 12)
+        assert len(cache._segments[edge.key]) == 2
+        predicate.calls.clear()
+        assert cache.contacts(edge, 4, 8).tolist() == [4, 7]
+        assert sorted(predicate.calls) == list(range(4, 8))
+        assert len(cache._segments[edge.key]) == 1
+        assert cache.scanned_window(edge) == (0, 12)
+        # The merged segment answers the whole hull without new calls.
+        predicate.calls.clear()
+        assert cache.contacts(edge, 0, 12).tolist() == [1, 4, 7, 10]
+        assert predicate.calls == []
+
+    def test_bridge_overshooting_both_segments(self):
+        # The bridge also extends past both neighbours: only the three
+        # uncovered gaps are scanned (left flank, middle, right flank).
+        predicate, _g, cache, edge = self._cache()
+        cache.contacts(edge, 4, 8)
+        cache.contacts(edge, 12, 16)
+        predicate.calls.clear()
+        assert cache.contacts(edge, 0, 20).tolist() == [1, 4, 7, 10, 13, 16, 19]
+        assert sorted(predicate.calls) == (
+            list(range(0, 4)) + list(range(8, 12)) + list(range(16, 20))
+        )
+        assert len(cache._segments[edge.key]) == 1
+        assert predicate.max_calls_per_date() == 1

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.semantics import BOUNDED_WAIT, NO_WAIT, WAIT, bounded_wait
+from repro.core.semantics import (
+    BOUNDED_WAIT,
+    NO_WAIT,
+    WAIT,
+    bounded_wait,
+    parse_semantics,
+)
 from repro.errors import SemanticsError
 
 
@@ -54,3 +60,30 @@ class TestWaitingSemantics:
     def test_equality_and_hashability(self):
         assert bounded_wait(2) == bounded_wait(2)
         assert len({NO_WAIT, WAIT, bounded_wait(1), bounded_wait(1)}) == 3
+
+
+class TestParseSemantics:
+    """The ONE shared semantics grammar (CLI and wire both wrap it)."""
+
+    @pytest.mark.parametrize(
+        "semantics", [NO_WAIT, WAIT, bounded_wait(0), bounded_wait(7)]
+    )
+    def test_str_round_trips(self, semantics):
+        assert parse_semantics(str(semantics)) == semantics
+
+    def test_named_forms(self):
+        assert parse_semantics("wait") == WAIT
+        assert parse_semantics("nowait") == NO_WAIT
+        assert parse_semantics("wait[3]") == bounded_wait(3)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["wait[-1]", "wait[]", "wait[x]", "wait[", "wait]", "maybe", "WAIT", ""],
+    )
+    def test_malformed_rejected_with_semantics_error(self, text):
+        with pytest.raises(SemanticsError):
+            parse_semantics(text)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SemanticsError):
+            parse_semantics(3)

@@ -96,7 +96,9 @@ class TestSemanticsStrings:
     def test_str_round_trips(self, semantics):
         assert parse_semantics(str(semantics)) == semantics
 
-    @pytest.mark.parametrize("text", ["perhaps", "wait[x]", "wait[", "WAIT"])
+    @pytest.mark.parametrize(
+        "text", ["perhaps", "wait[x]", "wait[", "WAIT", "wait[-1]", "wait[]"]
+    )
     def test_unknown_strings_rejected(self, text):
         with pytest.raises(ServiceError):
             parse_semantics(text)

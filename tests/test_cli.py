@@ -212,3 +212,65 @@ class TestServeCommand:
                     lambda: [t.cancel() for t in asyncio.all_tasks(captured["loop"])]
                 )
             thread.join(timeout=10)
+
+
+class TestSemanticsBoundary:
+    """Malformed --semantics values must die as clean argparse usage
+    errors (exit code 2), never raw SemanticsError tracebacks — the CLI
+    wraps the one shared grammar in core/semantics.py."""
+
+    @pytest.mark.parametrize("text", ["wait[-1]", "wait[]", "wait[x]", "maybe"])
+    def test_malformed_semantics_exit_cleanly(self, text, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["reach", "--semantics", text])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--semantics" in err  # argparse diagnostics, not a traceback
+
+    @pytest.mark.parametrize("text", ["wait[-1]", "wait[]"])
+    def test_figure1_rejects_them_too(self, text, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["figure1", "ab", "--semantics", text])
+        assert excinfo.value.code == 2
+
+    def test_well_formed_bound_still_parses(self):
+        args = build_parser().parse_args(["reach", "--semantics", "wait[5]"])
+        assert args.semantics.max_wait == 5
+
+
+@pytest.mark.slow
+class TestShardsFlag:
+    """--shards runs the process-sharded sweep; results are identical
+    to the serial engine (slow: spawns worker processes)."""
+
+    def test_reach_with_shards_matches_serial(self, capsys):
+        args = ["reach", "--nodes", "10", "--period", "4", "--density", "0.2",
+                "--seed", "2", "--horizon", "12"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+
+        def facts(text):
+            return [
+                line for line in text.splitlines()
+                if "ratio" in line or "gap" in line
+            ]
+
+        assert facts(serial) == facts(sharded)
+
+    def test_growth_with_shards_matches_serial(self, capsys):
+        args = ["growth", "--nodes", "10", "--period", "4", "--density", "0.2",
+                "--seed", "3", "--horizon", "10"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--shards", "3"]) == 0
+        sharded = capsys.readouterr().out
+
+        def facts(text):
+            return [
+                line for line in text.splitlines()
+                if "r_wait" in line or "r_nowait" in line or "area" in line
+            ]
+
+        assert facts(serial) == facts(sharded)
