@@ -38,6 +38,7 @@ from repro.core.tvg import TimeVaryingGraph
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.core.engine import TemporalEngine
+    from repro.service.cluster import ClusterExecutor
 
 
 def density_curve(graph: TimeVaryingGraph, start: int, end: int) -> list[tuple[int, float]]:
@@ -91,6 +92,7 @@ def reachability_growth(
     semantics: WaitingSemantics = WAIT,
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
+    cluster: "ClusterExecutor | None" = None,
 ) -> list[tuple[int, float]]:
     """``r(t)``: fraction of ordered pairs joined by a journey arriving
     by date ``t`` (journeys start at ``start``).
@@ -102,7 +104,8 @@ def reachability_growth(
     sort the off-diagonal earliest arrivals once, then each prefix is a
     binary search — O(n^2 log n) total instead of a full reachability
     computation per prefix length.  ``shards`` partitions that sweep
-    across worker processes; the interpretive path ignores it.
+    across worker processes and ``cluster`` ships it to remote sweep
+    workers; the interpretive path ignores both.
     """
     require_window(start, end)
     nodes = list(graph.nodes)
@@ -113,7 +116,7 @@ def reachability_growth(
     if engine is not None:
         engine.require_graph(graph, "reachability_growth")
         _nodes, arrival = engine.arrival_matrix(
-            start, semantics, horizon=end, shards=shards
+            start, semantics, horizon=end, shards=shards, cluster=cluster
         )
         return growth_curve_from_arrivals(arrival, start, end)
     earliest: dict[tuple[Hashable, Hashable], int] = {}
@@ -168,18 +171,19 @@ def value_of_waiting(
     end: int,
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
+    cluster: "ClusterExecutor | None" = None,
 ) -> WaitingValue:
     """Both growth curves and their integrated gap.
 
     With ``engine=`` the two curves cost exactly two batched arrival
     sweeps (one per semantics), each shardable across processes via
-    ``shards``.
+    ``shards`` or across machines via ``cluster``.
     """
     return WaitingValue(
         wait_curve=reachability_growth(
-            graph, start, end, WAIT, engine=engine, shards=shards
+            graph, start, end, WAIT, engine=engine, shards=shards, cluster=cluster
         ),
         nowait_curve=reachability_growth(
-            graph, start, end, NO_WAIT, engine=engine, shards=shards
+            graph, start, end, NO_WAIT, engine=engine, shards=shards, cluster=cluster
         ),
     )

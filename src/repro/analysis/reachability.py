@@ -24,6 +24,7 @@ from repro.core.tvg import TimeVaryingGraph
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.core.engine import TemporalEngine
+    from repro.service.cluster import ClusterExecutor
 
 
 def reachability_matrix(
@@ -33,17 +34,22 @@ def reachability_matrix(
     horizon: int | None = None,
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
+    cluster: "ClusterExecutor | None" = None,
 ) -> tuple[list[Hashable], np.ndarray]:
     """Boolean matrix ``M[i, j]`` = node ``j`` reachable from node ``i``.
 
     Diagonal entries are True (the trivial journey).  Returns the node
     ordering alongside so callers can label the axes.  ``shards``
     partitions the engine's sweep across worker processes
-    (:mod:`repro.core.parallel`); the interpretive path ignores it.
+    (:mod:`repro.core.parallel`) and ``cluster`` ships it to remote
+    sweep workers (:mod:`repro.service.cluster`); the interpretive path
+    ignores both.
     """
     if engine is not None:
         engine.require_graph(graph, "reachability_matrix")
-        return engine.reachability_matrix(start_time, semantics, horizon, shards)
+        return engine.reachability_matrix(
+            start_time, semantics, horizon, shards, cluster
+        )
     nodes = list(graph.nodes)
     index = {node: i for i, node in enumerate(nodes)}
     matrix = np.zeros((len(nodes), len(nodes)), dtype=bool)
@@ -62,10 +68,11 @@ def reachability_ratio(
     horizon: int | None = None,
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
+    cluster: "ClusterExecutor | None" = None,
 ) -> float:
     """Fraction of ordered pairs ``(u, v), u != v`` connected by a journey."""
     nodes, matrix = reachability_matrix(
-        graph, start_time, semantics, horizon, engine, shards
+        graph, start_time, semantics, horizon, engine, shards, cluster
     )
     n = len(nodes)
     if n <= 1:
@@ -80,6 +87,7 @@ def semantics_gap_matrix(
     horizon: int | None = None,
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
+    cluster: "ClusterExecutor | None" = None,
 ) -> tuple[list[Hashable], np.ndarray]:
     """Pairs reachable with waiting but not without.
 
@@ -88,9 +96,9 @@ def semantics_gap_matrix(
     batched sweeps (one per semantics) instead of ``2n`` searches.
     """
     nodes, with_wait = reachability_matrix(
-        graph, start_time, WAIT, horizon, engine, shards
+        graph, start_time, WAIT, horizon, engine, shards, cluster
     )
     _same, without = reachability_matrix(
-        graph, start_time, NO_WAIT, horizon, engine, shards
+        graph, start_time, NO_WAIT, horizon, engine, shards, cluster
     )
     return nodes, with_wait & ~without

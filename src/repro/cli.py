@@ -16,6 +16,10 @@ Small, scriptable entry points over the library's showcase objects:
 * ``serve`` — run the long-lived JSON-lines query service over a trace
   or generated network (queries and mutations over one socket, results
   cached per graph version);
+* ``worker`` — run a long-lived arrival-sweep worker; ``reach``,
+  ``growth``, and ``serve`` ship sweep blocks to a fleet of these via
+  ``--workers host:port,...`` (failed blocks re-swept locally, so
+  answers are always exact);
 * ``render`` — print the ASCII schedule of a contact trace.
 
 All subcommands print plain text and exit non-zero on verification
@@ -41,6 +45,35 @@ def _semantics(text: str) -> WaitingSemantics:
         return parse_semantics(text)
     except SemanticsError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _workers(text: str) -> list[str]:
+    """A comma-separated ``host:port`` list, validated up front so a
+    typo is a usage error at launch, not a per-sweep fallback."""
+    from repro.errors import ServiceError
+    from repro.service.cluster import parse_worker_address
+
+    addresses = [part.strip() for part in text.split(",") if part.strip()]
+    if not addresses:
+        raise argparse.ArgumentTypeError("at least one host:port is required")
+    for address in addresses:
+        try:
+            parse_worker_address(address)
+        except ServiceError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    return addresses
+
+
+def _cluster(args: argparse.Namespace):
+    """The ClusterExecutor a command's ``--workers`` asks for (or None)."""
+    if not getattr(args, "workers", None):
+        return None
+    from repro.service.cluster import DEFAULT_TIMEOUT, ClusterExecutor
+
+    timeout = getattr(args, "worker_timeout", None)
+    return ClusterExecutor(
+        args.workers, timeout=DEFAULT_TIMEOUT if timeout is None else timeout
+    )
 
 
 def cmd_figure1(args: argparse.Namespace) -> int:
@@ -134,14 +167,17 @@ def cmd_reach(args: argparse.Namespace) -> int:
 
     graph, start, horizon = _load_or_generate(args)
     engine = None if args.engine == "interpretive" else TemporalEngine(graph)
+    cluster = _cluster(args)
     began = time.perf_counter()
     # The gap needs the WAIT and NO_WAIT matrices anyway; reuse whichever
     # also answers the requested ratio instead of sweeping a third time.
     _nodes, with_wait = reachability_matrix(
-        graph, start, WAIT, horizon, engine=engine, shards=args.shards
+        graph, start, WAIT, horizon, engine=engine, shards=args.shards,
+        cluster=cluster,
     )
     _same, without = reachability_matrix(
-        graph, start, NO_WAIT, horizon, engine=engine, shards=args.shards
+        graph, start, NO_WAIT, horizon, engine=engine, shards=args.shards,
+        cluster=cluster,
     )
     gap = with_wait & ~without
     if args.semantics == WAIT:
@@ -150,7 +186,8 @@ def cmd_reach(args: argparse.Namespace) -> int:
         matrix = without
     else:
         _also, matrix = reachability_matrix(
-            graph, start, args.semantics, horizon, engine=engine, shards=args.shards
+            graph, start, args.semantics, horizon, engine=engine,
+            shards=args.shards, cluster=cluster,
         )
     n = graph.node_count
     ratio = 1.0 if n <= 1 else (int(matrix.sum()) - n) / (n * (n - 1))
@@ -194,7 +231,10 @@ def cmd_growth(args: argparse.Namespace) -> int:
     graph, start, horizon = _load_or_generate(args)
     engine = None if args.engine == "interpretive" else TemporalEngine(graph)
     began = time.perf_counter()
-    value = value_of_waiting(graph, start, horizon, engine=engine, shards=args.shards)
+    value = value_of_waiting(
+        graph, start, horizon, engine=engine, shards=args.shards,
+        cluster=_cluster(args),
+    )
     elapsed = time.perf_counter() - began
     saturation = value.wait_saturation_time
     print(graph)
@@ -222,7 +262,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     graph, start, horizon = _load_or_generate(args)
     service = TVGService(
         graph, window=(start, horizon), cache_size=args.cache_size,
-        shards=args.shards,
+        shards=args.shards, workers=args.workers,
+        worker_timeout=args.worker_timeout,
     )
     print(graph)
     print(f"window:             [{start}, {horizon})")
@@ -230,6 +271,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run_service(service, host=args.host, port=args.port))
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.cluster import run_worker
+
+    try:
+        asyncio.run(run_worker(host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("worker shutting down")
     return 0
 
 
@@ -293,6 +346,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="shard the arrival sweep across N worker processes "
             "(compiled engine only; tiny graphs stay serial)",
         )
+        command.add_argument(
+            "--workers", type=_workers, default=None, metavar="HOST:PORT,...",
+            help="ship arrival-sweep blocks to these remote sweep workers "
+            "(`repro worker` processes); any failed block is re-swept "
+            "locally, so answers never change",
+        )
+        command.add_argument(
+            "--worker-timeout", type=float, default=None, metavar="SECONDS",
+            help="seconds to wait per remote sweep job before re-running "
+            "its block locally (default 30; raise it for sweeps whose "
+            "blocks legitimately run long)",
+        )
         if engine_choice:
             command.add_argument(
                 "--engine",
@@ -329,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="max memoized query results held across mutations",
     )
     srv.set_defaults(handler=cmd_serve)
+
+    wrk = sub.add_parser(
+        "worker", help="run a long-lived arrival-sweep worker for --workers"
+    )
+    wrk.add_argument("--host", default="127.0.0.1")
+    wrk.add_argument(
+        "--port", type=int, default=7713,
+        help="port to listen on (0 picks a free one, printed at startup)",
+    )
+    wrk.set_defaults(handler=cmd_worker)
 
     ren = sub.add_parser("render", help="ASCII schedule of a contact trace")
     ren.add_argument("trace")

@@ -42,7 +42,7 @@ ground-truth oracle, checked by the equivalence property suites.
 from __future__ import annotations
 
 import heapq
-from typing import Hashable, Iterable
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 import numpy as np
 
@@ -52,6 +52,9 @@ from repro.core.intervals import Interval
 from repro.core.semantics import NO_WAIT, WaitingSemantics
 from repro.core.tvg import TimeVaryingGraph
 from repro.errors import TimeDomainError
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.service.cluster import ClusterExecutor
 
 #: Sentinel arrival date for unreachable pairs in :meth:`TemporalEngine.
 #: arrival_matrix` — larger than any real date, so ``matrix <= t``
@@ -297,6 +300,7 @@ class TemporalEngine:
         semantics: WaitingSemantics = NO_WAIT,
         horizon: int | None = None,
         shards: int | None = None,
+        cluster: "ClusterExecutor | None" = None,
     ) -> tuple[list[Hashable], np.ndarray]:
         """All-pairs earliest arrivals, in one pass.
 
@@ -321,9 +325,15 @@ class TemporalEngine:
         each in its own worker process
         (:mod:`repro.core.parallel`) — element-for-element the same
         matrix; requests of 1 shard (or tiny graphs, where process
-        overhead dominates) run the serial sweep below.
+        overhead dominates) run the serial sweep below.  ``cluster``
+        ships the same blocks to *remote* sweep workers instead
+        (:mod:`repro.service.cluster`) — still the same matrix, with
+        any failed block transparently re-swept locally; it takes
+        precedence over ``shards`` when it routes the graph.
         """
         horizon = self._resolve_horizon(horizon)
+        if cluster is not None and cluster.routes(self.graph.node_count):
+            return cluster.arrival_matrix(self, start_time, semantics, horizon)
         if shards is not None:
             from repro.core import parallel
 
@@ -373,6 +383,7 @@ class TemporalEngine:
         semantics: WaitingSemantics = NO_WAIT,
         horizon: int | None = None,
         shards: int | None = None,
+        cluster: "ClusterExecutor | None" = None,
     ) -> tuple[list[Hashable], list[int]]:
         """Every source's reachable set, in one pass.
 
@@ -385,7 +396,9 @@ class TemporalEngine:
         ``i``), so deriving the masks is column ops, not an O(n^2)
         Python loop.
         """
-        nodes, arrival = self.arrival_matrix(start_time, semantics, horizon, shards)
+        nodes, arrival = self.arrival_matrix(
+            start_time, semantics, horizon, shards, cluster
+        )
         if not nodes:
             return nodes, []
         packed = np.packbits(arrival != UNREACHED, axis=0, bitorder="little")
@@ -422,13 +435,16 @@ class TemporalEngine:
         semantics: WaitingSemantics = NO_WAIT,
         horizon: int | None = None,
         shards: int | None = None,
+        cluster: "ClusterExecutor | None" = None,
     ) -> tuple[list[Hashable], np.ndarray]:
         """Boolean reachability matrix via the batched sweep.
 
         Same contract as
         :func:`repro.analysis.reachability.reachability_matrix`.
         """
-        nodes, arrival = self.arrival_matrix(start_time, semantics, horizon, shards)
+        nodes, arrival = self.arrival_matrix(
+            start_time, semantics, horizon, shards, cluster
+        )
         matrix = arrival != UNREACHED
         np.fill_diagonal(matrix, True)
         return nodes, matrix

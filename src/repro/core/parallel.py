@@ -188,8 +188,9 @@ def sweep_block(plan: SweepPlan, sources: Sequence[int]) -> np.ndarray:
 
 def effective_shards(n: int, shards: int | None) -> int:
     """The worker count a request actually gets: 1 (serial) for absent
-    or unit requests and for tiny graphs, else ``min(shards, n)``."""
-    if shards is None or shards <= 1 or n < MIN_PARALLEL_NODES:
+    or unit requests, empty source sets, and tiny graphs, else
+    ``min(shards, n)``."""
+    if n <= 0 or shards is None or shards <= 1 or n < MIN_PARALLEL_NODES:
         return 1
     return min(shards, n)
 
@@ -239,9 +240,11 @@ def sharded_arrival_matrix(
     workers, so the answer is never lost to sandboxing.
     """
     nodes, plan = build_sweep_plan(engine, start_time, semantics, horizon)
+    if plan.n == 0:
+        # An empty source set has nothing to shard: answer the (0, n)
+        # matrix directly instead of spinning up a pool over no blocks.
+        return nodes, np.full((0, plan.n), UNREACHED, dtype=np.int64)
     blocks = partition_sources(plan.n, shards)
-    if not blocks:
-        return nodes, np.full((0, 0), UNREACHED, dtype=np.int64)
     if len(blocks) == 1:
         return nodes, sweep_block(plan, blocks[0])
     try:

@@ -11,32 +11,54 @@ entries.
 
 ``server``/``client`` wrap the service in an asyncio JSON-lines
 protocol (``python -m repro serve``), and ``wire`` defines the
-JSON-serializable specs for presences, latencies, and semantics that
-cross the socket.
+JSON-serializable specs for presences, latencies, semantics, sweep
+plans, and sub-matrices that cross the socket.  ``cluster`` distributes
+the arrival sweep itself: ``python -m repro worker`` runs a long-lived
+sweep executor and :class:`ClusterExecutor` ships ``(plan, block)``
+jobs to a fleet of them, re-sweeping any failed block locally so
+answers are always element-for-element equal to the serial sweep.
 """
 
 from repro.service.cache import MISS, QueryCache
 from repro.service.client import ServiceClient
+from repro.service.cluster import (
+    ClusterExecutor,
+    LoopbackWorkerPool,
+    handle_worker_request,
+    serve_worker,
+)
 from repro.service.server import handle_request, serve_service
 from repro.service.service import TVGService
 from repro.service.wire import (
     latency_from_spec,
     latency_to_spec,
+    matrix_from_spec,
+    matrix_to_spec,
     parse_semantics,
+    plan_from_spec,
+    plan_to_spec,
     presence_from_spec,
     presence_to_spec,
 )
 
 __all__ = [
     "MISS",
+    "ClusterExecutor",
+    "LoopbackWorkerPool",
     "QueryCache",
     "ServiceClient",
     "TVGService",
     "handle_request",
+    "handle_worker_request",
     "latency_from_spec",
     "latency_to_spec",
+    "matrix_from_spec",
+    "matrix_to_spec",
     "parse_semantics",
+    "plan_from_spec",
+    "plan_to_spec",
     "presence_from_spec",
     "presence_to_spec",
     "serve_service",
+    "serve_worker",
 ]

@@ -39,8 +39,14 @@ class ServiceClient:
         self._lock = asyncio.Lock()
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 7712) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7712, limit: int | None = None
+    ) -> "ServiceClient":
+        """Open one connection; ``limit`` raises the per-frame byte cap
+        (asyncio's 64 KiB default) — the cluster uses this to pull back
+        packed sub-matrices far larger than a query answer."""
+        kwargs = {} if limit is None else {"limit": limit}
+        reader, writer = await asyncio.open_connection(host, port, **kwargs)
         return cls(reader, writer)
 
     async def request(self, op: str, **params: Any) -> Any:
@@ -54,6 +60,11 @@ class ServiceClient:
             if not line:
                 raise ServiceError("connection closed by server")
             response = json.loads(line)
+        if not response.get("ok") and "id" not in response:
+            # Transport-level error frames (oversized frame, bad JSON)
+            # carry no id — the server never parsed one.  Surface their
+            # message instead of a misleading id-mismatch complaint.
+            raise ServiceError(response.get("error", "unknown server error"))
         if response.get("id") != payload["id"]:
             raise ServiceError(
                 f"response id {response.get('id')!r} does not match "

@@ -1,0 +1,501 @@
+"""The distributed arrival sweep: sweep workers and their executor.
+
+PR 4 sharded the all-pairs arrival sweep across *processes* by lowering
+it to a plain-data :class:`~repro.core.parallel.SweepPlan` and sweeping
+contiguous source blocks independently.  This module ships the same
+plan across *machines*: a **worker** (``python -m repro worker``) is a
+long-lived process speaking the service's JSON-lines protocol whose one
+real operation is ``sweep`` — plan spec plus a source block in, the
+block's sub-matrix out (both base64-packed int64, see
+:mod:`repro.service.wire`) — and the :class:`ClusterExecutor` is the
+parent-side scheduler that partitions the source set with the existing
+:func:`~repro.core.parallel.partition_sources`, ships one job per block
+to the configured workers concurrently over asyncio, and stacks the
+returned sub-matrices into the full matrix.
+
+The correctness contract is absolute, not best-effort: **any** job
+failure — a worker that refuses the connection, disconnects mid-frame,
+times out, answers with a structured error, or returns a malformed or
+mis-shaped frame — is transparently *re-run locally* with the very
+:func:`~repro.core.parallel.sweep_block` the worker would have used, so
+the stacked matrix is always element-for-element equal to the serial
+sweep.  A cluster can therefore lose every worker and still answer;
+what degrades is latency, never the answer.  The fault-injecting
+differential harness in ``tests/properties/test_property_cluster.py``
+kills, hangs, and corrupts workers mid-batch to prove it.
+
+Workers hold no graph and no state between jobs: the plan carries
+everything (black-box presences were already resolved in the parent
+through the engine's LazyContactCache when the plan was built), so any
+worker can serve any client, and restarting one loses nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import TYPE_CHECKING, Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.engine import UNREACHED
+from repro.core.parallel import (
+    MIN_PARALLEL_NODES,
+    SweepPlan,
+    build_sweep_plan,
+    partition_sources,
+    sweep_block,
+)
+from repro.core.semantics import WaitingSemantics
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.server import guarded_response, handle_json_lines
+from repro.service.wire import (
+    matrix_from_spec,
+    matrix_to_spec,
+    plan_from_spec,
+    plan_to_spec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.engine import TemporalEngine
+
+#: Per-frame byte budget on worker connections.  Plans and sub-matrices
+#: are single JSON lines, so the limit must hold the *bigger* of a
+#: packed plan and a packed block reply — a block of ``b`` sources over
+#: ``n`` nodes packs ``8bn`` bytes of int64, ~4/3 that after base64
+#: (e.g. ~85 MB for one of two blocks of a 4000-node sweep).  1 GiB
+#: keeps the limit a runaway-frame guard, not a graph-size ceiling.
+WIRE_LIMIT: int = 2**30
+
+#: Default seconds the executor waits for one block job before re-running
+#: the block locally.
+DEFAULT_TIMEOUT: float = 30.0
+
+
+# -- the worker side -----------------------------------------------------------
+
+
+def dispatch_worker(op: str, params: dict) -> Any:
+    """Apply one worker operation; returns the raw (JSON-able) result."""
+    if op == "sweep":
+        plan = plan_from_spec(params.get("plan"))
+        sources = params.get("sources")
+        if not isinstance(sources, list) or not all(
+            isinstance(s, int) and not isinstance(s, bool) for s in sources
+        ):
+            raise ServiceError("sweep sources must be a list of integers")
+        if any(s < 0 or s >= plan.n for s in sources):
+            raise ServiceError("sweep sources fall outside the plan's node range")
+        return matrix_to_spec(sweep_block(plan, tuple(sources)))
+    if op == "ping":
+        return "pong"
+    raise ServiceError(f"unknown operation {op!r}")
+
+
+def handle_worker_request(request: dict) -> dict:
+    """The worker's dispatcher under the shared error guard — identical
+    framing to the query service, so clients and fault handling treat
+    both ends of the wire the same."""
+    return guarded_response(request, dispatch_worker)
+
+
+async def serve_worker(
+    host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Start a sweep worker; ``port=0`` picks a free port.
+
+    Returns the asyncio server; callers own its lifecycle.
+    """
+
+    async def handler(reader, writer):
+        # Dispatch on a thread: sweep_block is CPU-bound and can run for
+        # tens of seconds, and a worker is shared by many executors — a
+        # slow job must not freeze pings or other clients' jobs.
+        await handle_json_lines(
+            lambda request: asyncio.to_thread(handle_worker_request, request),
+            reader,
+            writer,
+        )
+
+    return await asyncio.start_server(handler, host, port, limit=WIRE_LIMIT)
+
+
+async def run_worker(host: str = "127.0.0.1", port: int = 7713) -> None:
+    """Serve sweep jobs forever (the ``repro worker`` coroutine)."""
+    server = await serve_worker(host, port)
+    for sock in server.sockets or ():
+        print(f"worker listening on {sock.getsockname()}", flush=True)
+    async with server:
+        await server.serve_forever()
+
+
+# -- the executor side ---------------------------------------------------------
+
+
+def parse_worker_address(worker: str | tuple[str, int]) -> tuple[str, int]:
+    """``"host:port"`` (or an already-split pair) as ``(host, port)``.
+
+    Both forms get the same validation — a bad address must fail at
+    construction, not as a silent per-sweep fallback later.
+    """
+    if isinstance(worker, tuple):
+        host, port_text = worker
+        host = str(host)
+    else:
+        host, sep, port_text = worker.rpartition(":")
+        if not sep:
+            raise ServiceError(
+                f"worker address {worker!r} is not of the form host:port"
+            )
+    if not host:
+        raise ServiceError(f"worker address {worker!r} has an empty host")
+    try:
+        port = int(port_text)
+    except (TypeError, ValueError):
+        raise ServiceError(f"worker address {worker!r} has a non-numeric port") from None
+    if not 0 < port < 65536:
+        raise ServiceError(f"worker address {worker!r} has an out-of-range port")
+    return host, port
+
+
+def _run_sync(coroutine):
+    """Run a coroutine to completion from synchronous code.
+
+    The executor is called from plain synchronous query paths
+    (``TemporalEngine.arrival_matrix``) — but sometimes *inside* a
+    running event loop, e.g. when ``repro serve --workers`` dispatches a
+    cache-miss query from its own asyncio server.  ``asyncio.run`` would
+    raise there, so in that case the coroutine gets a private loop on a
+    short-lived thread; the caller blocks either way.
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coroutine)
+    outcome: dict[str, Any] = {}
+
+    def runner() -> None:
+        try:
+            outcome["value"] = asyncio.run(coroutine)
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=runner, name="cluster-sweep", daemon=True)
+    thread.start()
+    thread.join()
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+class ClusterExecutor:
+    """Run arrival sweeps across remote sweep workers.
+
+    ``workers`` is a sequence of ``"host:port"`` strings (or pairs);
+    ``timeout`` bounds each block job before its local re-run;
+    ``min_nodes`` keeps tiny graphs on the serial path (mirroring
+    :func:`~repro.core.parallel.effective_shards` — the wire costs more
+    than the sweep there), overridable down to 0 for tests.
+
+    The executor is stateless between sweeps apart from counters:
+    ``jobs_shipped`` counts block jobs sent to workers and
+    ``jobs_recovered`` the ones whose answers had to be re-computed
+    locally after a worker failure — exactness never depends on either.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str | tuple[str, int]] | str,
+        timeout: float = DEFAULT_TIMEOUT,
+        min_nodes: int = MIN_PARALLEL_NODES,
+    ) -> None:
+        if isinstance(workers, str):
+            # A bare "host:port" is one worker, not a sequence of
+            # characters to parse as addresses.
+            workers = [workers]
+        self.workers = [parse_worker_address(worker) for worker in workers]
+        self.timeout = timeout
+        self.min_nodes = min_nodes
+        self.jobs_shipped = 0
+        self.jobs_recovered = 0
+
+    # -- routing ---------------------------------------------------------------
+
+    def routes(self, node_count: int) -> bool:
+        """Whether a sweep of ``node_count`` sources should come here
+        (workers configured and the graph big enough to pay the wire)."""
+        return bool(self.workers) and node_count >= max(1, self.min_nodes)
+
+    # -- the distributed sweep -------------------------------------------------
+
+    def arrival_matrix(
+        self,
+        engine: "TemporalEngine",
+        start_time: int,
+        semantics: WaitingSemantics,
+        horizon: int,
+    ) -> tuple[list[Hashable], np.ndarray]:
+        """All-pairs earliest arrivals via the worker fleet.
+
+        Lowers the sweep in the parent (black-box presences resolved
+        through the engine's LazyContactCache, exactly as the process
+        pool does) and distributes the blocks — element for element
+        equal to :meth:`TemporalEngine.arrival_matrix` run serially.
+        """
+        nodes, plan = build_sweep_plan(engine, start_time, semantics, horizon)
+        return nodes, self.sweep(plan)
+
+    def sweep(self, plan: SweepPlan) -> np.ndarray:
+        """The full ``(n, n)`` matrix of one lowered plan."""
+        if plan.n == 0:
+            return np.full((0, plan.n), UNREACHED, dtype=np.int64)
+        if not self.workers:
+            return sweep_block(plan, tuple(range(plan.n)))
+        blocks = partition_sources(plan.n, len(self.workers))
+        parts = _run_sync(self._sweep_blocks(plan, blocks))
+        return np.vstack(parts)
+
+    async def _sweep_blocks(
+        self, plan: SweepPlan, blocks: list[tuple[int, ...]]
+    ) -> list[np.ndarray]:
+        spec = plan_to_spec(plan)
+        jobs = [
+            self._run_block(spec, plan, block, self.workers[i % len(self.workers)])
+            for i, block in enumerate(blocks)
+        ]
+        return list(await asyncio.gather(*jobs))
+
+    async def _run_block(
+        self,
+        spec: dict,
+        plan: SweepPlan,
+        block: tuple[int, ...],
+        worker: tuple[str, int],
+    ) -> np.ndarray:
+        """One block job: remote if the worker cooperates, local if not."""
+        self.jobs_shipped += 1
+        try:
+            return await asyncio.wait_for(
+                self._remote_sweep(spec, plan, block, worker), self.timeout
+            )
+        except (
+            ServiceError,
+            OSError,          # refused/reset connections; TimeoutError too (3.11+)
+            EOFError,         # disconnects mid-frame (IncompleteReadError)
+            asyncio.TimeoutError,
+            ValueError,       # malformed JSON / not-even-close frames
+            KeyError,
+            TypeError,
+            AttributeError,
+        ):
+            self.jobs_recovered += 1
+            # Off the event loop: the local re-sweep is CPU-bound and can
+            # outlast the job timeout — run inline it would starve the
+            # loop, stall the healthy workers' replies, and cascade their
+            # jobs into spurious timeout recoveries.
+            return await asyncio.to_thread(sweep_block, plan, block)
+
+    async def _remote_sweep(
+        self,
+        spec: dict,
+        plan: SweepPlan,
+        block: tuple[int, ...],
+        worker: tuple[str, int],
+    ) -> np.ndarray:
+        host, port = worker
+        client = await ServiceClient.connect(host, port, limit=WIRE_LIMIT)
+        try:
+            result = await client.request("sweep", plan=spec, sources=list(block))
+        finally:
+            await client.close()
+        matrix = matrix_from_spec(result)
+        if matrix.shape != (len(block), plan.n):
+            raise ServiceError(
+                f"worker {host}:{port} returned shape {matrix.shape}, "
+                f"expected {(len(block), plan.n)}"
+            )
+        return matrix
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-able snapshot of the executor's counters."""
+        return {
+            "workers": [f"{host}:{port}" for host, port in self.workers],
+            "timeout": self.timeout,
+            "jobs_shipped": self.jobs_shipped,
+            "jobs_recovered": self.jobs_recovered,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterExecutor({len(self.workers)} workers, "
+            f"{self.jobs_shipped} shipped, {self.jobs_recovered} recovered)"
+        )
+
+
+class FaultyWorker:
+    """A TCP "sweep worker" that misbehaves on purpose — a chaos double.
+
+    The executor's only correctness obligation is that worker failures
+    never change an answer; this double injects the failure modes the
+    fault-handling path must absorb, for the differential harness
+    (``tests/properties/test_property_cluster.py``), the cluster unit
+    tests, and ad-hoc chaos runs against a live executor.  ``mode`` is
+    mutable mid-run:
+
+    * ``"kill"``     — accept the job, then close without answering;
+    * ``"hang"``     — accept the job and hold the connection silently
+      until the executor's timeout fires;
+    * ``"corrupt"``  — answer with a line that is not JSON;
+    * ``"misshape"`` — answer ``ok: true`` with a well-formed matrix
+      spec of the wrong dimensions.
+
+    Deliberately implemented on plain blocking sockets and threads, not
+    asyncio: it must be able to violate the protocol in ways the real
+    worker's framing never would.
+    """
+
+    def __init__(self, mode: str = "kill") -> None:
+        self.mode = mode
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self.address = f"127.0.0.1:{self.port}"
+        self.jobs_seen = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, name="faulty-worker", daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _peer = self._sock.accept()
+            except OSError:  # listener closed
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn) -> None:
+        try:
+            conn.settimeout(10)
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = conn.recv(1 << 16)
+                if not chunk:
+                    return
+                data += chunk
+            self.jobs_seen += 1
+            mode = self.mode
+            if mode == "hang":
+                self._stop.wait(10)
+            elif mode == "corrupt":
+                conn.sendall(b"{this is not json\n")
+            elif mode == "misshape":
+                request = json.loads(data)
+                response = {
+                    "id": request.get("id"),
+                    "ok": True,
+                    "result": {
+                        "kind": "int64_matrix",
+                        "rows": 1,
+                        "cols": 1,
+                        "data": "AAAAAAAAAAA=",  # one packed int64 zero
+                    },
+                }
+                conn.sendall(json.dumps(response).encode() + b"\n")
+            # "kill": fall through and close without a byte in reply.
+        except OSError:  # pragma: no cover — peer raced the fault
+            pass
+        finally:
+            conn.close()
+
+    def __enter__(self) -> "FaultyWorker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._sock.close()
+
+
+class LoopbackWorkerPool:
+    """``count`` in-process sweep workers on a background event loop.
+
+    A context manager for tests, benchmarks, and trying the cluster
+    path without deploying anything: the workers are real asyncio
+    servers on loopback ports, indistinguishable on the wire from
+    ``python -m repro worker`` processes — they just share this
+    process's GIL, so they prove *plumbing*, not parallel speed-up.
+
+    ::
+
+        with LoopbackWorkerPool(2) as pool:
+            cluster = ClusterExecutor(pool.addresses)
+            nodes, matrix = engine.arrival_matrix(0, WAIT, horizon=20,
+                                                  cluster=cluster)
+    """
+
+    def __init__(self, count: int = 2) -> None:
+        self.count = count
+        self.addresses: list[str] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._servers: list[asyncio.AbstractServer] = []
+
+    def __enter__(self) -> "LoopbackWorkerPool":
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="loopback-workers", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        try:
+            for _ in range(self.count):
+                server = asyncio.run_coroutine_threadsafe(
+                    serve_worker(port=0), self._loop
+                ).result(timeout=10)
+                self._servers.append(server)
+                host, port = server.sockets[0].getsockname()[:2]
+                self.addresses.append(f"{host}:{port}")
+        except BaseException:
+            # A failed bind mid-startup must not leak the loop thread or
+            # the servers that did come up — __exit__ will never run.
+            self.__exit__(None, None, None)
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+
+        async def shutdown() -> None:
+            for server in self._servers:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run_coroutine_threadsafe(shutdown(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        loop.close()
+        self._servers.clear()
+        self._loop = None
+        self._thread = None

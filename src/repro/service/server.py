@@ -34,6 +34,7 @@ ping          —
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 from typing import Any
 
@@ -87,12 +88,15 @@ def dispatch(service: TVGService, op: str, params: dict) -> Any:
     raise ServiceError(f"unknown operation {op!r}")
 
 
-def handle_request(service: TVGService, request: dict) -> dict:
+def guarded_response(request: Any, dispatcher) -> dict:
     """One request dict in, one response dict out; never raises.
 
-    Library errors (unknown node/edge, bad window, bad spec) come back
-    as ``ok: false`` with the message, so one bad request cannot take
-    down the connection — or the replay — that carries it.
+    ``dispatcher(op, params)`` produces the result.  Library errors
+    (unknown node/edge, bad window, bad spec) come back as ``ok: false``
+    with the message, so one bad request cannot take down the connection
+    — or the replay — that carries it.  Shared by the query service and
+    the cluster's sweep workers (:mod:`repro.service.cluster`), so both
+    produce identical structured error frames.
     """
     response: dict[str, Any] = {}
     if isinstance(request, dict) and "id" in request:
@@ -100,7 +104,7 @@ def handle_request(service: TVGService, request: dict) -> dict:
     try:
         if not isinstance(request, dict) or "op" not in request:
             raise ServiceError("request must be an object with an 'op' field")
-        result = dispatch(service, request["op"], request)
+        result = dispatcher(request["op"], request)
         response.update(ok=True, result=result)
     except (ReproError, KeyError, TypeError, ValueError) as exc:
         detail = repr(exc.args[0]) if isinstance(exc, KeyError) and exc.args else str(exc)
@@ -108,20 +112,79 @@ def handle_request(service: TVGService, request: dict) -> dict:
     return response
 
 
-async def _handle_connection(
-    service: TVGService, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+def handle_request(service: TVGService, request: dict) -> dict:
+    """The query service's dispatcher under the shared error guard."""
+    return guarded_response(request, lambda op, params: dispatch(service, op, params))
+
+
+async def _discard_frame(reader: asyncio.StreamReader) -> bool:
+    """Consume the rest of an over-long frame, up to and including its
+    newline.  Returns False if the peer hung up before finishing it."""
+    while True:
+        try:
+            await reader.readuntil(b"\n")
+            return True
+        except asyncio.LimitOverrunError as exc:
+            # Buffer full with no newline yet: drop what arrived and
+            # keep scanning (readuntil leaves the data in the buffer).
+            await reader.readexactly(exc.consumed)
+        except asyncio.IncompleteReadError:
+            return False
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """One newline-terminated frame.
+
+    Returns ``b""`` at EOF and ``None`` for a frame that overran the
+    stream's limit — the oversized frame is consumed in full either
+    way, so the connection stays aligned and usable afterwards.
+    """
+    try:
+        return await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        return exc.partial  # trailing unterminated frame, or b"" at EOF
+    except asyncio.LimitOverrunError as exc:
+        await reader.readexactly(exc.consumed)
+        if not await _discard_frame(reader):
+            return b""
+        return None
+
+
+async def handle_json_lines(
+    respond, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
 ) -> None:
+    """The shared JSON-lines connection loop.
+
+    ``respond(request) -> response`` is a dict-to-dict function —
+    :func:`handle_request` bound to a service, or the cluster worker's
+    :func:`~repro.service.cluster.handle_worker_request` — and may
+    return an awaitable (the worker uses that to push CPU-bound sweeps
+    off the event loop so one slow job cannot freeze the whole
+    process).  Transport-level failures — bad JSON, frames longer than
+    the stream limit — become structured ``ServiceError`` frames and
+    the connection stays usable, exactly like dispatcher-level errors;
+    that is the behaviour the cluster's fault handling (local re-run on
+    malformed frames) relies on.
+    """
     try:
         while True:
-            line = await reader.readline()
-            if not line:
+            line = await _read_frame(reader)
+            if line is None:
+                response: dict[str, Any] = {
+                    "ok": False,
+                    "error": "ServiceError: frame exceeds the line limit",
+                }
+            elif not line:
                 break
-            try:
-                request = json.loads(line)
-            except json.JSONDecodeError as exc:
-                response = {"ok": False, "error": f"bad JSON: {exc}"}
             else:
-                response = handle_request(service, request)
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = {"ok": False, "error": f"ServiceError: bad JSON: {exc}"}
+                else:
+                    response = respond(request)
+                    if inspect.isawaitable(response):
+                        response = await response
             writer.write(json.dumps(response).encode() + b"\n")
             await writer.drain()
     finally:
@@ -136,18 +199,22 @@ async def _handle_connection(
 
 
 async def serve_service(
-    service: TVGService, host: str = "127.0.0.1", port: int = 0
+    service: TVGService, host: str = "127.0.0.1", port: int = 0, limit: int | None = None
 ) -> asyncio.AbstractServer:
     """Start serving; ``port=0`` picks a free port (see the socket name).
 
-    Returns the asyncio server; callers own its lifecycle
+    ``limit`` caps the per-frame byte budget (asyncio's default 64 KiB
+    when None); longer frames get a structured error, not a dead
+    connection.  Returns the asyncio server; callers own its lifecycle
     (``async with server: await server.serve_forever()``).
     """
 
     async def handler(reader, writer):
-        await _handle_connection(service, reader, writer)
+        await handle_json_lines(lambda request: handle_request(service, request),
+                                reader, writer)
 
-    return await asyncio.start_server(handler, host, port)
+    kwargs = {} if limit is None else {"limit": limit}
+    return await asyncio.start_server(handler, host, port, **kwargs)
 
 
 async def run_service(

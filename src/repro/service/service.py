@@ -29,7 +29,7 @@ mutation/query schedules against a shadow copy to prove it.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 import numpy as np
 
@@ -45,6 +45,9 @@ from repro.core.tvg import TimeVaryingGraph
 from repro.errors import ServiceError
 from repro.service.cache import MISS, QueryCache
 
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.service.cluster import ClusterExecutor
+
 
 class TVGService:
     """Answer reachability queries over a graph that mutates under you.
@@ -52,8 +55,13 @@ class TVGService:
     ``cache_size`` bounds the number of memoized results; ``window``
     optionally pre-declares the engine's compiled window.  ``shards``
     opts cache-miss arrival sweeps into the process-sharded sweep
-    (:mod:`repro.core.parallel`) — answers are identical, so cache keys
-    and hit behaviour don't change.
+    (:mod:`repro.core.parallel`); ``workers`` — a list of
+    ``"host:port"`` sweep-worker addresses (or a ready
+    :class:`~repro.service.cluster.ClusterExecutor`) — ships them to
+    remote workers instead, with any failed block re-swept locally,
+    each job bounded by ``worker_timeout`` seconds (ignored when a
+    ready executor is passed — it carries its own).  Answers are
+    identical either way, so cache keys and hit behaviour don't change.
     """
 
     def __init__(
@@ -62,11 +70,20 @@ class TVGService:
         window: Interval | tuple[int, int] | None = None,
         cache_size: int = 256,
         shards: int | None = None,
+        workers: "Sequence[str] | ClusterExecutor | None" = None,
+        worker_timeout: float | None = None,
     ) -> None:
+        from repro.service.cluster import DEFAULT_TIMEOUT, ClusterExecutor
+
         self.graph = graph
         self.engine = TemporalEngine(graph, window)
         self.cache = QueryCache(max_entries=cache_size)
         self.shards = shards
+        if workers is None or isinstance(workers, ClusterExecutor):
+            self.cluster = workers
+        else:
+            timeout = DEFAULT_TIMEOUT if worker_timeout is None else worker_timeout
+            self.cluster = ClusterExecutor(workers, timeout=timeout)
         self.queries_served = 0
         self.mutations_applied = 0
 
@@ -92,7 +109,8 @@ class TVGService:
 
         def compute():
             nodes, matrix = self.engine.arrival_matrix(
-                start, semantics, horizon=horizon, shards=self.shards
+                start, semantics, horizon=horizon, shards=self.shards,
+                cluster=self.cluster,
             )
             return {node: i for i, node in enumerate(nodes)}, matrix
 
@@ -160,7 +178,8 @@ class TVGService:
 
         def compute():
             report = classify_graph(
-                self.graph, start, end, engine=self.engine, shards=self.shards
+                self.graph, start, end, engine=self.engine, shards=self.shards,
+                cluster=self.cluster,
             )
             return {
                 "classes": sorted(report.classes),
@@ -207,7 +226,7 @@ class TVGService:
 
     def stats(self) -> dict:
         """A JSON-able snapshot of service and cache state."""
-        return {
+        report = {
             "graph": {
                 "name": self.graph.name,
                 "nodes": self.graph.node_count,
@@ -218,6 +237,9 @@ class TVGService:
             "mutations_applied": self.mutations_applied,
             "cache": self.cache.stats(),
         }
+        if self.cluster is not None:
+            report["cluster"] = self.cluster.stats()
+        return report
 
     def __repr__(self) -> str:
         return (

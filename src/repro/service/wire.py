@@ -8,7 +8,17 @@ semantics need a round-trippable plain-data form:
   ``{"kind": "intervals", "pairs": [[a, b], ...]}``, or
   ``{"kind": "at", "times": [...]}``;
 * latency — ``{"kind": "constant", "value": v}``;
-* semantics — the CLI strings ``"wait"``, ``"nowait"``, ``"wait[d]"``.
+* semantics — the CLI strings ``"wait"``, ``"nowait"``, ``"wait[d]"``;
+* sweep plan — a whole lowered :class:`~repro.core.parallel.SweepPlan`
+  (``{"kind": "sweep_plan"}``), the payload the distributed sweep ships
+  to :mod:`repro.service.cluster` workers.  The plan's contact/arrival
+  sequences and CSR adjacency are *packed*, not listed: each ragged
+  family is flattened into one little-endian int64 array plus an offset
+  array, base64-encoded — a plan of ``k`` ints costs ~``8k/0.75`` bytes
+  on the wire instead of a JSON list of ``k`` numbers, and decodes with
+  two ``frombuffer`` calls instead of a million ``int()`` parses;
+* int64 matrix — ``{"kind": "int64_matrix"}``, the sub-matrix a worker
+  returns for its source block (same base64 packing, row-major).
 
 Black-box :class:`~repro.core.presence.FunctionPresence` and callable
 latencies have no finite description, so they are rejected with a
@@ -20,7 +30,10 @@ arbitrary presence objects directly.
 
 from __future__ import annotations
 
-from typing import Any
+import base64
+from typing import Any, Sequence
+
+import numpy as np
 
 from repro.core.latency import ConstantLatency, LatencyFunction, constant_latency
 from repro.core.presence import (
@@ -34,6 +47,7 @@ from repro.core.presence import (
     never,
     periodic_presence,
 )
+from repro.core.parallel import SweepPlan
 from repro.core.semantics import WaitingSemantics
 from repro.core.semantics import parse_semantics as parse_semantics_string
 from repro.errors import SemanticsError, ServiceError
@@ -128,3 +142,177 @@ def parse_semantics(text: str) -> WaitingSemantics:
         return parse_semantics_string(text)
     except SemanticsError as exc:
         raise ServiceError(str(exc)) from None
+
+
+# -- packed int64 payloads (sweep plans and sub-matrices) ----------------------
+
+#: Every packed array crosses the wire as little-endian int64, whatever
+#: the host byte order — ``frombuffer`` on the far side is then exact.
+_WIRE_DTYPE = "<i8"
+
+
+def _pack_int64(values: Sequence[int] | np.ndarray) -> str:
+    """Base64 of the values as a little-endian int64 array."""
+    try:
+        array = np.ascontiguousarray(values, dtype=_WIRE_DTYPE)
+    except (OverflowError, ValueError, TypeError) as exc:
+        raise ServiceError(f"values do not fit the wire's int64 form: {exc}") from None
+    return base64.b64encode(array.tobytes()).decode("ascii")
+
+
+def _unpack_int64(text: Any, what: str) -> np.ndarray:
+    """The inverse of :func:`_pack_int64` (raises :class:`ServiceError`)."""
+    if not isinstance(text, str):
+        raise ServiceError(f"{what} must be a base64 string, not {type(text).__name__}")
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise ServiceError(f"{what} is not valid base64: {exc}") from None
+    if len(raw) % 8:
+        raise ServiceError(f"{what} is not a whole number of int64 values")
+    return np.frombuffer(raw, dtype=_WIRE_DTYPE)
+
+
+def _flatten(seqs: Sequence[Sequence[int]]) -> tuple[list[int], list[int]]:
+    """One ragged family as (flat values, offsets); ``offsets[i]:offsets[i+1]``
+    slices out sequence ``i``."""
+    offsets = [0]
+    flat: list[int] = []
+    for seq in seqs:
+        flat.extend(seq)
+        offsets.append(len(flat))
+    return flat, offsets
+
+
+def _split(flat: np.ndarray, offsets: np.ndarray, what: str) -> tuple[tuple[int, ...], ...]:
+    """Rebuild the ragged family (tuples of python ints, bit-exact)."""
+    if len(offsets) == 0 or offsets[0] != 0:
+        raise ServiceError(f"{what} offsets must start at 0")
+    if np.any(np.diff(offsets) < 0):
+        raise ServiceError(f"{what} offsets must be non-decreasing")
+    if offsets[-1] != len(flat):
+        raise ServiceError(f"{what} offsets do not cover the packed values")
+    values = flat.tolist()
+    bounds = offsets.tolist()
+    return tuple(
+        tuple(values[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
+    )
+
+
+def plan_to_spec(plan: SweepPlan) -> dict[str, Any]:
+    """The JSON-able description of one lowered sweep plan.
+
+    The ragged families (per-node out-edge lists, per-edge contact and
+    arrival dates) are flattened CSR-style and base64-packed; contacts
+    and arrivals share one offset array (they are aligned by
+    construction).
+    """
+    out_flat, out_offsets = _flatten(plan.out_edges)
+    contact_flat, contact_offsets = _flatten(plan.contacts)
+    arrival_flat, arrival_offsets = _flatten(plan.arrivals)
+    if arrival_offsets != contact_offsets:
+        raise ServiceError("plan arrivals are not aligned with its contacts")
+    return {
+        "kind": "sweep_plan",
+        "n": plan.n,
+        "start": plan.start_time,
+        "horizon": plan.horizon,
+        "max_wait": plan.max_wait,
+        "targets": _pack_int64(plan.target_idx),
+        "out_edges": _pack_int64(out_flat),
+        "out_offsets": _pack_int64(out_offsets),
+        "contacts": _pack_int64(contact_flat),
+        "arrivals": _pack_int64(arrival_flat),
+        "contact_offsets": _pack_int64(contact_offsets),
+    }
+
+
+def plan_from_spec(spec: dict[str, Any]) -> SweepPlan:
+    """Rebuild a :class:`~repro.core.parallel.SweepPlan` from its spec.
+
+    Validates shape invariants (offset coverage, index ranges) so a
+    malformed or truncated frame becomes a :class:`ServiceError` — the
+    signal the cluster's fault handling turns into a local re-run —
+    never a worker crash deep inside the sweep.
+    """
+    if not isinstance(spec, dict) or spec.get("kind") != "sweep_plan":
+        raise ServiceError(f"malformed sweep plan spec {spec!r}")
+    try:
+        n = int(spec["n"])
+        start = int(spec["start"])
+        horizon = int(spec["horizon"])
+        raw_wait = spec["max_wait"]
+        max_wait = None if raw_wait is None else int(raw_wait)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed sweep plan header: {exc}") from None
+    if n < 0:
+        raise ServiceError("sweep plan node count must be >= 0")
+    if max_wait is not None and max_wait < 0:
+        raise ServiceError("sweep plan max_wait must be >= 0 or null")
+    targets = _unpack_int64(spec.get("targets"), "targets")
+    out_flat = _unpack_int64(spec.get("out_edges"), "out_edges")
+    out_edges = _split(
+        out_flat, _unpack_int64(spec.get("out_offsets"), "out_offsets"), "out_edges"
+    )
+    contact_offsets = _unpack_int64(spec.get("contact_offsets"), "contact_offsets")
+    contacts = _split(
+        _unpack_int64(spec.get("contacts"), "contacts"), contact_offsets, "contacts"
+    )
+    arrivals = _split(
+        _unpack_int64(spec.get("arrivals"), "arrivals"), contact_offsets, "arrivals"
+    )
+    edge_count = len(targets)
+    if len(out_edges) != n:
+        raise ServiceError(
+            f"sweep plan has {n} nodes but {len(out_edges)} out-edge lists"
+        )
+    if len(contacts) != edge_count:
+        raise ServiceError(
+            f"sweep plan has {edge_count} edges but {len(contacts)} contact lists"
+        )
+    if edge_count and (targets.min() < 0 or targets.max() >= n):
+        raise ServiceError("sweep plan edge targets fall outside the node range")
+    if len(out_flat) and (out_flat.min() < 0 or out_flat.max() >= edge_count):
+        raise ServiceError("sweep plan adjacency names an unknown edge")
+    return SweepPlan(
+        n=n,
+        out_edges=out_edges,
+        target_idx=tuple(targets.tolist()),
+        contacts=contacts,
+        arrivals=arrivals,
+        start_time=start,
+        horizon=horizon,
+        max_wait=max_wait,
+    )
+
+
+def matrix_to_spec(matrix: np.ndarray) -> dict[str, Any]:
+    """The JSON-able description of one int64 sub-matrix (row-major)."""
+    array = np.ascontiguousarray(matrix, dtype=np.int64)
+    if array.ndim != 2:
+        raise ServiceError(f"expected a 2-d matrix, got shape {array.shape}")
+    return {
+        "kind": "int64_matrix",
+        "rows": int(array.shape[0]),
+        "cols": int(array.shape[1]),
+        "data": _pack_int64(array.reshape(-1)),
+    }
+
+
+def matrix_from_spec(spec: dict[str, Any]) -> np.ndarray:
+    """Rebuild an int64 matrix from its spec (raises :class:`ServiceError`)."""
+    if not isinstance(spec, dict) or spec.get("kind") != "int64_matrix":
+        raise ServiceError(f"malformed matrix spec {spec!r}")
+    try:
+        rows = int(spec["rows"])
+        cols = int(spec["cols"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed matrix header: {exc}") from None
+    if rows < 0 or cols < 0:
+        raise ServiceError("matrix dimensions must be >= 0")
+    flat = _unpack_int64(spec.get("data"), "matrix data")
+    if len(flat) != rows * cols:
+        raise ServiceError(
+            f"matrix data holds {len(flat)} values, expected {rows}x{cols}"
+        )
+    return flat.reshape(rows, cols).astype(np.int64, copy=True)

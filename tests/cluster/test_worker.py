@@ -1,0 +1,153 @@
+"""Socket-free tests for the cluster's worker side.
+
+The worker dispatcher (:func:`repro.service.cluster.dispatch_worker`)
+is a plain function — plan spec plus source block in, packed sub-matrix
+out — so its whole contract is testable without opening a port: the
+returned matrix must equal :func:`~repro.core.parallel.sweep_block` on
+the same inputs, and every malformed request must come back as a
+structured error frame, never a crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TemporalEngine
+from repro.core.generators import periodic_random_tvg
+from repro.core.parallel import build_sweep_plan, partition_sources, sweep_block
+from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.errors import ServiceError
+from repro.service.cluster import (
+    ClusterExecutor,
+    dispatch_worker,
+    handle_worker_request,
+    parse_worker_address,
+)
+from repro.service.wire import matrix_from_spec, plan_to_spec
+
+HORIZON = 14
+
+
+def plan_and_serial(semantics=WAIT, n=12, seed=3):
+    graph = periodic_random_tvg(n, period=6, density=0.12, seed=seed)
+    engine = TemporalEngine(graph)
+    _nodes, serial = engine.arrival_matrix(0, semantics, horizon=HORIZON)
+    _same, plan = build_sweep_plan(engine, 0, semantics, HORIZON)
+    return plan, serial
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("semantics", [NO_WAIT, WAIT, bounded_wait(2)])
+    def test_sweep_equals_local_block_sweep(self, semantics):
+        plan, serial = plan_and_serial(semantics)
+        for block in partition_sources(plan.n, 3):
+            result = dispatch_worker(
+                "sweep", {"plan": plan_to_spec(plan), "sources": list(block)}
+            )
+            assert np.array_equal(matrix_from_spec(result), serial[list(block)])
+
+    def test_ping(self):
+        assert dispatch_worker("ping", {}) == "pong"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ServiceError):
+            dispatch_worker("arrival", {})
+
+    @pytest.mark.parametrize(
+        "sources", [None, "0,1", [0, "1"], [True], [[0]], [0, -1], [0, 99]]
+    )
+    def test_bad_sources_rejected(self, sources):
+        plan, _serial = plan_and_serial()
+        with pytest.raises(ServiceError):
+            dispatch_worker("sweep", {"plan": plan_to_spec(plan), "sources": sources})
+
+    def test_malformed_plan_rejected(self):
+        with pytest.raises(ServiceError):
+            dispatch_worker("sweep", {"plan": {"kind": "nope"}, "sources": [0]})
+
+    def test_error_frames_are_structured(self):
+        response = handle_worker_request({"op": "sweep", "id": 7, "plan": None})
+        assert response == {
+            "id": 7,
+            "ok": False,
+            "error": f"ServiceError: malformed sweep plan spec {None!r}",
+        }
+
+    def test_result_frames_echo_the_id(self):
+        plan, serial = plan_and_serial()
+        response = handle_worker_request(
+            {"op": "sweep", "id": 3, "plan": plan_to_spec(plan), "sources": [0, 1]}
+        )
+        assert response["id"] == 3 and response["ok"]
+        assert np.array_equal(matrix_from_spec(response["result"]), serial[:2])
+
+
+class TestWorkerAddresses:
+    def test_host_port_strings_parse(self):
+        assert parse_worker_address("127.0.0.1:7713") == ("127.0.0.1", 7713)
+        assert parse_worker_address("sweeper.internal:80") == ("sweeper.internal", 80)
+        assert parse_worker_address(("h", 9)) == ("h", 9)
+
+    @pytest.mark.parametrize("text", ["", "7713", ":7713", "host:", "host:x", "h:0", "h:70000"])
+    def test_malformed_addresses_rejected(self, text):
+        with pytest.raises(ServiceError):
+            parse_worker_address(text)
+
+    def test_bare_string_fleet_is_one_worker_not_characters(self):
+        assert ClusterExecutor("127.0.0.1:7713").workers == [("127.0.0.1", 7713)]
+
+    @pytest.mark.parametrize(
+        "pair", [("h", 0), ("h", 70000), ("h", "x"), ("", 7713), ("h", None)]
+    )
+    def test_tuple_addresses_get_the_same_validation(self, pair):
+        with pytest.raises(ServiceError):
+            parse_worker_address(pair)
+
+    def test_service_accepts_a_bare_worker_string(self):
+        from repro.service.service import TVGService
+
+        service = TVGService(
+            periodic_random_tvg(6, period=4, density=0.3, seed=1),
+            workers="127.0.0.1:7713",
+        )
+        assert service.cluster.workers == [("127.0.0.1", 7713)]
+
+    def test_service_threads_the_worker_timeout(self):
+        from repro.service.service import TVGService
+
+        graph = periodic_random_tvg(6, period=4, density=0.3, seed=1)
+        service = TVGService(graph, workers=["127.0.0.1:7713"], worker_timeout=2.5)
+        assert service.cluster.timeout == 2.5
+
+
+class TestExecutorWithoutWorkers:
+    def test_empty_fleet_sweeps_locally(self):
+        plan, serial = plan_and_serial()
+        cluster = ClusterExecutor([])
+        assert np.array_equal(cluster.sweep(plan), serial)
+        assert cluster.jobs_shipped == 0
+
+    def test_routing_policy(self):
+        cluster = ClusterExecutor(["127.0.0.1:7713"])
+        assert cluster.routes(100)
+        assert not cluster.routes(0)
+        assert not cluster.routes(3)  # below MIN_PARALLEL_NODES
+        assert not ClusterExecutor([]).routes(100)
+        assert ClusterExecutor(["127.0.0.1:7713"], min_nodes=0).routes(1)
+
+    def test_empty_plan_answers_without_any_jobs(self):
+        graph = periodic_random_tvg(2, period=4, density=0.5, seed=1)
+        engine = TemporalEngine(graph)
+        _nodes, plan = build_sweep_plan(engine, 0, WAIT, HORIZON)
+        empty = plan.__class__(
+            n=0, out_edges=(), target_idx=(), contacts=(), arrivals=(),
+            start_time=0, horizon=HORIZON, max_wait=None,
+        )
+        cluster = ClusterExecutor(["127.0.0.1:1"])  # nothing listens there
+        matrix = cluster.sweep(empty)
+        assert matrix.shape == (0, 0)
+        assert cluster.jobs_shipped == 0
+
+    def test_block_rows_match_serial_rows(self):
+        plan, serial = plan_and_serial(bounded_wait(1))
+        rows = sweep_block(plan, (4, 1, 7))
+        assert np.array_equal(rows, serial[[4, 1, 7]])

@@ -94,6 +94,36 @@ class TestPartition:
         assert effective_shards(MIN_PARALLEL_NODES, 4) == 4
         assert effective_shards(10, 64) == 10  # clamped to the node count
 
+    def test_more_shards_than_sources_never_yields_empty_blocks(self):
+        for n in (1, 2, 5):
+            blocks = partition_sources(n, n + 37)
+            assert len(blocks) == n
+            assert all(len(block) == 1 for block in blocks)
+            assert [i for block in blocks for i in block] == list(range(n))
+
+    def test_empty_source_set_partitions_to_nothing(self):
+        assert partition_sources(0, 1) == []
+        assert partition_sources(0, 8) == []
+
+    def test_single_shard_is_one_covering_block(self):
+        for n in (1, 7, 20):
+            assert partition_sources(n, 1) == [tuple(range(n))]
+
+    def test_blocks_are_contiguous_and_disjoint(self):
+        for n in (5, 9, 16):
+            for shards in (2, 3, 4, 7):
+                blocks = partition_sources(n, shards)
+                seen: set[int] = set()
+                for block in blocks:
+                    assert block == tuple(range(block[0], block[-1] + 1))
+                    assert not seen & set(block)
+                    seen |= set(block)
+                assert seen == set(range(n))
+
+    def test_empty_source_set_never_reaches_effective_shards(self):
+        assert effective_shards(0, 8) == 1
+        assert effective_shards(0, None) == 1
+
 
 class TestSweepPlan:
     def test_plan_is_plain_picklable_data(self):
@@ -184,6 +214,29 @@ class TestEngineFallbacks:
         engine = TemporalEngine(g)
         nodes, matrix = engine.arrival_matrix(0, WAIT, horizon=HORIZON, shards=8)
         assert matrix.shape == (len(nodes), len(nodes))
+
+    def test_empty_graph_stays_serial_and_answers_0xn(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover — fails the test
+            raise AssertionError("sharded path taken for an empty source set")
+
+        monkeypatch.setattr(parallel, "sharded_arrival_matrix", boom)
+        g = TimeVaryingGraph(lifetime=Lifetime(0, HORIZON), name="empty")
+        nodes, matrix = TemporalEngine(g).arrival_matrix(
+            0, WAIT, horizon=HORIZON, shards=8
+        )
+        assert nodes == [] and matrix.shape == (0, 0)
+
+    def test_sharded_call_on_empty_sources_never_opens_a_pool(self, monkeypatch):
+        import concurrent.futures
+
+        def boom(*args, **kwargs):  # pragma: no cover — fails the test
+            raise AssertionError("a pool was spun up for an empty source set")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", boom)
+        g = TimeVaryingGraph(lifetime=Lifetime(0, HORIZON), name="empty")
+        nodes, matrix = sharded_arrival_matrix(TemporalEngine(g), 0, WAIT, HORIZON, 4)
+        assert nodes == []
+        assert matrix.shape == (0, 0) and matrix.dtype == np.int64
 
 
 @pytest.mark.slow

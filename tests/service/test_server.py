@@ -123,6 +123,88 @@ class TestProtocol:
                 await writer.drain()
                 response = json.loads(await reader.readline())
                 assert response["ok"] is False and "bad JSON" in response["error"]
+                assert response["error"].startswith("ServiceError")
+                # The connection survives the bad frame.
+                writer.write(b'{"op": "ping", "id": 2}\n')
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response == {"id": 2, "ok": True, "result": "pong"}
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                server.close()
+                await server.wait_closed()
+
+        run(body())
+
+    def test_client_surfaces_transport_error_frames(self):
+        """An oversized request through ServiceClient must raise the
+        server's structured message, not an id-mismatch complaint (the
+        error frame carries no id — the frame was never parsed)."""
+
+        async def body():
+            service = TVGService(line_graph())
+            server = await serve_service(service, port=0, limit=1024)
+            port = server.sockets[0].getsockname()[1]
+            client = await ServiceClient.connect(port=port)
+            try:
+                with pytest.raises(ServiceError, match="frame exceeds"):
+                    await client.request("ping", padding="x" * 8192)
+                assert await client.ping() == "pong"  # connection realigned
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        run(body())
+
+    def test_unknown_op_gets_a_structured_error(self):
+        async def body():
+            service = TVGService(line_graph())
+            server, client = await served(service)
+            try:
+                with pytest.raises(ServiceError, match="unknown operation"):
+                    await client.request("frobnicate")
+                assert await client.ping() == "pong"  # still usable
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        run(body())
+
+    @pytest.mark.parametrize("terminated", [True, False])
+    def test_oversized_line_gets_an_error_and_the_connection_survives(
+        self, terminated
+    ):
+        """A frame longer than the stream limit — whether its newline is
+        already buffered or still inbound — must produce one structured
+        error and leave the connection aligned for the next request."""
+
+        async def body():
+            service = TVGService(line_graph())
+            server = await serve_service(service, port=0, limit=1024)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                giant = b'{"op": "ping", "padding": "' + b"x" * 8192 + b'"}'
+                if terminated:
+                    writer.write(giant + b"\n")
+                    await writer.drain()
+                else:
+                    writer.write(giant[:4096])
+                    await writer.drain()
+                    await asyncio.sleep(0.05)  # limit overruns mid-frame
+                    writer.write(giant[4096:] + b"\n")
+                    await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert "ServiceError" in response["error"]
+                assert "limit" in response["error"]
+                writer.write(b'{"op": "ping", "id": 9}\n')
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response == {"id": 9, "ok": True, "result": "pong"}
             finally:
                 writer.close()
                 await writer.wait_closed()

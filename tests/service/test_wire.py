@@ -15,10 +15,15 @@ from repro.core.presence import (
 )
 from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
 from repro.errors import ServiceError
+from repro.core.parallel import SweepPlan
 from repro.service.wire import (
     latency_from_spec,
     latency_to_spec,
+    matrix_from_spec,
+    matrix_to_spec,
     parse_semantics,
+    plan_from_spec,
+    plan_to_spec,
     presence_from_spec,
     presence_to_spec,
 )
@@ -102,3 +107,101 @@ class TestSemanticsStrings:
     def test_unknown_strings_rejected(self, text):
         with pytest.raises(ServiceError):
             parse_semantics(text)
+
+
+def _plan():
+    """A small but fully-populated plan (two nodes, one scheduled edge)."""
+    return SweepPlan(
+        n=2,
+        out_edges=((0,), ()),
+        target_idx=(1,),
+        contacts=((0, 2, 5),),
+        arrivals=((1, 3, 7),),
+        start_time=0,
+        horizon=8,
+        max_wait=2,
+    )
+
+
+class TestSweepPlanSpecs:
+    def test_round_trip_through_json(self):
+        plan = _plan()
+        spec = plan_to_spec(plan)
+        assert plan_from_spec(json.loads(json.dumps(spec))) == plan
+
+    def test_packed_not_listed(self):
+        """Contacts cross as one base64 blob, not per-element JSON."""
+        spec = plan_to_spec(_plan())
+        assert isinstance(spec["contacts"], str)
+        assert isinstance(spec["out_edges"], str)
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            {"kind": "presence"},                         # wrong kind
+            {"n": -1},                                    # negative node count
+            {"n": 5},                                     # offsets no longer cover n
+            {"max_wait": -2},                             # negative waiting bound
+            {"max_wait": "x"},                            # non-numeric waiting bound
+            {"targets": "!!not-base64!!"},                # undecodable payload
+            {"targets": "AAAA"},                          # not whole int64s
+            {"contacts": None},                           # missing payload
+            {"out_offsets": None},                        # missing offsets
+        ],
+    )
+    def test_malformed_specs_rejected(self, corruption):
+        spec = {**plan_to_spec(_plan()), **corruption}
+        with pytest.raises(ServiceError):
+            plan_from_spec(spec)
+
+    def test_truncated_payload_rejected(self):
+        spec = plan_to_spec(_plan())
+        # Keep valid base64 (a multiple of 4 chars) but drop half the
+        # packed values, so the offsets no longer cover the payload.
+        spec["arrivals"] = spec["arrivals"][: len(spec["arrivals"]) // 8 * 4]
+        with pytest.raises(ServiceError):
+            plan_from_spec(spec)
+
+    def test_out_of_range_adjacency_rejected(self):
+        import base64
+
+        import numpy as np
+
+        spec = plan_to_spec(_plan())
+        spec["targets"] = base64.b64encode(
+            np.asarray([9], dtype="<i8").tobytes()
+        ).decode()
+        with pytest.raises(ServiceError):
+            plan_from_spec(spec)
+
+
+class TestMatrixSpecs:
+    def test_round_trip_through_json(self):
+        import numpy as np
+
+        matrix = np.arange(12, dtype=np.int64).reshape(3, 4) - 5
+        spec = json.loads(json.dumps(matrix_to_spec(matrix)))
+        assert np.array_equal(matrix_from_spec(spec), matrix)
+
+    def test_empty_matrix_round_trips(self):
+        import numpy as np
+
+        matrix = np.zeros((0, 7), dtype=np.int64)
+        assert matrix_from_spec(matrix_to_spec(matrix)).shape == (0, 7)
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            {"kind": "sweep_plan"},
+            {"rows": 99},            # data no longer matches rows*cols
+            {"rows": -1},
+            {"data": "AAAA"},
+            {"data": None},
+        ],
+    )
+    def test_malformed_specs_rejected(self, corruption):
+        import numpy as np
+
+        spec = {**matrix_to_spec(np.zeros((2, 2), dtype=np.int64)), **corruption}
+        with pytest.raises(ServiceError):
+            matrix_from_spec(spec)

@@ -274,3 +274,61 @@ class TestShardsFlag:
             ]
 
         assert facts(serial) == facts(sharded)
+
+
+class TestWorkersFlag:
+    """--workers ships sweep blocks to remote workers; results are
+    identical to the serial engine, even when a worker is dead."""
+
+    def test_malformed_worker_lists_are_usage_errors(self):
+        for bad in ("nonsense", "host:", "host:x", ",", "h:0"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["reach", "--workers", bad])
+
+    def test_worker_subcommand_is_wired(self):
+        args = build_parser().parse_args(["worker", "--port", "0"])
+        assert args.port == 0 and args.host == "127.0.0.1"
+
+    @pytest.mark.cluster
+    @pytest.mark.service
+    def test_reach_with_workers_matches_serial(self, capsys):
+        from repro.service.cluster import LoopbackWorkerPool
+
+        args = ["reach", "--nodes", "10", "--period", "4", "--density", "0.2",
+                "--seed", "2", "--horizon", "12"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        try:
+            with LoopbackWorkerPool(2) as pool:
+                workers = ",".join(pool.addresses)
+                assert main(args + ["--workers", workers]) == 0
+        except OSError as exc:  # pragma: no cover — sandbox
+            pytest.skip(f"loopback sockets unavailable: {exc}")
+        clustered = capsys.readouterr().out
+
+        def facts(text):
+            return [
+                line for line in text.splitlines()
+                if "ratio" in line or "gap" in line
+            ]
+
+        assert facts(serial) == facts(clustered)
+
+    @pytest.mark.cluster
+    @pytest.mark.service
+    def test_growth_with_a_dead_worker_still_matches_serial(self, capsys):
+        args = ["growth", "--nodes", "10", "--period", "4", "--density", "0.2",
+                "--seed", "3", "--horizon", "10"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        # Nothing listens on port 1: every block falls back locally.
+        assert main(args + ["--workers", "127.0.0.1:1"]) == 0
+        clustered = capsys.readouterr().out
+
+        def facts(text):
+            return [
+                line for line in text.splitlines()
+                if "r_wait" in line or "r_nowait" in line or "area" in line
+            ]
+
+        assert facts(serial) == facts(clustered)
