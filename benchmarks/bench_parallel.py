@@ -51,6 +51,7 @@ def _timed(fn):
 def run_benchmark() -> dict:
     import numpy as np
 
+    from bench_common import gate_info, host_cpus, kernel_variant
     from repro.core.engine import TemporalEngine
     from repro.core.generators import periodic_random_tvg
     from repro.core.semantics import NO_WAIT, WAIT
@@ -74,9 +75,9 @@ def run_benchmark() -> dict:
         },
         "compile_seconds": compile_seconds,
         "shards": SHARDS,
-        "cpus": os.cpu_count(),
-        "required_speedup": REQUIRED_SPEEDUP,
-        "required_cpus": REQUIRED_CPUS,
+        "cpus": host_cpus(),
+        "kernel": kernel_variant(),
+        "gate": gate_info(REQUIRED_SPEEDUP, REQUIRED_CPUS),
         "cases": {},
     }
 

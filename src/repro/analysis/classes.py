@@ -62,13 +62,14 @@ def is_temporally_connected_from(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> bool:
     """C2 on the window: TC from date ``start`` with horizon ``end``."""
     require_window(start, end)
     return (
         reachability_ratio(
             graph, start, WAIT, horizon=end, engine=engine, shards=shards,
-            cluster=cluster,
+            cluster=cluster, kernel=kernel,
         )
         == 1.0
     )
@@ -81,6 +82,7 @@ def is_round_connected(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> bool:
     """C1: every node can reach every other *and hear back* in the window.
 
@@ -96,9 +98,11 @@ def is_round_connected(
     if midpoint == start:
         return graph.node_count <= 1
     return is_temporally_connected_from(
-        graph, start, midpoint, engine=engine, shards=shards, cluster=cluster
+        graph, start, midpoint, engine=engine, shards=shards, cluster=cluster,
+        kernel=kernel,
     ) and is_temporally_connected_from(
-        graph, midpoint, end, engine=engine, shards=shards, cluster=cluster
+        graph, midpoint, end, engine=engine, shards=shards, cluster=cluster,
+        kernel=kernel,
     )
 
 
@@ -110,12 +114,14 @@ def is_recurrently_connected(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> bool:
     """C3 on the window: TC holds from every sampled start date."""
     require_window(start, end)
     return all(
         is_temporally_connected_from(
-            graph, t, end, engine=engine, shards=shards, cluster=cluster
+            graph, t, end, engine=engine, shards=shards, cluster=cluster,
+            kernel=kernel,
         )
         for t in range(start, max(start + 1, end - 1), stride)
     )
@@ -340,6 +346,7 @@ def classify(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> ClassReport:
     """Run all checkers and report the classes exhibited on the window.
 
@@ -355,16 +362,18 @@ def classify(
     declared = period if period is not None else graph.period
     tags: set[str] = set()
     if is_round_connected(
-        graph, start, end, engine=engine, shards=shards, cluster=cluster
+        graph, start, end, engine=engine, shards=shards, cluster=cluster,
+        kernel=kernel,
     ):
         tags.add("C1")
     if is_temporally_connected_from(
-        graph, start, end, engine=engine, shards=shards, cluster=cluster
+        graph, start, end, engine=engine, shards=shards, cluster=cluster,
+        kernel=kernel,
     ):
         tags.add("C2")
     if is_recurrently_connected(
         graph, start, end, stride=max(1, (end - start) // 8),
-        engine=engine, shards=shards, cluster=cluster,
+        engine=engine, shards=shards, cluster=cluster, kernel=kernel,
     ):
         tags.add("C3")
     if edges_recurrent(graph, start, end, engine=engine):

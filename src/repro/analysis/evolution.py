@@ -93,6 +93,7 @@ def reachability_growth(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> list[tuple[int, float]]:
     """``r(t)``: fraction of ordered pairs joined by a journey arriving
     by date ``t`` (journeys start at ``start``).
@@ -116,7 +117,8 @@ def reachability_growth(
     if engine is not None:
         engine.require_graph(graph, "reachability_growth")
         _nodes, arrival = engine.arrival_matrix(
-            start, semantics, horizon=end, shards=shards, cluster=cluster
+            start, semantics, horizon=end, shards=shards, cluster=cluster,
+            kernel=kernel,
         )
         return growth_curve_from_arrivals(arrival, start, end)
     earliest: dict[tuple[Hashable, Hashable], int] = {}
@@ -172,18 +174,22 @@ def value_of_waiting(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> WaitingValue:
     """Both growth curves and their integrated gap.
 
     With ``engine=`` the two curves cost exactly two batched arrival
     sweeps (one per semantics), each shardable across processes via
-    ``shards`` or across machines via ``cluster``.
+    ``shards``, across machines via ``cluster``, and run on the sweep
+    kernel named by ``kernel``.
     """
     return WaitingValue(
         wait_curve=reachability_growth(
-            graph, start, end, WAIT, engine=engine, shards=shards, cluster=cluster
+            graph, start, end, WAIT, engine=engine, shards=shards,
+            cluster=cluster, kernel=kernel,
         ),
         nowait_curve=reachability_growth(
-            graph, start, end, NO_WAIT, engine=engine, shards=shards, cluster=cluster
+            graph, start, end, NO_WAIT, engine=engine, shards=shards,
+            cluster=cluster, kernel=kernel,
         ),
     )

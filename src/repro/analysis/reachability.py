@@ -35,20 +35,22 @@ def reachability_matrix(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> tuple[list[Hashable], np.ndarray]:
     """Boolean matrix ``M[i, j]`` = node ``j`` reachable from node ``i``.
 
     Diagonal entries are True (the trivial journey).  Returns the node
     ordering alongside so callers can label the axes.  ``shards``
     partitions the engine's sweep across worker processes
-    (:mod:`repro.core.parallel`) and ``cluster`` ships it to remote
-    sweep workers (:mod:`repro.service.cluster`); the interpretive path
-    ignores both.
+    (:mod:`repro.core.parallel`), ``cluster`` ships it to remote sweep
+    workers (:mod:`repro.service.cluster`), and ``kernel`` picks the
+    sweep kernel (:mod:`repro.core.sweep_kernel`); the interpretive
+    path ignores all three.
     """
     if engine is not None:
         engine.require_graph(graph, "reachability_matrix")
         return engine.reachability_matrix(
-            start_time, semantics, horizon, shards, cluster
+            start_time, semantics, horizon, shards, cluster, kernel
         )
     nodes = list(graph.nodes)
     index = {node: i for i, node in enumerate(nodes)}
@@ -69,8 +71,26 @@ def reachability_ratio(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> float:
-    """Fraction of ordered pairs ``(u, v), u != v`` connected by a journey."""
+    """Fraction of ordered pairs ``(u, v), u != v`` connected by a journey.
+
+    With an engine the count comes off the bit-packed form
+    (:meth:`~repro.core.engine.TemporalEngine.reachability_packed`):
+    a popcount over ``ceil(n/8) x n`` bytes, never materializing the
+    boolean matrix (``packbits`` zero-pads the tail bits, so the byte
+    popcount needs no edge-of-column masking).
+    """
+    if engine is not None:
+        engine.require_graph(graph, "reachability_ratio")
+        nodes, packed = engine.reachability_packed(
+            start_time, semantics, horizon, shards, cluster, kernel
+        )
+        n = len(nodes)
+        if n <= 1:
+            return 1.0
+        reachable_pairs = int(np.bitwise_count(packed).sum()) - n  # drop the diagonal
+        return reachable_pairs / (n * (n - 1))
     nodes, matrix = reachability_matrix(
         graph, start_time, semantics, horizon, engine, shards, cluster
     )
@@ -88,6 +108,7 @@ def semantics_gap_matrix(
     engine: "TemporalEngine | None" = None,
     shards: int | None = None,
     cluster: "ClusterExecutor | None" = None,
+    kernel: str | None = None,
 ) -> tuple[list[Hashable], np.ndarray]:
     """Pairs reachable with waiting but not without.
 
@@ -96,9 +117,9 @@ def semantics_gap_matrix(
     batched sweeps (one per semantics) instead of ``2n`` searches.
     """
     nodes, with_wait = reachability_matrix(
-        graph, start_time, WAIT, horizon, engine, shards, cluster
+        graph, start_time, WAIT, horizon, engine, shards, cluster, kernel
     )
     _same, without = reachability_matrix(
-        graph, start_time, NO_WAIT, horizon, engine, shards, cluster
+        graph, start_time, NO_WAIT, horizon, engine, shards, cluster, kernel
     )
     return nodes, with_wait & ~without

@@ -173,11 +173,11 @@ def cmd_reach(args: argparse.Namespace) -> int:
     # also answers the requested ratio instead of sweeping a third time.
     _nodes, with_wait = reachability_matrix(
         graph, start, WAIT, horizon, engine=engine, shards=args.shards,
-        cluster=cluster,
+        cluster=cluster, kernel=args.kernel,
     )
     _same, without = reachability_matrix(
         graph, start, NO_WAIT, horizon, engine=engine, shards=args.shards,
-        cluster=cluster,
+        cluster=cluster, kernel=args.kernel,
     )
     gap = with_wait & ~without
     if args.semantics == WAIT:
@@ -187,7 +187,7 @@ def cmd_reach(args: argparse.Namespace) -> int:
     else:
         _also, matrix = reachability_matrix(
             graph, start, args.semantics, horizon, engine=engine,
-            shards=args.shards, cluster=cluster,
+            shards=args.shards, cluster=cluster, kernel=args.kernel,
         )
     n = graph.node_count
     ratio = 1.0 if n <= 1 else (int(matrix.sum()) - n) / (n * (n - 1))
@@ -233,7 +233,7 @@ def cmd_growth(args: argparse.Namespace) -> int:
     began = time.perf_counter()
     value = value_of_waiting(
         graph, start, horizon, engine=engine, shards=args.shards,
-        cluster=_cluster(args),
+        cluster=_cluster(args), kernel=args.kernel,
     )
     elapsed = time.perf_counter() - began
     saturation = value.wait_saturation_time
@@ -263,7 +263,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = TVGService(
         graph, window=(start, horizon), cache_size=args.cache_size,
         shards=args.shards, workers=args.workers,
-        worker_timeout=args.worker_timeout,
+        worker_timeout=args.worker_timeout, kernel=args.kernel,
     )
     print(graph)
     print(f"window:             [{start}, {horizon})")
@@ -357,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="seconds to wait per remote sweep job before re-running "
             "its block locally (default 30; raise it for sweeps whose "
             "blocks legitimately run long)",
+        )
+        command.add_argument(
+            "--kernel", choices=["bitset", "bignum"], default=None,
+            help="arrival-sweep kernel: the packed-uint64 bitset kernel "
+            "(default) or the per-state bignum oracle (compiled engine "
+            "only; REPRO_SWEEP_KERNEL overrides the default)",
         )
         if engine_choice:
             command.add_argument(

@@ -56,10 +56,10 @@ from repro.errors import TimeDomainError
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.service.cluster import ClusterExecutor
 
-#: Sentinel arrival date for unreachable pairs in :meth:`TemporalEngine.
-#: arrival_matrix` — larger than any real date, so ``matrix <= t``
-#: comparisons need no special casing.
-UNREACHED: int = np.iinfo(np.int64).max
+# The sentinel now lives with the kernels; re-exported here, its
+# historical home, so ``from repro.core.engine import UNREACHED`` keeps
+# working everywhere.
+from repro.core.sweep_kernel import UNREACHED  # noqa: E402  (re-export)
 
 
 class TemporalEngine:
@@ -301,6 +301,7 @@ class TemporalEngine:
         horizon: int | None = None,
         shards: int | None = None,
         cluster: "ClusterExecutor | None" = None,
+        kernel: str | None = None,
     ) -> tuple[list[Hashable], np.ndarray]:
         """All-pairs earliest arrivals, in one pass.
 
@@ -325,57 +326,66 @@ class TemporalEngine:
         each in its own worker process
         (:mod:`repro.core.parallel`) — element-for-element the same
         matrix; requests of 1 shard (or tiny graphs, where process
-        overhead dominates) run the serial sweep below.  ``cluster``
-        ships the same blocks to *remote* sweep workers instead
+        overhead dominates) run the serial sweep.  ``cluster`` ships
+        the same blocks to *remote* sweep workers instead
         (:mod:`repro.service.cluster`) — still the same matrix, with
         any failed block transparently re-swept locally; it takes
         precedence over ``shards`` when it routes the graph.
+
+        Every route lowers the sweep to one plain-data
+        :class:`~repro.core.parallel.SweepPlan` and runs a *sweep
+        kernel* over it (:mod:`repro.core.sweep_kernel`): the native
+        uint64 ``"bitset"`` kernel by default, or the per-state
+        ``"bignum"`` oracle via ``kernel=`` (or the
+        :envvar:`REPRO_SWEEP_KERNEL` environment variable).
         """
         horizon = self._resolve_horizon(horizon)
         if cluster is not None and cluster.routes(self.graph.node_count):
-            return cluster.arrival_matrix(self, start_time, semantics, horizon)
+            return cluster.arrival_matrix(
+                self, start_time, semantics, horizon, kernel=kernel
+            )
         if shards is not None:
             from repro.core import parallel
 
             if parallel.effective_shards(self.graph.node_count, shards) > 1:
                 return parallel.sharded_arrival_matrix(
-                    self, start_time, semantics, horizon, shards
+                    self, start_time, semantics, horizon, shards, kernel=kernel
                 )
-        index = self.index_for(min(start_time, horizon), horizon)
-        n = len(index.nodes)
-        arrival = np.full((n, n), UNREACHED, dtype=np.int64)
-        node_mask = [0] * n
-        pending: dict[tuple[int, int], int] = {}
-        heap: list[tuple[int, int]] = []
-        for i in range(n):
-            pending[(i, start_time)] = 1 << i
-            heapq.heappush(heap, (start_time, i))
-        while heap:
-            time, node_idx = heapq.heappop(heap)
-            mask = pending.pop((node_idx, time), 0)
-            if not mask:
-                continue
-            new = mask & ~node_mask[node_idx]
-            if new:
-                node_mask[node_idx] |= new
-                while new:
-                    low = new & -new
-                    arrival[low.bit_length() - 1, node_idx] = time
-                    new ^= low
-            if time >= horizon:
-                continue
-            if semantics.is_no_wait:
-                for ei in index.out_edge_indices(node_idx):
-                    if index.present_at(ei, time):
-                        self._sweep_push(
-                            index, pending, heap, ei, time, mask
-                        )
-                continue
-            latest = semantics.latest_departure(time, horizon)
-            for ei in index.out_edge_indices(node_idx):
-                for dep in index.departures(ei, time, latest):
-                    self._sweep_push(index, pending, heap, ei, dep, mask)
-        return list(index.nodes), arrival
+        from repro.core.parallel import build_sweep_plan
+        from repro.core.sweep_kernel import sweep_block
+
+        nodes, plan = build_sweep_plan(self, start_time, semantics, horizon)
+        return nodes, sweep_block(plan, range(plan.n), kernel=kernel)
+
+    def reachability_packed(
+        self,
+        start_time: int,
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+        shards: int | None = None,
+        cluster: "ClusterExecutor | None" = None,
+        kernel: str | None = None,
+    ) -> tuple[list[Hashable], np.ndarray]:
+        """Every source's reachable set, bit-packed — the primary form.
+
+        Returns ``(nodes, packed)`` where ``packed`` is the
+        ``(ceil(n/8), n)`` uint8 matrix of
+        ``np.packbits(reachable, axis=0, bitorder="little")``: bit ``i``
+        of column ``j`` (i.e. ``packed[i >> 3, j] >> (i & 7) & 1``) says
+        node ``nodes[j]`` is reachable from source ``nodes[i]`` (each
+        node trivially reaches itself).  Derived from
+        :meth:`arrival_matrix`: reachable means the earliest arrival is
+        finite.  Consumers that count or test bits
+        (:mod:`repro.analysis.reachability`,
+        :mod:`repro.analysis.connectivity`) work on this form directly —
+        popcounts and column compares are byte ops;
+        :meth:`reachability_masks` remains as a compatibility view that
+        rebuilds Python ints per column.
+        """
+        nodes, arrival = self.arrival_matrix(
+            start_time, semantics, horizon, shards, cluster, kernel
+        )
+        return nodes, np.packbits(arrival != UNREACHED, axis=0, bitorder="little")
 
     def reachability_masks(
         self,
@@ -384,24 +394,22 @@ class TemporalEngine:
         horizon: int | None = None,
         shards: int | None = None,
         cluster: "ClusterExecutor | None" = None,
+        kernel: str | None = None,
     ) -> tuple[list[Hashable], list[int]]:
-        """Every source's reachable set, in one pass.
+        """Every source's reachable set as per-column Python int masks.
 
-        Returns ``(nodes, masks)`` where bit ``i`` of ``masks[j]`` says
-        node ``nodes[j]`` is reachable from source ``nodes[i]`` (each
-        node trivially reaches itself).  Derived from
-        :meth:`arrival_matrix`: reachable means the earliest arrival is
-        finite.  Each column packs straight into a mask int
-        (``packbits`` + little-endian bytes puts row ``i`` at bit
-        ``i``), so deriving the masks is column ops, not an O(n^2)
-        Python loop.
+        Compatibility view over :meth:`reachability_packed`: bit ``i``
+        of ``masks[j]`` says node ``nodes[j]`` is reachable from source
+        ``nodes[i]``.  The packed bytes are already little-endian with
+        row ``i`` at bit ``i``, so each column converts with one
+        ``int.from_bytes`` — prefer the packed form where the round
+        trip through bignums isn't needed.
         """
-        nodes, arrival = self.arrival_matrix(
-            start_time, semantics, horizon, shards, cluster
+        nodes, packed = self.reachability_packed(
+            start_time, semantics, horizon, shards, cluster, kernel
         )
         if not nodes:
             return nodes, []
-        packed = np.packbits(arrival != UNREACHED, axis=0, bitorder="little")
         column_bytes = packed.T.tobytes()
         width = packed.shape[0]
         masks = [
@@ -410,25 +418,6 @@ class TemporalEngine:
         ]
         return nodes, masks
 
-    @staticmethod
-    def _sweep_push(
-        index: CompiledTVG,
-        pending: dict[tuple[int, int], int],
-        heap: list[tuple[int, int]],
-        edge_idx: int,
-        departure: int,
-        mask: int,
-    ) -> None:
-        arrival = index.arrival(edge_idx, departure)
-        target = index.target_idx[edge_idx]
-        key = (target, arrival)
-        existing = pending.get(key)
-        if existing is None:
-            pending[key] = mask
-            heapq.heappush(heap, (arrival, target))
-        elif existing | mask != existing:
-            pending[key] = existing | mask
-
     def reachability_matrix(
         self,
         start_time: int,
@@ -436,6 +425,7 @@ class TemporalEngine:
         horizon: int | None = None,
         shards: int | None = None,
         cluster: "ClusterExecutor | None" = None,
+        kernel: str | None = None,
     ) -> tuple[list[Hashable], np.ndarray]:
         """Boolean reachability matrix via the batched sweep.
 
@@ -443,7 +433,7 @@ class TemporalEngine:
         :func:`repro.analysis.reachability.reachability_matrix`.
         """
         nodes, arrival = self.arrival_matrix(
-            start_time, semantics, horizon, shards, cluster
+            start_time, semantics, horizon, shards, cluster, kernel
         )
         matrix = arrival != UNREACHED
         np.fill_diagonal(matrix, True)

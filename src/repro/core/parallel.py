@@ -33,15 +33,24 @@ waiting semantics, black-box edges included.
 
 from __future__ import annotations
 
-import heapq
-from bisect import bisect_left
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable, Sequence
+from typing import TYPE_CHECKING, Hashable
 
 import numpy as np
 
-from repro.core.engine import UNREACHED
 from repro.core.semantics import WaitingSemantics
+from repro.core.sweep_kernel import UNREACHED, resolve_kernel, sweep_block
+
+__all__ = [
+    "MIN_PARALLEL_NODES",
+    "SweepPlan",
+    "build_sweep_plan",
+    "partition_sources",
+    "sweep_block",
+    "effective_shards",
+    "sharded_arrival_matrix",
+    "UNREACHED",
+]
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.core.engine import TemporalEngine
@@ -127,65 +136,6 @@ def partition_sources(n: int, shards: int) -> list[tuple[int, ...]]:
     return blocks
 
 
-def sweep_block(plan: SweepPlan, sources: Sequence[int]) -> np.ndarray:
-    """The bitmask sweep restricted to one source block.
-
-    Row ``r`` of the returned ``(len(sources), n)`` int64 matrix is the
-    earliest-arrival row of source ``sources[r]`` — identical to that
-    source's row in the serial sweep, because a source's arrival dates
-    never depend on which other sources share the pass.  Masks are block
-    positions, so a block of ``b`` sources pays for ``b``-bit merges
-    however large the full graph is.
-    """
-    arrival = np.full((len(sources), plan.n), UNREACHED, dtype=np.int64)
-    node_mask = [0] * plan.n
-    pending: dict[tuple[int, int], int] = {}
-    heap: list[tuple[int, int]] = []
-    start = plan.start_time
-    for row, node_idx in enumerate(sources):
-        key = (node_idx, start)
-        pending[key] = pending.get(key, 0) | (1 << row)
-        heapq.heappush(heap, (start, node_idx))
-    horizon = plan.horizon
-    max_wait = plan.max_wait
-    out_edges = plan.out_edges
-    target_idx = plan.target_idx
-    contacts = plan.contacts
-    arrivals = plan.arrivals
-    while heap:
-        time, node_idx = heapq.heappop(heap)
-        mask = pending.pop((node_idx, time), 0)
-        if not mask:
-            continue
-        new = mask & ~node_mask[node_idx]
-        if new:
-            node_mask[node_idx] |= new
-            while new:
-                low = new & -new
-                arrival[low.bit_length() - 1, node_idx] = time
-                new ^= low
-        if time >= horizon:
-            continue
-        latest = horizon if max_wait is None else min(horizon, time + max_wait + 1)
-        for ei in out_edges[node_idx]:
-            dates = contacts[ei]
-            lo = bisect_left(dates, time)
-            hi = bisect_left(dates, latest, lo)
-            if lo == hi:
-                continue
-            arrs = arrivals[ei]
-            target = target_idx[ei]
-            for k in range(lo, hi):
-                key = (target, arrs[k])
-                existing = pending.get(key)
-                if existing is None:
-                    pending[key] = mask
-                    heapq.heappush(heap, (arrs[k], target))
-                elif existing | mask != existing:
-                    pending[key] = existing | mask
-    return arrival
-
-
 def effective_shards(n: int, shards: int | None) -> int:
     """The worker count a request actually gets: 1 (serial) for absent
     or unit requests, empty source sets, and tiny graphs, else
@@ -195,21 +145,23 @@ def effective_shards(n: int, shards: int | None) -> int:
     return min(shards, n)
 
 
-#: The worker's copy of the plan, installed once per process by the
-#: pool initializer — blocks are then the only per-task payload, so the
-#: plan (the big object: O(|E| x window) ints) is never re-pickled per
-#: shard.
+#: The worker's copy of the plan (and the kernel to run it on),
+#: installed once per process by the pool initializer — blocks are then
+#: the only per-task payload, so the plan (the big object: O(|E| x
+#: window) ints) is never re-pickled per shard.
 _WORKER_PLAN: SweepPlan | None = None
+_WORKER_KERNEL: str | None = None
 
 
-def _install_worker_plan(plan: SweepPlan) -> None:
-    global _WORKER_PLAN
+def _install_worker_plan(plan: SweepPlan, kernel: str | None = None) -> None:
+    global _WORKER_PLAN, _WORKER_KERNEL
     _WORKER_PLAN = plan
+    _WORKER_KERNEL = kernel
 
 
 def _sweep_task(sources: tuple[int, ...]) -> np.ndarray:
     """Module-level worker entry point (picklable by reference)."""
-    return sweep_block(_WORKER_PLAN, sources)
+    return sweep_block(_WORKER_PLAN, sources, kernel=_WORKER_KERNEL)
 
 
 def _pool_context():
@@ -229,6 +181,7 @@ def sharded_arrival_matrix(
     semantics: WaitingSemantics,
     horizon: int,
     shards: int,
+    kernel: str | None = None,
 ) -> tuple[list[Hashable], np.ndarray]:
     """All-pairs earliest arrivals via ``shards`` worker processes.
 
@@ -237,8 +190,11 @@ def sharded_arrival_matrix(
     sub-matrices into the full ``(n, n)`` matrix — element for element
     equal to :meth:`TemporalEngine.arrival_matrix` run serially.  Falls
     back to in-process block sweeps if the platform refuses to spawn
-    workers, so the answer is never lost to sandboxing.
+    workers, so the answer is never lost to sandboxing.  The kernel is
+    resolved in the parent (argument > environment > default) so every
+    worker runs the same one whatever its inherited environment says.
     """
+    kernel = resolve_kernel(kernel)
     nodes, plan = build_sweep_plan(engine, start_time, semantics, horizon)
     if plan.n == 0:
         # An empty source set has nothing to shard: answer the (0, n)
@@ -246,7 +202,7 @@ def sharded_arrival_matrix(
         return nodes, np.full((0, plan.n), UNREACHED, dtype=np.int64)
     blocks = partition_sources(plan.n, shards)
     if len(blocks) == 1:
-        return nodes, sweep_block(plan, blocks[0])
+        return nodes, sweep_block(plan, blocks[0], kernel=kernel)
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
@@ -255,10 +211,10 @@ def sharded_arrival_matrix(
             max_workers=len(blocks),
             mp_context=_pool_context(),
             initializer=_install_worker_plan,
-            initargs=(plan,),
+            initargs=(plan, kernel),
         ) as pool:
             parts = list(pool.map(_sweep_task, blocks))
     except (OSError, BrokenProcessPool):  # pragma: no cover — hosts that
         # forbid subprocesses outright or kill workers mid-flight
-        parts = [sweep_block(plan, block) for block in blocks]
+        parts = [sweep_block(plan, block, kernel=kernel) for block in blocks]
     return nodes, np.vstack(parts)

@@ -49,6 +49,7 @@ from repro.core.parallel import (
     sweep_block,
 )
 from repro.core.semantics import WaitingSemantics
+from repro.core.sweep_kernel import KERNELS, resolve_kernel
 from repro.errors import ServiceError
 from repro.service.client import ServiceClient
 from repro.service.server import guarded_response, handle_json_lines
@@ -89,7 +90,12 @@ def dispatch_worker(op: str, params: dict) -> Any:
             raise ServiceError("sweep sources must be a list of integers")
         if any(s < 0 or s >= plan.n for s in sources):
             raise ServiceError("sweep sources fall outside the plan's node range")
-        return matrix_to_spec(sweep_block(plan, tuple(sources)))
+        kernel = params.get("kernel")
+        if kernel is not None and kernel not in KERNELS:
+            raise ServiceError(
+                f"sweep kernel must be one of {', '.join(KERNELS)}"
+            )
+        return matrix_to_spec(sweep_block(plan, tuple(sources), kernel=kernel))
     if op == "ping":
         return "pong"
     raise ServiceError(f"unknown operation {op!r}")
@@ -198,7 +204,12 @@ class ClusterExecutor:
     ``timeout`` bounds each block job before its local re-run;
     ``min_nodes`` keeps tiny graphs on the serial path (mirroring
     :func:`~repro.core.parallel.effective_shards` — the wire costs more
-    than the sweep there), overridable down to 0 for tests.
+    than the sweep there), overridable down to 0 for tests; ``kernel``
+    picks the sweep kernel for the whole fleet (validated eagerly, None
+    defers to the per-sweep argument / environment / default chain).
+    Jobs always ship an explicit kernel name, so every worker — and
+    every local re-run after a failure — computes on the same kernel
+    whatever its own environment says.
 
     The executor is stateless between sweeps apart from counters:
     ``jobs_shipped`` counts block jobs sent to workers and
@@ -211,6 +222,7 @@ class ClusterExecutor:
         workers: Sequence[str | tuple[str, int]] | str,
         timeout: float = DEFAULT_TIMEOUT,
         min_nodes: int = MIN_PARALLEL_NODES,
+        kernel: str | None = None,
     ) -> None:
         if isinstance(workers, str):
             # A bare "host:port" is one worker, not a sequence of
@@ -219,6 +231,7 @@ class ClusterExecutor:
         self.workers = [parse_worker_address(worker) for worker in workers]
         self.timeout = timeout
         self.min_nodes = min_nodes
+        self.kernel = None if kernel is None else resolve_kernel(kernel)
         self.jobs_shipped = 0
         self.jobs_recovered = 0
 
@@ -237,6 +250,7 @@ class ClusterExecutor:
         start_time: int,
         semantics: WaitingSemantics,
         horizon: int,
+        kernel: str | None = None,
     ) -> tuple[list[Hashable], np.ndarray]:
         """All-pairs earliest arrivals via the worker fleet.
 
@@ -246,24 +260,32 @@ class ClusterExecutor:
         equal to :meth:`TemporalEngine.arrival_matrix` run serially.
         """
         nodes, plan = build_sweep_plan(engine, start_time, semantics, horizon)
-        return nodes, self.sweep(plan)
+        return nodes, self.sweep(plan, kernel=kernel)
 
-    def sweep(self, plan: SweepPlan) -> np.ndarray:
-        """The full ``(n, n)`` matrix of one lowered plan."""
+    def sweep(self, plan: SweepPlan, kernel: str | None = None) -> np.ndarray:
+        """The full ``(n, n)`` matrix of one lowered plan.
+
+        The kernel resolves in the parent (call argument, then the
+        executor's configured kernel, then environment/default) and is
+        shipped with every job.
+        """
+        kernel = resolve_kernel(kernel if kernel is not None else self.kernel)
         if plan.n == 0:
             return np.full((0, plan.n), UNREACHED, dtype=np.int64)
         if not self.workers:
-            return sweep_block(plan, tuple(range(plan.n)))
+            return sweep_block(plan, tuple(range(plan.n)), kernel=kernel)
         blocks = partition_sources(plan.n, len(self.workers))
-        parts = _run_sync(self._sweep_blocks(plan, blocks))
+        parts = _run_sync(self._sweep_blocks(plan, blocks, kernel))
         return np.vstack(parts)
 
     async def _sweep_blocks(
-        self, plan: SweepPlan, blocks: list[tuple[int, ...]]
+        self, plan: SweepPlan, blocks: list[tuple[int, ...]], kernel: str
     ) -> list[np.ndarray]:
         spec = plan_to_spec(plan)
         jobs = [
-            self._run_block(spec, plan, block, self.workers[i % len(self.workers)])
+            self._run_block(
+                spec, plan, block, self.workers[i % len(self.workers)], kernel
+            )
             for i, block in enumerate(blocks)
         ]
         return list(await asyncio.gather(*jobs))
@@ -274,12 +296,13 @@ class ClusterExecutor:
         plan: SweepPlan,
         block: tuple[int, ...],
         worker: tuple[str, int],
+        kernel: str,
     ) -> np.ndarray:
         """One block job: remote if the worker cooperates, local if not."""
         self.jobs_shipped += 1
         try:
             return await asyncio.wait_for(
-                self._remote_sweep(spec, plan, block, worker), self.timeout
+                self._remote_sweep(spec, plan, block, worker, kernel), self.timeout
             )
         except (
             ServiceError,
@@ -295,8 +318,9 @@ class ClusterExecutor:
             # Off the event loop: the local re-sweep is CPU-bound and can
             # outlast the job timeout — run inline it would starve the
             # loop, stall the healthy workers' replies, and cascade their
-            # jobs into spurious timeout recoveries.
-            return await asyncio.to_thread(sweep_block, plan, block)
+            # jobs into spurious timeout recoveries.  Same kernel as the
+            # failed job, so recovery cannot change what was computed.
+            return await asyncio.to_thread(sweep_block, plan, block, kernel)
 
     async def _remote_sweep(
         self,
@@ -304,11 +328,14 @@ class ClusterExecutor:
         plan: SweepPlan,
         block: tuple[int, ...],
         worker: tuple[str, int],
+        kernel: str,
     ) -> np.ndarray:
         host, port = worker
         client = await ServiceClient.connect(host, port, limit=WIRE_LIMIT)
         try:
-            result = await client.request("sweep", plan=spec, sources=list(block))
+            result = await client.request(
+                "sweep", plan=spec, sources=list(block), kernel=kernel
+            )
         finally:
             await client.close()
         matrix = matrix_from_spec(result)
@@ -326,6 +353,7 @@ class ClusterExecutor:
         return {
             "workers": [f"{host}:{port}" for host, port in self.workers],
             "timeout": self.timeout,
+            "kernel": resolve_kernel(self.kernel),
             "jobs_shipped": self.jobs_shipped,
             "jobs_recovered": self.jobs_recovered,
         }

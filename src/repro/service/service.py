@@ -60,8 +60,11 @@ class TVGService:
     :class:`~repro.service.cluster.ClusterExecutor`) — ships them to
     remote workers instead, with any failed block re-swept locally,
     each job bounded by ``worker_timeout`` seconds (ignored when a
-    ready executor is passed — it carries its own).  Answers are
-    identical either way, so cache keys and hit behaviour don't change.
+    ready executor is passed — it carries its own).  ``kernel`` picks
+    the sweep kernel (``"bitset"``/``"bignum"``,
+    :mod:`repro.core.sweep_kernel`) every cache-miss sweep runs on,
+    local, sharded, or clustered.  Answers are identical on every
+    route and kernel, so cache keys and hit behaviour don't change.
     """
 
     def __init__(
@@ -72,18 +75,23 @@ class TVGService:
         shards: int | None = None,
         workers: "Sequence[str] | ClusterExecutor | None" = None,
         worker_timeout: float | None = None,
+        kernel: str | None = None,
     ) -> None:
+        from repro.core.sweep_kernel import resolve_kernel
         from repro.service.cluster import DEFAULT_TIMEOUT, ClusterExecutor
 
         self.graph = graph
         self.engine = TemporalEngine(graph, window)
         self.cache = QueryCache(max_entries=cache_size)
         self.shards = shards
+        self.kernel = None if kernel is None else resolve_kernel(kernel)
         if workers is None or isinstance(workers, ClusterExecutor):
             self.cluster = workers
         else:
             timeout = DEFAULT_TIMEOUT if worker_timeout is None else worker_timeout
-            self.cluster = ClusterExecutor(workers, timeout=timeout)
+            self.cluster = ClusterExecutor(
+                workers, timeout=timeout, kernel=self.kernel
+            )
         self.queries_served = 0
         self.mutations_applied = 0
 
@@ -110,7 +118,7 @@ class TVGService:
         def compute():
             nodes, matrix = self.engine.arrival_matrix(
                 start, semantics, horizon=horizon, shards=self.shards,
-                cluster=self.cluster,
+                cluster=self.cluster, kernel=self.kernel,
             )
             return {node: i for i, node in enumerate(nodes)}, matrix
 
@@ -179,7 +187,7 @@ class TVGService:
         def compute():
             report = classify_graph(
                 self.graph, start, end, engine=self.engine, shards=self.shards,
-                cluster=self.cluster,
+                cluster=self.cluster, kernel=self.kernel,
             )
             return {
                 "classes": sorted(report.classes),
@@ -226,6 +234,8 @@ class TVGService:
 
     def stats(self) -> dict:
         """A JSON-able snapshot of service and cache state."""
+        from repro.core.sweep_kernel import resolve_kernel
+
         report = {
             "graph": {
                 "name": self.graph.name,
@@ -233,6 +243,7 @@ class TVGService:
                 "edges": self.graph.edge_count,
                 "version": self.graph.version,
             },
+            "kernel": resolve_kernel(self.kernel),
             "queries_served": self.queries_served,
             "mutations_applied": self.mutations_applied,
             "cache": self.cache.stats(),
