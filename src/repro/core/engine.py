@@ -42,7 +42,7 @@ ground-truth oracle, checked by the equivalence property suites.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Hashable, Iterable
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -54,6 +54,7 @@ from repro.core.tvg import TimeVaryingGraph
 from repro.errors import TimeDomainError
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.tvg import MutationDelta
     from repro.service.cluster import ClusterExecutor
 
 # The sentinel now lives with the kernels; re-exported here, its
@@ -82,6 +83,11 @@ class TemporalEngine:
         # rebuilds (window growth, staleness), so black-box predicates
         # are never re-scanned for dates already seen.
         self._contact_cache = LazyContactCache(graph)
+        # Lowered SweepPlans, keyed by (version, start, horizon,
+        # max_wait) — plans are immutable plain data, so any sweep of
+        # the same query at the same version can share one lowering.
+        # Owned here, filled by build_sweep_plan.
+        self._plan_memo: dict[tuple, tuple[tuple, "object"]] = {}
 
     # -- index lifecycle -------------------------------------------------------
 
@@ -104,8 +110,14 @@ class TemporalEngine:
         the window as-is — mutations must not inflate it.
         """
         index = self._index
-        if index is not None and not index.stale and index.covers(start, end):
-            return index
+        if index is not None and index.covers(start, end):
+            if not index.stale:
+                return index
+            # Stale but wide enough: a complete chain of presence-only
+            # deltas patches the compiled arrays in place — no relower
+            # of the untouched edges, no CSR rebuild.
+            if index.apply_deltas(self.graph.deltas_since(index.version)):
+                return index
         lo, hi = start, end
         if index is not None:
             old_lo, old_hi = index.window.start, index.window.end
@@ -356,6 +368,66 @@ class TemporalEngine:
 
         nodes, plan = build_sweep_plan(self, start_time, semantics, horizon)
         return nodes, sweep_block(plan, range(plan.n), kernel=kernel)
+
+    def arrival_matrix_incremental(
+        self,
+        start_time: int,
+        previous: tuple[Sequence[Hashable], np.ndarray],
+        deltas: "Sequence[MutationDelta] | None",
+        semantics: WaitingSemantics = NO_WAIT,
+        horizon: int | None = None,
+        kernel: str | None = None,
+        max_rows: int | None = None,
+    ) -> tuple[list[Hashable], np.ndarray, int] | None:
+        """Patch a cached arrival matrix across a mutation-delta chain.
+
+        ``previous`` is a ``(nodes, matrix)`` pair some earlier
+        :meth:`arrival_matrix` call produced **for the same**
+        ``(start_time, semantics, horizon)`` query on an ancestor
+        version of this graph, and ``deltas`` the complete chain of
+        mutations since (:meth:`TimeVaryingGraph.deltas_since`).  The
+        dirty edges' tails bound the *cone* of source rows whose
+        answers can have changed — a row with no finite old arrival at
+        any dirty tail cannot gain or lose a journey through a dirty
+        edge (see :func:`~repro.core.sweep_kernel.affected_rows`) —
+        so only those rows are re-swept and merged over a copy of the
+        old matrix.
+
+        Returns ``(nodes, matrix, rows_reswept)``, entry-for-entry
+        equal to a from-scratch sweep, or None when the incremental
+        path does not apply: unknowable chain (``deltas is None``),
+        node additions (the matrix axes change), or a node-order
+        mismatch with ``previous``.  ``max_rows`` optionally bounds the
+        cone: a larger one also returns None, letting the caller prefer
+        a full (possibly sharded or clustered) sweep when re-sweeping
+        most rows anyway.  The input matrix is never mutated.
+        """
+        horizon = self._resolve_horizon(horizon)
+        if deltas is None:
+            return None
+        prev_nodes, prev_matrix = previous
+        if any(d.kind == "add_node" for d in deltas):
+            return None
+        from repro.core.parallel import build_sweep_plan
+        from repro.core.sweep_kernel import affected_rows, merge_rows, sweep_block
+
+        nodes, plan = build_sweep_plan(self, start_time, semantics, horizon)
+        if list(prev_nodes) != nodes or prev_matrix.shape != (plan.n, plan.n):
+            return None
+        node_index = {node: i for i, node in enumerate(nodes)}
+        tails: dict[int, None] = {}
+        for delta in deltas:
+            tail = node_index.get(delta.source)
+            if tail is None:
+                return None
+            tails[tail] = None
+        rows = affected_rows(prev_matrix, tuple(tails))
+        if rows.size == 0:
+            return nodes, prev_matrix.copy(), 0
+        if max_rows is not None and rows.size > max_rows:
+            return None
+        block = sweep_block(plan, rows.tolist(), kernel=kernel)
+        return nodes, merge_rows(prev_matrix, rows, block), int(rows.size)
 
     def reachability_packed(
         self,

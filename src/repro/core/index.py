@@ -110,17 +110,45 @@ class LazyContactCache:
     counterpart of the eager lowering :class:`CompiledTVG` applies to
     structured presences.
 
-    The cache snapshots :attr:`TimeVaryingGraph.version` and flushes
-    itself when the graph mutates, mirroring index invalidation.
+    The cache snapshots :attr:`TimeVaryingGraph.version`; when the graph
+    mutates it drops exactly the edges whose schedule actually changed —
+    the edge is gone, or its presence object is a different one than the
+    segments were scanned against — and retains every other edge's
+    segments.  Contacts are a pure function of the presence object, so
+    an unrelated ``add_edge`` can no longer re-fire every black-box
+    predicate on every other edge.
     """
 
-    __slots__ = ("graph", "version", "_segments")
+    __slots__ = ("graph", "version", "_segments", "_presences")
 
     def __init__(self, graph: TimeVaryingGraph) -> None:
         self.graph = graph
         self.version = graph.version
         #: edge key -> sorted disjoint (lo, hi, contact dates) segments.
         self._segments: dict[str, list[tuple[int, int, np.ndarray]]] = {}
+        #: edge key -> the presence object the segments were scanned
+        #: against (identity is the retention test across mutations).
+        self._presences: dict[str, PresenceFunction] = {}
+
+    def _sync(self) -> None:
+        """Catch up with graph mutations, keeping untouched edges.
+
+        A cached edge survives iff it still exists and its presence is
+        the *same object* the segments were scanned from; a remove +
+        re-add under the same key with a new schedule, or a
+        ``set_presence``, fails the identity check and drops exactly
+        that edge's segments.
+        """
+        if self.graph.version == self.version:
+            return
+        for key in list(self._segments):
+            if (
+                not self.graph.has_edge(key)
+                or self.graph.edge(key).presence is not self._presences.get(key)
+            ):
+                del self._segments[key]
+                self._presences.pop(key, None)
+        self.version = self.graph.version
 
     def __len__(self) -> int:
         """Number of edges with at least one scanned segment."""
@@ -132,6 +160,7 @@ class LazyContactCache:
         Dates inside the hull but between disjoint segments have *not*
         been scanned; None when the edge was never queried.
         """
+        self._sync()
         segments = self._segments.get(edge.key)
         if not segments:
             return None
@@ -143,9 +172,12 @@ class LazyContactCache:
         The predicate is called only on dates of ``[start, end)`` never
         scanned before.
         """
-        if self.graph.version != self.version:
-            self._segments.clear()
-            self.version = self.graph.version
+        self._sync()
+        if self._presences.get(edge.key) is not edge.presence:
+            # Segments (if any) were scanned from a different schedule
+            # than the caller's edge object carries — never mix them.
+            self._segments.pop(edge.key, None)
+            self._presences[edge.key] = edge.presence
         if end <= start:
             return _EMPTY_CONTACTS
         segments = self._segments.get(edge.key, [])
@@ -224,6 +256,7 @@ class CompiledTVG:
         "out_edge_idx",
         "target_idx",
         "_out_lists",
+        "_edge_pos",
     )
 
     def __init__(
@@ -244,6 +277,7 @@ class CompiledTVG:
         }
         self.edge_list: tuple[Edge, ...] = graph.edges
         edge_pos = {edge.key: i for i, edge in enumerate(self.edge_list)}
+        self._edge_pos: dict[str, int] = edge_pos
 
         self.contacts: list[np.ndarray | None] = []
         #: Latency value when the edge's zeta is constant, else -1 (call it).
@@ -299,6 +333,37 @@ class CompiledTVG:
     def covers(self, start: int, end: int) -> bool:
         """Whether ``[start, end)`` lies inside the compiled window."""
         return start >= self.window.start and end <= self.window.end
+
+    def apply_deltas(self, deltas) -> bool:
+        """Patch the index in place from a complete mutation-delta chain.
+
+        Presence swaps are the only mutation that leaves every compiled
+        shape intact — same nodes, same edge set, same adjacency, same
+        latencies — so a chain of pure ``"set_presence"`` deltas patches
+        as: relower each touched edge's contact array over the existing
+        window and refresh its :attr:`edge_list` entry.  Any other delta
+        kind (or an unknowable chain, ``deltas is None``) returns False
+        and the caller rebuilds from scratch.  Returns True with
+        :attr:`version` caught up on success.
+        """
+        if deltas is None:
+            return False
+        touched: dict[str, None] = {}
+        for delta in deltas:
+            if delta.kind != "set_presence" or delta.edge_key is None:
+                return False
+            touched[delta.edge_key] = None
+        edges = list(self.edge_list)
+        for key in touched:
+            pos = self._edge_pos.get(key)
+            if pos is None:
+                return False
+            edge = self.graph.edge(key)
+            edges[pos] = edge
+            self.contacts[pos] = self._lower(edge.presence, self.window)
+        self.edge_list = tuple(edges)
+        self.version = self.graph.version
+        return True
 
     # -- the two kernel queries ------------------------------------------------
 

@@ -60,6 +60,11 @@ if TYPE_CHECKING:  # pragma: no cover — typing only
 #: back to the serial sweep.
 MIN_PARALLEL_NODES: int = 8
 
+#: Lowered plans kept per engine (FIFO eviction); plans are O(edges x
+#: horizon) tuples, so a small handful bounds memory while still
+#: covering the query mix between two mutations.
+PLAN_MEMO_SIZE: int = 8
+
 
 @dataclass(frozen=True)
 class SweepPlan:
@@ -98,7 +103,19 @@ def build_sweep_plan(
     arbitrary predicates never need to pickle and each still fires at
     most once per (edge, date) across the engine's lifetime.  Returns
     the node ordering alongside (the matrix axes).
+
+    Plans are memoized on the engine by ``(version, start, horizon,
+    max_wait)`` — a plan is immutable plain data and the lowering loop
+    is O(edges x horizon), so repeated sweeps of the same query (the
+    incremental path re-sweeping a cone right after the full sweep that
+    seeded it, sharded blocks, retries) share one lowering.
     """
+    key = (engine.graph.version, start_time, horizon, semantics.max_wait)
+    memo = engine._plan_memo
+    hit = memo.get(key)
+    if hit is not None:
+        nodes, plan = hit
+        return list(nodes), plan
     index = engine.index_for(min(start_time, horizon), horizon)
     contacts: list[tuple[int, ...]] = []
     arrivals: list[tuple[int, ...]] = []
@@ -118,6 +135,9 @@ def build_sweep_plan(
         horizon=horizon,
         max_wait=semantics.max_wait,
     )
+    if len(memo) >= PLAN_MEMO_SIZE:
+        memo.pop(next(iter(memo)))
+    memo[key] = (tuple(index.nodes), plan)
     return list(index.nodes), plan
 
 

@@ -49,10 +49,11 @@ from __future__ import annotations
 
 import heapq
 import os
+import weakref
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, NamedTuple, Sequence
 
 import numpy as np
 
@@ -132,54 +133,75 @@ def sweep_block(
     return sweep_block_bitset(plan, sources, stats)
 
 
+# -- incremental maintenance helpers ------------------------------------------
+
+
+def affected_rows(previous: np.ndarray, tails: Sequence[int]) -> np.ndarray:
+    """Source rows of ``previous`` whose answers a dirty edge can change.
+
+    ``tails`` are the node indices at which some edge's schedule changed
+    (its tail — where journeys board it).  Any journey whose arrival
+    date changes, in either direction, crosses a dirty edge; the
+    *first* dirty edge on that journey is reached by an all-clean
+    prefix, which was equally valid before the mutation — so the old
+    matrix already records a finite arrival at that edge's tail.  Rows
+    with ``previous[i, tail] == UNREACHED`` for every dirty tail are
+    therefore exact as they stand, under every waiting semantics (the
+    argument never inspects departure eligibility, only prefix
+    validity).  Conservative: a returned row may turn out unchanged.
+    """
+    if len(tails) == 0:
+        return np.empty(0, dtype=np.int64)
+    tail_idx = np.asarray(tuple(tails), dtype=np.int64)
+    return np.flatnonzero(
+        (previous[:, tail_idx] != UNREACHED).any(axis=1)
+    ).astype(np.int64)
+
+
+def merge_rows(
+    previous: np.ndarray, rows: Sequence[int], block: np.ndarray
+) -> np.ndarray:
+    """A copy of ``previous`` with ``rows`` replaced by ``block``'s rows.
+
+    ``block`` is the output of :func:`sweep_block` over exactly
+    ``rows`` (in order); the merge never mutates ``previous`` — cached
+    matrices stay valid for their own version.
+    """
+    merged = previous.copy()
+    if len(rows):
+        merged[np.asarray(tuple(rows), dtype=np.int64)] = block
+    return merged
+
+
 # -- the bitset kernel ---------------------------------------------------------
 
 
-def sweep_block_bitset(
-    plan: "SweepPlan",
-    sources: Sequence[int],
-    stats: SweepStats | None = None,
-) -> np.ndarray:
-    """The date-bucketed uint64 contact-scan sweep (see the module
-    docstring).
+class _BitsetLowering(NamedTuple):
+    """A plan's contacts flattened, sorted, and grouped — everything in
+    :func:`sweep_block_bitset` that does not depend on the source block,
+    so repeated sweeps of one plan (sharded blocks, incremental cone
+    re-sweeps) pay the O(contacts) lowering once."""
 
-    All contacts are sorted ONCE by (departure, arrival, target); the
-    sweep then walks the merged date axis (contact departures, contact
-    arrivals, and the seed date) in increasing order.  At each date the
-    pending bucket — a full-width ``(n, words)`` uint64 matrix — is
-    applied (``new = mask & ~node_mask`` stamps first arrivals), and the
-    date's contact slice departs carrying whichever source rows the
-    semantics make eligible:
+    dep_s: np.ndarray
+    arr_s: np.ndarray
+    tgt_s: np.ndarray
+    src_s: np.ndarray
+    group_starts_all: np.ndarray
+    dates: np.ndarray
+    date_lo: np.ndarray
+    date_hi: np.ndarray
+    group_lo: np.ndarray
+    group_hi: np.ndarray
 
-    * unbounded waiting — ``node_mask`` rows (every bit that has ever
-      arrived at the tail; earlier arrivals' departure windows subsume
-      later ones, so this is exact);
-    * no-wait — the current bucket's rows (only bits arriving exactly at
-      the departure date may continue);
-    * bounded ``wait[w]`` — the OR of the buckets retained for the
-      recency window ``[t - w, t]`` (an arrival *event*, re-arrivals of
-      known bits included, keeps a bit eligible for ``w`` more dates —
-      exactly the bignum sweep's full-mask push discipline).
 
-    Each contact is therefore touched exactly once per sweep, and all
-    pushes landing on the same (arrival date, target) merge with one
-    ``np.bitwise_or.reduceat`` over pre-sorted group boundaries.
-    """
-    sources = tuple(sources)
-    b = len(sources)
+#: Cached lowerings keyed by plan identity (a weakref callback evicts
+#: the slot when the plan is collected; the liveness check guards
+#: against id reuse).  Plans are immutable, so identity is sound.
+_BITSET_LOWERINGS: dict[int, tuple["weakref.ref", _BitsetLowering]] = {}
+
+
+def _lower_plan_bitset(plan: "SweepPlan") -> _BitsetLowering:
     n = plan.n
-    arrival = np.full((b, n), UNREACHED, dtype=np.int64)
-    if b == 0 or n == 0:
-        return arrival
-    words = (b + 63) >> 6
-    start = plan.start_time
-    horizon = plan.horizon
-    max_wait = plan.max_wait
-    # A wait bound no processed departure date can exhaust is unbounded
-    # waiting in disguise (latest is pinned at the horizon either way).
-    wait_like = max_wait is None or start + max_wait + 1 >= horizon
-
-    # Flatten the plan's ragged families and sort the contacts once.
     contacts = plan.contacts
     edge_count = len(contacts)
     edge_len = np.fromiter(
@@ -228,12 +250,84 @@ def sweep_block_bitset(
 
     # The date axis: every departure, every arrival, and the seed date.
     dates = np.unique(
-        np.concatenate((dep_s, arr_s, np.asarray([start], dtype=np.int64)))
+        np.concatenate(
+            (dep_s, arr_s, np.asarray([plan.start_time], dtype=np.int64))
+        )
     )
     date_lo = np.searchsorted(dep_s, dates, side="left")
     date_hi = np.searchsorted(dep_s, dates, side="right")
     group_lo = np.searchsorted(group_starts_all, date_lo, side="left")
     group_hi = np.searchsorted(group_starts_all, date_hi, side="left")
+    return _BitsetLowering(
+        dep_s, arr_s, tgt_s, src_s, group_starts_all,
+        dates, date_lo, date_hi, group_lo, group_hi,
+    )
+
+
+def _bitset_lowering(plan: "SweepPlan") -> _BitsetLowering:
+    key = id(plan)
+    hit = _BITSET_LOWERINGS.get(key)
+    if hit is not None and hit[0]() is plan:
+        return hit[1]
+    lowered = _lower_plan_bitset(plan)
+    try:
+        ref = weakref.ref(plan, lambda _r, _k=key: _BITSET_LOWERINGS.pop(_k, None))
+    except TypeError:  # a plan stand-in that refuses weakrefs: skip caching
+        return lowered
+    _BITSET_LOWERINGS[key] = (ref, lowered)
+    return lowered
+
+
+def sweep_block_bitset(
+    plan: "SweepPlan",
+    sources: Sequence[int],
+    stats: SweepStats | None = None,
+) -> np.ndarray:
+    """The date-bucketed uint64 contact-scan sweep (see the module
+    docstring).
+
+    All contacts are sorted ONCE by (departure, arrival, target); the
+    sweep then walks the merged date axis (contact departures, contact
+    arrivals, and the seed date) in increasing order.  At each date the
+    pending bucket — a full-width ``(n, words)`` uint64 matrix — is
+    applied (``new = mask & ~node_mask`` stamps first arrivals), and the
+    date's contact slice departs carrying whichever source rows the
+    semantics make eligible:
+
+    * unbounded waiting — ``node_mask`` rows (every bit that has ever
+      arrived at the tail; earlier arrivals' departure windows subsume
+      later ones, so this is exact);
+    * no-wait — the current bucket's rows (only bits arriving exactly at
+      the departure date may continue);
+    * bounded ``wait[w]`` — the OR of the buckets retained for the
+      recency window ``[t - w, t]`` (an arrival *event*, re-arrivals of
+      known bits included, keeps a bit eligible for ``w`` more dates —
+      exactly the bignum sweep's full-mask push discipline).
+
+    Each contact is therefore touched exactly once per sweep, and all
+    pushes landing on the same (arrival date, target) merge with one
+    ``np.bitwise_or.reduceat`` over pre-sorted group boundaries.
+    """
+    sources = tuple(sources)
+    b = len(sources)
+    n = plan.n
+    arrival = np.full((b, n), UNREACHED, dtype=np.int64)
+    if b == 0 or n == 0:
+        return arrival
+    words = (b + 63) >> 6
+    start = plan.start_time
+    horizon = plan.horizon
+    max_wait = plan.max_wait
+    # A wait bound no processed departure date can exhaust is unbounded
+    # waiting in disguise (latest is pinned at the horizon either way).
+    wait_like = max_wait is None or start + max_wait + 1 >= horizon
+
+    # The source-independent lowering — flattened, sorted, grouped
+    # contacts plus the date axis — cached per plan object.
+    (
+        _dep_s, arr_s, tgt_s, src_s, group_starts_all,
+        dates, date_lo, date_hi, group_lo, group_hi,
+    ) = _bitset_lowering(plan)
 
     #: bit i of node_mask[j] — source i's earliest arrival at j is stamped.
     node_mask = np.zeros((n, words), dtype=np.uint64)

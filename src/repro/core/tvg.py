@@ -9,13 +9,40 @@ and structural transforms in :mod:`repro.core.transforms`.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from collections import deque
+from typing import Hashable, Iterable, Iterator, NamedTuple
 
 from repro.core.edges import Edge
 from repro.core.latency import LatencyFunction, constant_latency
 from repro.core.presence import PresenceFunction, always
 from repro.core.time_domain import Lifetime
 from repro.errors import ReproError, TimeDomainError
+
+#: How many mutation deltas a graph retains.  A consumer whose snapshot
+#: predates the retained history gets ``None`` from
+#: :meth:`TimeVaryingGraph.deltas_since` and must recompute from
+#: scratch, so the cap bounds memory without ever risking a stale
+#: incremental answer.
+DELTA_HISTORY: int = 4096
+
+
+class MutationDelta(NamedTuple):
+    """One recorded mutation: the version it produced and what changed.
+
+    ``kind`` is ``"add_node"``, ``"add_edge"``, ``"remove_edge"``, or
+    ``"set_presence"``.  ``edge_key`` is None for node additions;
+    ``source``/``target`` are the touched edge's endpoints (both the
+    node itself for ``"add_node"``), recorded at mutation time so a
+    removed edge's endpoints survive its removal — the incremental
+    sweep needs the *tail* of every dirty edge to bound its re-sweep
+    cone.
+    """
+
+    version: int
+    kind: str
+    edge_key: str | None
+    source: Hashable
+    target: Hashable
 
 
 class TimeVaryingGraph:
@@ -49,6 +76,10 @@ class TimeVaryingGraph:
         self._in: dict[Hashable, dict[str, Edge]] = {}
         self._key_counter = 0
         self._version = 0
+        # One delta per version bump, consecutive by construction, so
+        # deltas_since can tell a complete chain from a truncated one by
+        # looking at the oldest retained entry alone.
+        self._deltas: deque[MutationDelta] = deque(maxlen=DELTA_HISTORY)
 
     @property
     def version(self) -> int:
@@ -61,6 +92,35 @@ class TimeVaryingGraph:
         """
         return self._version
 
+    def _record(
+        self, kind: str, edge_key: str | None, source: Hashable, target: Hashable
+    ) -> None:
+        """Bump the version and log the matching delta (always paired,
+        so recorded versions stay consecutive)."""
+        self._version += 1
+        self._deltas.append(
+            MutationDelta(self._version, kind, edge_key, source, target)
+        )
+
+    def deltas_since(self, version: int) -> tuple[MutationDelta, ...] | None:
+        """Every mutation after the given version snapshot, oldest first.
+
+        Returns ``()`` when the graph has not mutated since, and None
+        when the chain is unknowable — the snapshot is from the future,
+        or old enough that the bounded history no longer reaches back to
+        it.  A None means "recompute from scratch"; a non-None chain is
+        guaranteed complete, so derived structures (the compiled index,
+        the service's cached matrices) can be patched instead of
+        rebuilt.
+        """
+        if version > self._version:
+            return None
+        if version == self._version:
+            return ()
+        if not self._deltas or self._deltas[0].version > version + 1:
+            return None
+        return tuple(d for d in self._deltas if d.version > version)
+
     # -- nodes --------------------------------------------------------------------
 
     def add_node(self, node: Hashable) -> Hashable:
@@ -69,7 +129,7 @@ class TimeVaryingGraph:
             self._nodes[node] = None
             self._out[node] = {}
             self._in[node] = {}
-            self._version += 1
+            self._record("add_node", None, node, node)
         return node
 
     def add_nodes(self, nodes: Iterable[Hashable]) -> None:
@@ -156,7 +216,7 @@ class TimeVaryingGraph:
         self._edges[edge.key] = edge
         self._out[edge.source][edge.key] = edge
         self._in[edge.target][edge.key] = edge
-        self._version += 1
+        self._record("add_edge", edge.key, edge.source, edge.target)
 
     def remove_edge(self, key: str) -> Edge:
         """Remove and return the edge with the given key."""
@@ -166,7 +226,7 @@ class TimeVaryingGraph:
             raise ReproError(f"no edge with key {key!r}") from None
         del self._out[edge.source][key]
         del self._in[edge.target][key]
-        self._version += 1
+        self._record("remove_edge", key, edge.source, edge.target)
         return edge
 
     def set_presence(self, key: str, presence: PresenceFunction) -> Edge:
@@ -181,7 +241,7 @@ class TimeVaryingGraph:
         self._edges[key] = edge
         self._out[edge.source][key] = edge
         self._in[edge.target][key] = edge
-        self._version += 1
+        self._record("set_presence", key, edge.source, edge.target)
         return edge
 
     @property

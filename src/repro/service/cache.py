@@ -13,7 +13,7 @@ plain LRU on top.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 #: Sentinel returned by :meth:`QueryCache.get` on a miss, so ``None``
 #: stays a cacheable value (e.g. "no journey arrives").
@@ -38,6 +38,7 @@ class QueryCache:
         self.misses = 0
         self.evictions = 0
         self.purged = 0
+        self.retained = 0
 
     def get(self, version: int, query: Hashable) -> Any:
         """The cached result, or :data:`MISS`; a hit refreshes recency."""
@@ -59,22 +60,66 @@ class QueryCache:
             self.evictions += 1
         self._entries[key] = value
 
-    def purge_stale(self, current_version: int) -> int:
-        """Evict every entry computed at a version != ``current_version``.
+    def purge_stale(
+        self,
+        current_version: int,
+        retain: Callable[[Hashable], bool] | None = None,
+    ) -> int:
+        """Evict stale entries (version != ``current_version``), except
+        those ``retain`` vouches for.
 
-        Returns how many entries were purged.  Entries at the current
-        version are untouched — invalidation is exact, not a flush.
+        ``retain`` is a predicate on the *query* part of the key; a
+        stale entry it accepts stays in the cache as incremental seed
+        material (the service keeps old arrival matrices this way, so a
+        later query can patch instead of re-sweeping).  Returns how many
+        entries were purged.  Three separately monotone counters keep
+        the observability honest: ``purged`` counts only
+        staleness-purged entries, ``retained`` counts stale entries a
+        retain predicate kept (once per purge pass they survive), and
+        ``evictions`` counts only LRU-pressure drops from :meth:`put` —
+        the three never mix.  Entries at the current version are
+        untouched — invalidation is exact, not a flush.
         """
         stale = [key for key in self._entries if key[0] != current_version]
+        kept = 0
         for key in stale:
+            if retain is not None and retain(key[1]):
+                kept += 1
+                continue
             del self._entries[key]
-        self.purged += len(stale)
-        return len(stale)
+        self.purged += len(stale) - kept
+        self.retained += kept
+        return len(stale) - kept
+
+    def ancestor(self, query: Hashable, version: int) -> tuple[int, Any] | None:
+        """The newest cached ``(ancestor_version, value)`` of ``query``
+        strictly below ``version``, or None.
+
+        The incremental sweep's entry point: a hit hands back the most
+        recent surviving matrix for the same query so the caller can
+        ask the graph for the delta chain since.  Refreshes the found
+        entry's LRU recency (it is about to be useful) but moves no
+        hit/miss counters — it is not a result lookup.
+        """
+        best: tuple[int, Any] | None = None
+        for (v, q), value in self._entries.items():
+            if q == query and v < version and (best is None or v > best[0]):
+                best = (v, value)
+        if best is not None:
+            self._entries.move_to_end((best[0], query))
+        return best
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: tuple[int, Hashable]) -> bool:
+        """Membership on the same ``(version, query)`` pair ``get``/
+        ``put`` take — no recency refresh, no counter movement."""
+        if not isinstance(key, tuple) or len(key) != 2:
+            raise TypeError(
+                "QueryCache membership takes a (version, query) pair, "
+                f"got {key!r}"
+            )
         return key in self._entries
 
     @property
@@ -92,6 +137,7 @@ class QueryCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "purged": self.purged,
+            "retained": self.retained,
             "hit_rate": self.hit_rate,
         }
 

@@ -56,6 +56,7 @@ from repro.service.server import guarded_response, handle_json_lines
 from repro.service.wire import (
     matrix_from_spec,
     matrix_to_spec,
+    plan_fingerprint,
     plan_from_spec,
     plan_to_spec,
 )
@@ -95,7 +96,14 @@ def dispatch_worker(op: str, params: dict) -> Any:
             raise ServiceError(
                 f"sweep kernel must be one of {', '.join(KERNELS)}"
             )
-        return matrix_to_spec(sweep_block(plan, tuple(sources), kernel=kernel))
+        result = matrix_to_spec(sweep_block(plan, tuple(sources), kernel=kernel))
+        # Echo the fingerprint of the job actually computed — the plan
+        # spec as received plus the block and kernel — so the executor
+        # can tell this result answers *its* job and not a stale one.
+        result["fingerprint"] = plan_fingerprint(
+            params.get("plan"), (sources, kernel)
+        )
+        return result
     if op == "ping":
         return "pong"
     raise ServiceError(f"unknown operation {op!r}")
@@ -234,6 +242,7 @@ class ClusterExecutor:
         self.kernel = None if kernel is None else resolve_kernel(kernel)
         self.jobs_shipped = 0
         self.jobs_recovered = 0
+        self.stale_results_rejected = 0
 
     # -- routing ---------------------------------------------------------------
 
@@ -331,6 +340,7 @@ class ClusterExecutor:
         kernel: str,
     ) -> np.ndarray:
         host, port = worker
+        expected = plan_fingerprint(spec, (list(block), kernel))
         client = await ServiceClient.connect(host, port, limit=WIRE_LIMIT)
         try:
             result = await client.request(
@@ -338,6 +348,17 @@ class ClusterExecutor:
             )
         finally:
             await client.close()
+        # A well-formed, well-shaped matrix computed from a *different*
+        # job (a worker replaying a stale plan) must not be stacked into
+        # the answer: the result frame carries the fingerprint of the
+        # job the worker actually ran, and a mismatch (or its absence)
+        # fails this job into the local re-sweep like any other fault.
+        if not isinstance(result, dict) or result.get("fingerprint") != expected:
+            self.stale_results_rejected += 1
+            raise ServiceError(
+                f"worker {host}:{port} answered a different job "
+                f"(fingerprint mismatch)"
+            )
         matrix = matrix_from_spec(result)
         if matrix.shape != (len(block), plan.n):
             raise ServiceError(
@@ -356,6 +377,7 @@ class ClusterExecutor:
             "kernel": resolve_kernel(self.kernel),
             "jobs_shipped": self.jobs_shipped,
             "jobs_recovered": self.jobs_recovered,
+            "stale_results_rejected": self.stale_results_rejected,
         }
 
     def __repr__(self) -> str:
@@ -380,7 +402,12 @@ class FaultyWorker:
       until the executor's timeout fires;
     * ``"corrupt"``  — answer with a line that is not JSON;
     * ``"misshape"`` — answer ``ok: true`` with a well-formed matrix
-      spec of the wrong dimensions.
+      spec of the wrong dimensions;
+    * ``"stale-plan-version"`` — answer ``ok: true`` with a matrix of
+      the *correct* shape but computed "from" a stale plan: the echoed
+      fingerprint hashes a doctored plan spec.  Before fingerprint
+      checking this was the silent-corruption hole — a shape check
+      alone accepts the frame and stacks wrong numbers into the answer.
 
     Deliberately implemented on plain blocking sockets and threads, not
     asyncio: it must be able to violate the protocol in ways the real
@@ -438,6 +465,24 @@ class FaultyWorker:
                         "data": "AAAAAAAAAAA=",  # one packed int64 zero
                     },
                 }
+                conn.sendall(json.dumps(response).encode() + b"\n")
+            elif mode == "stale-plan-version":
+                request = json.loads(data)
+                plan_spec = request.get("plan") or {}
+                sources = request.get("sources") or []
+                # Right shape, wrong contents: zeros for the block, and
+                # a fingerprint honestly computed — but from a plan one
+                # version behind the one the executor shipped.
+                stale_spec = dict(plan_spec)
+                stale_spec["start"] = int(plan_spec.get("start", 0) or 0) - 1
+                result = matrix_to_spec(
+                    np.zeros((len(sources), int(plan_spec.get("n", 0) or 0)),
+                             dtype=np.int64)
+                )
+                result["fingerprint"] = plan_fingerprint(
+                    stale_spec, (sources, request.get("kernel"))
+                )
+                response = {"id": request.get("id"), "ok": True, "result": result}
                 conn.sendall(json.dumps(response).encode() + b"\n")
             # "kill": fall through and close without a byte in reply.
         except OSError:  # pragma: no cover — peer raced the fault

@@ -29,6 +29,7 @@ mutation/query schedules against a shadow copy to prove it.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Hashable, Sequence
 
 import numpy as np
@@ -48,6 +49,39 @@ from repro.service.cache import MISS, QueryCache
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.service.cluster import ClusterExecutor
 
+#: The incremental-maintenance policies a service can run under.
+INCREMENTAL_MODES: tuple[str, ...] = ("off", "on", "force")
+
+#: Environment override for the incremental mode — the test suites
+#: force the incremental path suite-wide via ``pytest --incremental``.
+INCREMENTAL_ENV: str = "REPRO_INCREMENTAL"
+
+
+def resolve_incremental(mode: str | None = None) -> str:
+    """The incremental mode a service runs under: explicit argument
+    first, then :envvar:`REPRO_INCREMENTAL`, then ``"on"``.
+
+    ``"off"`` never patches (every cache miss is a full sweep), ``"on"``
+    patches when the cone is small enough to beat a full sweep, and
+    ``"force"`` patches whenever the delta chain allows it at all —
+    the mode the differential suites pin the path down with.
+    """
+    if mode is None:
+        mode = os.environ.get(INCREMENTAL_ENV) or "on"
+    if mode not in INCREMENTAL_MODES:
+        raise ValueError(
+            f"unknown incremental mode {mode!r}; "
+            f"choose from {', '.join(INCREMENTAL_MODES)}"
+        )
+    return mode
+
+
+def _is_matrix_query(query: Hashable) -> bool:
+    """Whether a cache query names a retainable arrival matrix."""
+    return (
+        isinstance(query, tuple) and bool(query) and query[0] == "arrival_matrix"
+    )
+
 
 class TVGService:
     """Answer reachability queries over a graph that mutates under you.
@@ -65,6 +99,13 @@ class TVGService:
     :mod:`repro.core.sweep_kernel`) every cache-miss sweep runs on,
     local, sharded, or clustered.  Answers are identical on every
     route and kernel, so cache keys and hit behaviour don't change.
+    ``incremental`` picks the maintenance mode
+    (:func:`resolve_incremental`): with it on, mutations *retain* old
+    arrival matrices instead of purging them, and a later miss patches
+    the nearest ancestor through the graph's recorded delta chain —
+    re-sweeping only the source rows whose answers can have changed —
+    rather than re-sweeping everything; answers stay entry-for-entry
+    identical to a from-scratch sweep.
     """
 
     def __init__(
@@ -76,6 +117,7 @@ class TVGService:
         workers: "Sequence[str] | ClusterExecutor | None" = None,
         worker_timeout: float | None = None,
         kernel: str | None = None,
+        incremental: str | None = None,
     ) -> None:
         from repro.core.sweep_kernel import resolve_kernel
         from repro.service.cluster import DEFAULT_TIMEOUT, ClusterExecutor
@@ -92,8 +134,13 @@ class TVGService:
             self.cluster = ClusterExecutor(
                 workers, timeout=timeout, kernel=self.kernel
             )
+        self.incremental = resolve_incremental(incremental)
         self.queries_served = 0
         self.mutations_applied = 0
+        self.full_sweeps = 0
+        self.incremental_sweeps = 0
+        self.rows_reswept = 0
+        self.rows_reused = 0
 
     # -- the cached sweep ------------------------------------------------------
 
@@ -112,17 +159,53 @@ class TVGService:
 
         Every point query at the same ``(version, window, semantics)``
         shares this one entry, so a burst of ``reach``/``arrival``
-        calls between mutations costs a single sweep.
+        calls between mutations costs a single sweep.  On a miss, an
+        *ancestor* matrix for the same query (retained across
+        mutations when incremental maintenance is on) is patched
+        through the graph's delta chain instead of re-swept from
+        scratch, whenever the dirty cone allows it.
         """
+        query = ("arrival_matrix", start, horizon, str(semantics))
+        return self._cached(
+            query, lambda: self._compute_matrix(query, start, horizon, semantics)
+        )
 
-        def compute():
-            nodes, matrix = self.engine.arrival_matrix(
-                start, semantics, horizon=horizon, shards=self.shards,
-                cluster=self.cluster, kernel=self.kernel,
-            )
-            return {node: i for i, node in enumerate(nodes)}, matrix
-
-        return self._cached(("arrival_matrix", start, horizon, str(semantics)), compute)
+    def _compute_matrix(
+        self, query: tuple, start: int, horizon: int, semantics: WaitingSemantics
+    ) -> tuple[dict[Hashable, int], np.ndarray]:
+        """One cache-miss matrix: incremental patch if possible, else a
+        full sweep on the configured route (shards/cluster/kernel)."""
+        if self.incremental != "off":
+            found = self.cache.ancestor(query, self.graph.version)
+            if found is not None:
+                ancestor_version, (index, matrix) = found
+                result = self.engine.arrival_matrix_incremental(
+                    start,
+                    (list(index), matrix),
+                    self.graph.deltas_since(ancestor_version),
+                    semantics,
+                    horizon,
+                    kernel=self.kernel,
+                    # "on" keeps full (sharded/clustered) sweeps for
+                    # cones covering most rows; "force" never does.
+                    max_rows=(
+                        None
+                        if self.incremental == "force"
+                        else max(1, self.graph.node_count // 2)
+                    ),
+                )
+                if result is not None:
+                    nodes, merged, reswept = result
+                    self.incremental_sweeps += 1
+                    self.rows_reswept += reswept
+                    self.rows_reused += len(nodes) - reswept
+                    return {node: i for i, node in enumerate(nodes)}, merged
+        self.full_sweeps += 1
+        nodes, full = self.engine.arrival_matrix(
+            start, semantics, horizon=horizon, shards=self.shards,
+            cluster=self.cluster, kernel=self.kernel,
+        )
+        return {node: i for i, node in enumerate(nodes)}, full
 
     # -- queries ---------------------------------------------------------------
 
@@ -200,7 +283,8 @@ class TVGService:
 
     def _mutated(self) -> None:
         self.mutations_applied += 1
-        self.cache.purge_stale(self.graph.version)
+        retain = _is_matrix_query if self.incremental != "off" else None
+        self.cache.purge_stale(self.graph.version, retain=retain)
 
     def add_edge(
         self,
@@ -244,8 +328,15 @@ class TVGService:
                 "version": self.graph.version,
             },
             "kernel": resolve_kernel(self.kernel),
+            "incremental": self.incremental,
             "queries_served": self.queries_served,
             "mutations_applied": self.mutations_applied,
+            "sweeps": {
+                "full": self.full_sweeps,
+                "incremental": self.incremental_sweeps,
+                "rows_reswept": self.rows_reswept,
+                "rows_reused": self.rows_reused,
+            },
             "cache": self.cache.stats(),
         }
         if self.cluster is not None:

@@ -31,6 +31,8 @@ arbitrary presence objects directly.
 from __future__ import annotations
 
 import base64
+import hashlib
+import json
 from typing import Any, Sequence
 
 import numpy as np
@@ -284,6 +286,27 @@ def plan_from_spec(spec: dict[str, Any]) -> SweepPlan:
         horizon=horizon,
         max_wait=max_wait,
     )
+
+
+def plan_fingerprint(spec: dict[str, Any], context: Sequence[Any] = ()) -> str:
+    """A short content hash identifying one shipped sweep job.
+
+    Hashes the canonical JSON of the plan spec — which encodes the
+    graph's lowered contacts (hence its version), the window, and the
+    waiting semantics — plus any extra ``context`` (the executor adds
+    the source block and kernel).  A worker echoes the fingerprint of
+    the job it *actually computed* inside its result frame; the
+    executor compares against the job it *shipped*, so a result frame
+    produced from a stale plan (or the wrong block) is detected however
+    well-formed its matrix looks.
+    """
+    try:
+        canonical = json.dumps(
+            [spec, list(context)], sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"job has no canonical form: {exc}") from None
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def matrix_to_spec(matrix: np.ndarray) -> dict[str, Any]:

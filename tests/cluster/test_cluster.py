@@ -112,7 +112,9 @@ class TestDistributedEqualsSerial:
 
 
 class TestFaultRecovery:
-    @pytest.mark.parametrize("mode", ["kill", "corrupt", "misshape"])
+    @pytest.mark.parametrize(
+        "mode", ["kill", "corrupt", "misshape", "stale-plan-version"]
+    )
     def test_faulty_worker_never_changes_the_answer(self, pool, mode):
         g = random_graph()
         with FaultyWorker(mode) as faulty:
@@ -126,6 +128,34 @@ class TestFaultRecovery:
         _same, serial = TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON)
         assert np.array_equal(distributed, serial)
         assert cluster.jobs_recovered >= 1
+
+    def test_stale_plan_result_is_rejected_by_fingerprint(self, pool):
+        """A stale-plan frame is well-formed AND well-shaped — before
+        fingerprint tagging the executor stacked its zeros straight into
+        the answer.  Now it must be rejected (counted separately from
+        generic recoveries) and the block re-swept locally."""
+        g = random_graph()
+        with FaultyWorker("stale-plan-version") as faulty:
+            cluster = ClusterExecutor(
+                [pool.addresses[0], faulty.address, pool.addresses[1]]
+            )
+            _nodes, distributed = TemporalEngine(g).arrival_matrix(
+                0, WAIT, horizon=HORIZON, cluster=cluster
+            )
+            assert faulty.jobs_seen >= 1
+        _same, serial = TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON)
+        assert np.array_equal(distributed, serial)
+        assert cluster.stale_results_rejected >= 1
+        assert cluster.jobs_recovered >= 1
+        assert cluster.stats()["stale_results_rejected"] >= 1
+
+    def test_honest_workers_pass_the_fingerprint_check(self, pool):
+        g = random_graph()
+        cluster = ClusterExecutor(pool.addresses)
+        TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON, cluster=cluster)
+        assert cluster.jobs_shipped >= 2
+        assert cluster.stale_results_rejected == 0
+        assert cluster.jobs_recovered == 0
 
     def test_hanging_worker_times_out_and_recovers(self, pool):
         g = random_graph()

@@ -2,9 +2,10 @@
 
 The :class:`LazyContactCache` must (a) answer exactly what the predicate
 would, (b) grow its scanned windows incrementally — re-calling the
-predicate only on never-seen dates, (c) flush itself when the graph
-mutates, and (d) guarantee at most one predicate call per (edge, date)
-across arbitrary repeated analysis queries through one engine.
+predicate only on never-seen dates, (c) drop exactly the edges whose
+schedule a mutation actually changed (and nothing else), and (d)
+guarantee at most one predicate call per (edge, date) across arbitrary
+repeated analysis queries through one engine.
 """
 
 import pytest
@@ -131,17 +132,39 @@ class TestCacheQueries:
         assert cache.scanned_window(g.edge("ca")) is None
         assert len(cache) == 1
 
-    def test_version_invalidation_after_mutation(self):
+    def test_unrelated_mutation_retains_segments(self):
+        """Regression: one unrelated ``add_edge`` used to flush EVERY
+        edge's memoized scans, re-firing every black-box predicate.
+        Contacts are a pure function of the presence object, so an edge
+        whose presence is untouched must keep its segments."""
         predicate = CountingPredicate()
         g = blackbox_graph(predicate)
         cache = LazyContactCache(g)
         edge = g.edge("ab")
         cache.contacts(edge, 0, 12)
-        g.add_edge("a", "c", key="ac")  # structural mutation
+        g.add_edge("a", "c", key="ac")  # structural, but not this edge
         assert cache.contacts(edge, 0, 12).tolist() == [1, 4, 7, 10]
-        # The flush re-scanned the window: same dates asked a second time.
         assert sorted(set(predicate.calls)) == list(range(0, 12))
-        assert predicate.max_calls_per_date() == 2
+        assert predicate.max_calls_per_date() == 1  # never asked twice
+        assert cache.scanned_window(edge) == (0, 12)
+
+    def test_own_presence_change_still_rescans(self):
+        """The retention must be exactly per-edge: swapping THIS edge's
+        schedule drops its segments (the new predicate is consulted)
+        while the unrelated black-box edge keeps its scans."""
+        predicate = CountingPredicate()
+        other = CountingPredicate(4, 2)
+        g = blackbox_graph(predicate, second=other)
+        cache = LazyContactCache(g)
+        cache.contacts(g.edge("ab"), 0, 12)
+        cache.contacts(g.edge("ca"), 0, 12)
+        other.calls.clear()
+        swapped = g.set_presence(
+            "ab", function_presence(CountingPredicate(3, 2), "swapped")
+        )
+        assert cache.contacts(swapped, 0, 12).tolist() == [2, 5, 8, 11]
+        assert cache.contacts(g.edge("ca"), 0, 12).tolist() == [2, 6, 10]
+        assert other.calls == [], "unrelated edge was re-scanned"
 
 
 class TestRemoveReaddInvalidation:

@@ -151,7 +151,7 @@ class TestAuditIsComplete:
         "version", "nodes", "node_count", "has_node", "edges",
         "edge_count", "edge", "has_edge", "out_edges", "in_edges",
         "edges_between", "edges_at", "out_edges_at", "degree_at",
-        "alphabet", "copy",
+        "alphabet", "copy", "deltas_since",
     }
 
     def test_every_public_method_is_classified(self):

@@ -15,7 +15,8 @@ Two layers of proof on top of PR 4's in-process sharding equivalence:
   drives a real :class:`~repro.service.cluster.ClusterExecutor` over
   real loopback workers, one of which is a
   :class:`~repro.service.cluster.FaultyWorker` whose failure mode
-  (kill/hang/corrupt/misshape) the schedule rotates mid-run, while
+  (kill/hang/corrupt/misshape/stale-plan-version) the schedule rotates
+  mid-run, while
   mutations (edge add/remove, presence swaps, black-box schedules)
   interleave with all-pairs queries under NO_WAIT/WAIT/bounded-wait.
   Every matrix entry must equal a fresh interpretive computation on a
@@ -252,7 +253,11 @@ class ClusterDifferentialMachine(RuleBasedStateMachine):
 
     # -- worker faults (rotated mid-schedule) ----------------------------------
 
-    @rule(mode=st.sampled_from(["kill", "corrupt", "misshape", "hang"]))
+    @rule(
+        mode=st.sampled_from(
+            ["kill", "corrupt", "misshape", "hang", "stale-plan-version"]
+        )
+    )
     def set_fault_mode(self, mode):
         self.faulty.mode = mode
 

@@ -75,6 +75,112 @@ class TestPurgeStale:
         assert cache.get(5, "a") == 1
 
 
+class TestRetention:
+    def test_retain_predicate_keeps_matching_stale_entries(self):
+        cache = QueryCache()
+        cache.put(0, ("arrival_matrix", 0, 10), "matrix")
+        cache.put(0, ("growth", 0, 10), "curve")
+        cache.put(1, ("growth", 0, 10), "fresh")
+        purged = cache.purge_stale(
+            1, retain=lambda q: q[0] == "arrival_matrix"
+        )
+        assert purged == 1  # only the growth entry
+        assert (0, ("arrival_matrix", 0, 10)) in cache
+        assert (0, ("growth", 0, 10)) not in cache
+        assert (1, ("growth", 0, 10)) in cache
+        assert cache.purged == 1 and cache.retained == 1
+
+    def test_retained_entries_survive_repeated_purges(self):
+        cache = QueryCache()
+        cache.put(0, ("arrival_matrix",), "m")
+        for version in (1, 2, 3):
+            cache.purge_stale(version, retain=lambda q: True)
+        assert (0, ("arrival_matrix",)) in cache
+        assert cache.retained == 3 and cache.purged == 0
+
+    def test_ancestor_finds_the_newest_older_entry(self):
+        cache = QueryCache()
+        cache.put(1, "q", "v1")
+        cache.put(3, "q", "v3")
+        cache.put(5, "q", "v5")
+        cache.put(3, "other", "x")
+        assert cache.ancestor("q", 6) == (5, "v5")
+        assert cache.ancestor("q", 5) == (3, "v3")
+        assert cache.ancestor("q", 1) is None
+        assert cache.ancestor("missing", 9) is None
+
+    def test_ancestor_moves_no_hit_or_miss_counters(self):
+        cache = QueryCache()
+        cache.put(1, "q", "v1")
+        cache.ancestor("q", 2)
+        cache.ancestor("missing", 2)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_ancestor_refreshes_recency(self):
+        cache = QueryCache(max_entries=2)
+        cache.put(1, "old", "seed")
+        cache.put(2, "other", "x")
+        assert cache.ancestor("old", 9) == (1, "seed")  # now most recent
+        cache.put(2, "third", "y")  # evicts 'other', not the seed
+        assert (1, "old") in cache
+        assert (2, "other") not in cache
+
+
+class TestObservabilitySeparation:
+    """Purges, retentions, and LRU evictions must be separately visible
+    — an operator watching ``stats()`` can tell write-churn invalidation
+    from capacity pressure."""
+
+    def test_purge_does_not_count_as_eviction(self):
+        cache = QueryCache()
+        cache.put(0, "a", 1)
+        cache.purge_stale(1)
+        assert cache.purged == 1 and cache.evictions == 0
+
+    def test_eviction_does_not_count_as_purge(self):
+        cache = QueryCache(max_entries=1)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        assert cache.evictions == 1 and cache.purged == 0
+
+    def test_stats_exposes_all_three_counters(self):
+        cache = QueryCache(max_entries=1)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)               # evicts a
+        cache.purge_stale(1, retain=None)  # purges b
+        cache.put(1, "c", 3)
+        cache.purge_stale(2, retain=lambda q: True)  # retains c
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["purged"] == 1
+        assert stats["retained"] == 1
+
+
+class TestContains:
+    def test_membership_takes_the_same_pair_as_get_and_put(self):
+        cache = QueryCache()
+        cache.put(3, ("arrival_matrix", 0), "m")
+        assert (3, ("arrival_matrix", 0)) in cache
+        assert (2, ("arrival_matrix", 0)) not in cache
+        assert (3, ("growth", 0)) not in cache
+
+    def test_membership_moves_no_counters_and_no_recency(self):
+        cache = QueryCache(max_entries=2)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        assert (0, "a") in cache  # must NOT refresh 'a'
+        assert cache.hits == 0 and cache.misses == 0
+        cache.put(0, "c", 3)  # evicts 'a' (still LRU)
+        assert (0, "a") not in cache
+
+    def test_malformed_membership_key_is_a_type_error(self):
+        cache = QueryCache()
+        with pytest.raises(TypeError):
+            "bare-query" in cache
+        with pytest.raises(TypeError):
+            (1, "q", "extra") in cache
+
+
 class TestStats:
     def test_stats_snapshot(self):
         cache = QueryCache(max_entries=4)

@@ -98,12 +98,33 @@ class TestCachingAcrossMutations:
         line_service.set_presence("bc", never())
         assert not line_service.reach("a", "c", 0, 10, WAIT)
 
-    def test_mutation_purges_only_stale_entries(self, line_service):
+    def test_mutation_purges_stale_entries_but_retains_matrix_seeds(
+        self, line_service
+    ):
         line_service.growth(0, 10, WAIT)
         assert len(line_service.cache) > 0
         line_service.add_edge("c", "a", key="ca")
-        assert len(line_service.cache) == 0
+        # Derived entries (growth curves) are purged; the stale
+        # arrival_matrix entry survives as incremental seed material.
         assert line_service.cache.purged > 0
+        assert line_service.cache.retained > 0
+        for _version, query in line_service.cache._entries:
+            assert query[0] == "arrival_matrix"
+
+    def test_off_mode_mutation_purges_everything(self):
+        graph = (
+            TVGBuilder(name="line")
+            .lifetime(0, 10)
+            .edge("a", "b", present=[(0, 2)], key="ab")
+            .edge("b", "c", present=[(5, 7)], key="bc")
+            .build()
+        )
+        service = TVGService(graph, incremental="off")
+        service.growth(0, 10, WAIT)
+        assert len(service.cache) > 0
+        service.add_edge("c", "a", key="ca")
+        assert len(service.cache) == 0
+        assert service.cache.purged > 0
 
     def test_add_then_remove_roundtrip(self, line_service):
         version = line_service.graph.version
