@@ -17,10 +17,15 @@ NO_WAIT.  Three claims are checked:
   for the plan and the sub-matrices.  The speedup *gate* only applies
   where it can physically hold: below 2 cores the numbers are still
   measured and recorded, but the assertion self-skips (sandboxes often
-  pin 1 CPU).
+  pin 1 CPU);
+* **sticky plans** — repeated sweeps of one ``(version, window,
+  semantics, kernel)`` ship the full plan to each worker at most once
+  (fingerprint-only jobs after), cutting bytes-on-wire by at least 5x
+  against per-job plan shipping.  Asserted unconditionally — it is a
+  protocol property, not a host-speed property.
 
 Emits ``BENCH_cluster.json`` next to this file so CI can track the
-wire overhead and the recovery counters.
+wire overhead, the recovery counters, and the sticky-plan byte counts.
 
 Run standalone (``python benchmarks/bench_cluster.py``) or through
 pytest (``pytest benchmarks/bench_cluster.py``).
@@ -47,6 +52,8 @@ HORIZON = 32
 WORKERS = 2
 REQUIRED_SPEEDUP = 1.2
 REQUIRED_CPUS = 2
+REPEAT_SWEEPS = 5
+REQUIRED_WIRE_REDUCTION = 5.0
 
 _PORT_PATTERN = re.compile(r"worker listening on \('[^']+', (\d+)\)")
 
@@ -172,6 +179,51 @@ def run_benchmark() -> dict:
             "jobs_shipped": faulty_fleet.jobs_shipped,
             "jobs_recovered": faulty_fleet.jobs_recovered,
         }
+
+        # Sticky plans: a fresh executor sweeping the same (version,
+        # window, semantics, kernel) repeatedly ships the plan to each
+        # worker at most once — every later job is fingerprint-only.
+        from repro.core.parallel import build_sweep_plan
+        from repro.service.wire import plan_to_spec
+
+        _lowered, plan = build_sweep_plan(engine, 0, WAIT, HORIZON)
+        plan_frame_bytes = len(json.dumps(plan_to_spec(plan))) + 1
+        sticky = ClusterExecutor([address for _proc, address in workers])
+        sticky_seconds = 0.0
+        for _ in range(REPEAT_SWEEPS):
+            (_n, repeated), one_sweep = _timed(
+                lambda: engine.arrival_matrix(
+                    0, WAIT, horizon=HORIZON, cluster=sticky
+                )
+            )
+            sticky_seconds += one_sweep
+            assert np.array_equal(repeated, serial_wait), (
+                "a sticky-cached sweep diverged from serial"
+            )
+        assert sticky.plans_shipped <= WORKERS, (
+            f"plan shipped {sticky.plans_shipped} times across "
+            f"{REPEAT_SWEEPS} sweeps — more than once per worker"
+        )
+        assert sticky.plan_misses == 0 and sticky.jobs_recovered == 0
+        # The baseline this executor replaced: every block job carries
+        # the full plan frame.
+        naive_bytes = sticky.jobs_shipped * plan_frame_bytes
+        wire_reduction = naive_bytes / sticky.bytes_sent
+        assert wire_reduction >= REQUIRED_WIRE_REDUCTION, (
+            f"sticky plans cut wire bytes only {wire_reduction:.1f}x vs "
+            f"per-job shipping (floor {REQUIRED_WIRE_REDUCTION}x)"
+        )
+        results["cases"]["sticky_plan_wire"] = {
+            "repeat_sweeps": REPEAT_SWEEPS,
+            "cluster_seconds": sticky_seconds,
+            "jobs_shipped": sticky.jobs_shipped,
+            "plans_shipped": sticky.plans_shipped,
+            "plan_frame_bytes": plan_frame_bytes,
+            "bytes_sent": sticky.bytes_sent,
+            "bytes_received": sticky.bytes_received,
+            "naive_plan_bytes": naive_bytes,
+            "wire_reduction": wire_reduction,
+        }
     finally:
         stop_workers(workers)
     return results
@@ -186,6 +238,14 @@ def emit(results: dict) -> None:
                 f"{case:38s} serial {row['serial_seconds'] * 1e3:9.1f} ms"
                 f"   cluster({results['workers']}) {row['cluster_seconds'] * 1e3:8.1f} ms"
                 f"   speedup {row['speedup']:6.2f}x"
+            )
+        elif "wire_reduction" in row:
+            print(
+                f"{case:38s} {row['repeat_sweeps']} sweeps"
+                f"   plan x{row['plans_shipped']}"
+                f"   {row['bytes_sent'] / 1e6:6.2f} MB sent"
+                f"   vs naive {row['naive_plan_bytes'] / 1e6:6.2f} MB"
+                f"   ({row['wire_reduction']:.1f}x less)"
             )
         else:
             print(

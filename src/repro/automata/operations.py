@@ -11,7 +11,6 @@ from typing import Hashable
 
 from repro.automata.alphabet import Alphabet
 from repro.automata.dfa import DFA
-from repro.automata.nfa import NFA
 from repro.errors import AutomatonError
 
 State = Hashable

@@ -68,11 +68,18 @@ def _cluster(args: argparse.Namespace):
     """The ClusterExecutor a command's ``--workers`` asks for (or None)."""
     if not getattr(args, "workers", None):
         return None
-    from repro.service.cluster import DEFAULT_TIMEOUT, ClusterExecutor
+    from repro.service.cluster import (
+        DEFAULT_OVERSPLIT,
+        DEFAULT_TIMEOUT,
+        ClusterExecutor,
+    )
 
     timeout = getattr(args, "worker_timeout", None)
+    oversplit = getattr(args, "oversplit", None)
     return ClusterExecutor(
-        args.workers, timeout=DEFAULT_TIMEOUT if timeout is None else timeout
+        args.workers,
+        timeout=DEFAULT_TIMEOUT if timeout is None else timeout,
+        oversplit=DEFAULT_OVERSPLIT if oversplit is None else oversplit,
     )
 
 
@@ -264,6 +271,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         graph, window=(start, horizon), cache_size=args.cache_size,
         shards=args.shards, workers=args.workers,
         worker_timeout=args.worker_timeout, kernel=args.kernel,
+        oversplit=args.oversplit,
     )
     print(graph)
     print(f"window:             [{start}, {horizon})")
@@ -357,6 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="seconds to wait per remote sweep job before re-running "
             "its block locally (default 30; raise it for sweeps whose "
             "blocks legitimately run long)",
+        )
+        command.add_argument(
+            "--oversplit", type=int, default=None, metavar="N",
+            help="sweep blocks per worker on the shared work-stealing "
+            "queue (default 4; higher smooths stragglers, 1 disables "
+            "stealing)",
         )
         command.add_argument(
             "--kernel", choices=["bitset", "bignum"], default=None,

@@ -141,10 +141,19 @@ def build_sweep_plan(
     return list(index.nodes), plan
 
 
-def partition_sources(n: int, shards: int) -> list[tuple[int, ...]]:
-    """Split sources ``0..n-1`` into at most ``shards`` contiguous,
-    balanced, non-empty blocks (sizes differ by at most one)."""
-    shards = max(1, min(shards, n))
+def partition_sources(
+    n: int, shards: int, oversplit: int = 1
+) -> list[tuple[int, ...]]:
+    """Split sources ``0..n-1`` into at most ``shards * oversplit``
+    contiguous, balanced, non-empty blocks (sizes differ by at most
+    one).
+
+    ``oversplit > 1`` produces more blocks than workers on purpose: the
+    cluster executor feeds them through a shared queue, so a finished
+    worker picks up blocks a straggler would otherwise still own — work
+    stealing by construction, with no rebalancing protocol.
+    """
+    shards = max(1, min(shards * max(1, oversplit), n))
     base, extra = divmod(n, shards)
     blocks: list[tuple[int, ...]] = []
     lo = 0

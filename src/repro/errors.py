@@ -95,3 +95,14 @@ class TraceFormatError(ReproError):
 class ServiceError(ReproError):
     """A query-service request was malformed or cannot be answered
     (unknown operation, unserializable presence, bad semantics string)."""
+
+
+class PlanMissError(ServiceError):
+    """A sweep worker was sent a fingerprint-only block job for a plan
+    it does not hold (never cached, or evicted from its bounded LRU).
+
+    The one *recoverable* worker error: the executor answers it by
+    re-shipping the full plan exactly once; anything else — including a
+    second miss on the very connection that just received the plan —
+    fails the job into the local re-sweep like any other fault.
+    """

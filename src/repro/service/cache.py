@@ -12,6 +12,7 @@ plain LRU on top.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -34,6 +35,10 @@ class QueryCache:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple[int, Hashable], Any] = OrderedDict()
+        # Per-query sorted version lists, kept in lockstep with
+        # ``_entries`` — :meth:`ancestor` is a bisect over the versions
+        # of *that* query, not a scan of every cached entry.
+        self._versions: dict[Hashable, list[int]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -55,9 +60,12 @@ class QueryCache:
         key = (version, query)
         if key in self._entries:
             self._entries.move_to_end(key)
-        elif len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        else:
+            if len(self._entries) >= self.max_entries:
+                evicted, _value = self._entries.popitem(last=False)
+                self._index_discard(evicted)
+                self.evictions += 1
+            self._index_add(key)
         self._entries[key] = value
 
     def purge_stale(
@@ -87,6 +95,7 @@ class QueryCache:
                 kept += 1
                 continue
             del self._entries[key]
+            self._index_discard(key)
         self.purged += len(stale) - kept
         self.retained += kept
         return len(stale) - kept
@@ -97,17 +106,42 @@ class QueryCache:
 
         The incremental sweep's entry point: a hit hands back the most
         recent surviving matrix for the same query so the caller can
-        ask the graph for the delta chain since.  Refreshes the found
-        entry's LRU recency (it is about to be useful) but moves no
-        hit/miss counters — it is not a result lookup.
+        ask the graph for the delta chain since.  One bisect over the
+        per-query version index — O(log versions of *that* query), not
+        a scan of every cached entry.  Refreshes the found entry's LRU
+        recency (it is about to be useful) but moves no hit/miss
+        counters — it is not a result lookup.
         """
-        best: tuple[int, Any] | None = None
-        for (v, q), value in self._entries.items():
-            if q == query and v < version and (best is None or v > best[0]):
-                best = (v, value)
-        if best is not None:
-            self._entries.move_to_end((best[0], query))
-        return best
+        versions = self._versions.get(query)
+        if not versions:
+            return None
+        i = bisect_left(versions, version)
+        if i == 0:
+            return None
+        found = versions[i - 1]
+        key = (found, query)
+        self._entries.move_to_end(key)
+        return found, self._entries[key]
+
+    # -- the per-query version index -------------------------------------------
+
+    def _index_add(self, key: tuple[int, Hashable]) -> None:
+        version, query = key
+        versions = self._versions.setdefault(query, [])
+        i = bisect_left(versions, version)
+        if i == len(versions) or versions[i] != version:
+            versions.insert(i, version)
+
+    def _index_discard(self, key: tuple[int, Hashable]) -> None:
+        version, query = key
+        versions = self._versions.get(query)
+        if versions is None:
+            return
+        i = bisect_left(versions, version)
+        if i < len(versions) and versions[i] == version:
+            versions.pop(i)
+            if not versions:
+                del self._versions[query]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -37,6 +37,11 @@ class ServiceClient:
         # response line with the request that asked for it, so one
         # client may be shared across concurrent coroutines.
         self._lock = asyncio.Lock()
+        # Bytes of JSON framing that crossed this connection, both ways
+        # — the cluster executor aggregates these into its bytes-on-wire
+        # counters (the sticky-plan bench gate reads them).
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     @classmethod
     async def connect(
@@ -54,11 +59,14 @@ class ServiceClient:
         async with self._lock:
             self._next_id += 1
             payload = {"op": op, "id": self._next_id, **params}
-            self._writer.write(json.dumps(payload).encode() + b"\n")
+            frame = json.dumps(payload).encode() + b"\n"
+            self.bytes_sent += len(frame)
+            self._writer.write(frame)
             await self._writer.drain()
             line = await self._reader.readline()
             if not line:
                 raise ServiceError("connection closed by server")
+            self.bytes_received += len(line)
             response = json.loads(line)
         if not response.get("ok") and "id" not in response:
             # Transport-level error frames (oversized frame, bad JSON)
@@ -134,6 +142,11 @@ class ServiceClient:
 
     async def set_presence(self, key: str, presence: dict) -> str:
         return await self.request("set_presence", key=key, presence=presence)
+
+    async def set_workers(self, workers: list[str]) -> list[str]:
+        """Re-resolve the server's sweep-worker fleet (elastic
+        membership — safe mid-sweep); ``[]`` detaches the cluster."""
+        return await self.request("set_workers", workers=workers)
 
     # -- observability ---------------------------------------------------------
 

@@ -23,6 +23,7 @@ classify      start, end
 add_edge      source, target, key?, label?, presence?, latency?
 remove_edge   key
 set_presence  key, presence
+set_workers   workers (list of "host:port" strings)
 stats         —
 ping          —
 ======  =====================================================
@@ -81,6 +82,15 @@ def dispatch(service: TVGService, op: str, params: dict) -> Any:
         return service.set_presence(
             params["key"], presence_from_spec(params["presence"])
         )
+    if op == "set_workers":
+        workers = params["workers"]
+        if not isinstance(workers, list) or not all(
+            isinstance(w, str) for w in workers
+        ):
+            raise ServiceError(
+                "set_workers takes a list of 'host:port' strings"
+            )
+        return service.set_workers(workers)
     if op == "stats":
         return service.stats()
     if op == "ping":

@@ -118,21 +118,30 @@ class TVGService:
         worker_timeout: float | None = None,
         kernel: str | None = None,
         incremental: str | None = None,
+        oversplit: int | None = None,
     ) -> None:
         from repro.core.sweep_kernel import resolve_kernel
-        from repro.service.cluster import DEFAULT_TIMEOUT, ClusterExecutor
+        from repro.service.cluster import (
+            DEFAULT_OVERSPLIT,
+            DEFAULT_TIMEOUT,
+            ClusterExecutor,
+        )
 
         self.graph = graph
         self.engine = TemporalEngine(graph, window)
         self.cache = QueryCache(max_entries=cache_size)
         self.shards = shards
         self.kernel = None if kernel is None else resolve_kernel(kernel)
+        self._worker_timeout = (
+            DEFAULT_TIMEOUT if worker_timeout is None else worker_timeout
+        )
+        self._oversplit = DEFAULT_OVERSPLIT if oversplit is None else oversplit
         if workers is None or isinstance(workers, ClusterExecutor):
             self.cluster = workers
         else:
-            timeout = DEFAULT_TIMEOUT if worker_timeout is None else worker_timeout
             self.cluster = ClusterExecutor(
-                workers, timeout=timeout, kernel=self.kernel
+                workers, timeout=self._worker_timeout, kernel=self.kernel,
+                oversplit=self._oversplit,
             )
         self.incremental = resolve_incremental(incremental)
         self.queries_served = 0
@@ -313,6 +322,35 @@ class TVGService:
         self.graph.set_presence(key, presence)
         self._mutated()
         return key
+
+    # -- fleet membership ------------------------------------------------------
+
+    def set_workers(self, workers: Sequence[str]) -> list[str]:
+        """Re-resolve the sweep-worker fleet; returns the resolved list.
+
+        Elastic membership: safe at any time, including while a
+        clustered sweep is in flight (departed workers stop pulling
+        blocks, joined workers start stealing from the live queue).  An
+        empty list detaches the cluster — later sweeps run locally (or
+        process-sharded); a non-empty list on a service built without
+        workers attaches a fresh executor with the service's configured
+        timeout, kernel, and oversplit.  Answers never change, only
+        where the blocks run.
+        """
+        from repro.service.cluster import ClusterExecutor
+
+        if not workers:
+            if self.cluster is not None:
+                self.cluster.set_workers([])
+            return []
+        if self.cluster is None:
+            self.cluster = ClusterExecutor(
+                workers, timeout=self._worker_timeout, kernel=self.kernel,
+                oversplit=self._oversplit,
+            )
+        else:
+            self.cluster.set_workers(workers)
+        return [f"{host}:{port}" for host, port in self.cluster.workers]
 
     # -- observability ---------------------------------------------------------
 

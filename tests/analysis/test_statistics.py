@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.statistics import Summary, format_table, ratio, summarize
+from repro.analysis.statistics import format_table, ratio, summarize
 from repro.errors import ReproError
 
 

@@ -196,10 +196,10 @@ class TestWorkerConcurrency:
 
         real = cluster_mod.dispatch_worker
 
-        def slow_dispatch(op, params):
+        def slow_dispatch(op, params, plans=None):
             if op == "sweep":
                 time.sleep(1.0)
-            return real(op, params)
+            return real(op, params, plans)
 
         monkeypatch.setattr(cluster_mod, "dispatch_worker", slow_dispatch)
         host, port_text = pool.addresses[0].rsplit(":", 1)
@@ -244,11 +244,11 @@ class TestPoolLifecycle:
         real = cluster_mod.serve_worker
         calls = {"n": 0}
 
-        async def flaky(host="127.0.0.1", port=0):
+        async def flaky(host="127.0.0.1", port=0, plan_cache=None):
             calls["n"] += 1
             if calls["n"] == 2:
                 raise OSError("no more ports")
-            return await real(host, port)
+            return await real(host, port, plan_cache)
 
         monkeypatch.setattr(cluster_mod, "serve_worker", flaky)
         pool = cluster_mod.LoopbackWorkerPool(2)
@@ -257,6 +257,230 @@ class TestPoolLifecycle:
         # The first worker's server and the loop thread were torn down.
         assert pool._loop is None and pool._thread is None
         assert not pool._servers
+
+
+class TestStickyPlans:
+    """The sticky fast path: plan shipped once per worker, fingerprint
+    jobs after, and the one-re-ship repair on eviction."""
+
+    def test_repeat_sweeps_ship_the_plan_once_per_worker(self):
+        with LoopbackWorkerPool(2) as pool:
+            g = random_graph()
+            engine = TemporalEngine(g)
+            cluster = ClusterExecutor(pool.addresses)
+            _nodes, first = engine.arrival_matrix(
+                0, WAIT, horizon=HORIZON, cluster=cluster
+            )
+            shipped = cluster.plans_shipped
+            assert 1 <= shipped <= len(pool.addresses)
+            first_bytes = cluster.bytes_sent
+            _same, second = engine.arrival_matrix(
+                0, WAIT, horizon=HORIZON, cluster=cluster
+            )
+            assert np.array_equal(first, second)
+            # Same (version, window, semantics) → same fingerprint: the
+            # second sweep rides the worker caches, no plan crosses.
+            assert cluster.plans_shipped == shipped
+            assert cluster.plan_misses == 0 and cluster.jobs_recovered == 0
+            assert cluster.bytes_sent - first_bytes < first_bytes
+
+    def test_distinct_queries_ship_distinct_plans(self):
+        with LoopbackWorkerPool(1) as pool:
+            g = random_graph()
+            engine = TemporalEngine(g)
+            cluster = ClusterExecutor(pool.addresses)
+            engine.arrival_matrix(0, WAIT, horizon=HORIZON, cluster=cluster)
+            engine.arrival_matrix(0, NO_WAIT, horizon=HORIZON, cluster=cluster)
+            assert cluster.plans_shipped == 2
+            assert pool.plan_caches[0].stats()["plans"] == 2
+
+    def test_evicted_plan_is_reshipped_and_never_wrong(self):
+        """A worker whose LRU dropped a plan answers the fingerprint job
+        with a plan-miss; the executor's one re-ship repairs it — no
+        local recovery, no answer change."""
+        with LoopbackWorkerPool(1, plan_cache_size=1) as pool:
+            cluster = ClusterExecutor(pool.addresses, min_nodes=0)
+            engines = {
+                seed: TemporalEngine(random_graph(n=12, seed=seed))
+                for seed in (1, 2)
+            }
+            serials = {
+                seed: TemporalEngine(random_graph(n=12, seed=seed)).arrival_matrix(
+                    0, WAIT, horizon=HORIZON
+                )[1]
+                for seed in (1, 2)
+            }
+            for _round in range(2):
+                # Alternating two plans through a one-slot cache evicts
+                # the other plan on every sweep.
+                for seed, engine in engines.items():
+                    _nodes, matrix = engine.arrival_matrix(
+                        0, WAIT, horizon=HORIZON, cluster=cluster
+                    )
+                    assert np.array_equal(matrix, serials[seed])
+            assert cluster.plan_misses >= 1
+            assert cluster.jobs_recovered == 0
+            assert pool.plan_caches[0].evictions >= 2
+
+    def test_set_workers_forgets_beliefs_about_departed_members(self):
+        with LoopbackWorkerPool(1) as pool:
+            g = random_graph()
+            engine = TemporalEngine(g)
+            cluster = ClusterExecutor(pool.addresses)
+            engine.arrival_matrix(0, WAIT, horizon=HORIZON, cluster=cluster)
+            shipped = cluster.plans_shipped
+            # Leave and re-join: the executor must not assume the worker
+            # still holds the plan (it happens to, but a fresh belief
+            # costs one correct re-ship, not a wrong answer).
+            cluster.set_workers([])
+            cluster.set_workers(pool.addresses)
+            engine.arrival_matrix(0, WAIT, horizon=HORIZON, cluster=cluster)
+            assert cluster.plans_shipped == shipped + 1
+
+
+class TestChaosModes:
+    def test_plan_evicted_chaos_becomes_local_resweep_not_a_loop(self, pool):
+        """A worker that claims eviction forever gets exactly one
+        re-ship, then its jobs fail into local recovery."""
+        g = random_graph()
+        with FaultyWorker("plan-evicted") as faulty:
+            cluster = ClusterExecutor([pool.addresses[0], faulty.address])
+            _nodes, distributed = TemporalEngine(g).arrival_matrix(
+                0, WAIT, horizon=HORIZON, cluster=cluster
+            )
+            assert faulty.jobs_seen >= 1
+        _same, serial = TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON)
+        assert np.array_equal(distributed, serial)
+        assert cluster.jobs_recovered >= 1
+
+    def test_steal_crash_takes_its_block_to_the_grave(self, pool):
+        """The worst stealing case: a worker accepts a block, then dies
+        completely (no reply, listener closed).  The block must be
+        recovered and later jobs routed around the corpse."""
+        g = random_graph()
+        with FaultyWorker("steal-crash") as faulty:
+            cluster = ClusterExecutor(
+                [pool.addresses[0], faulty.address, pool.addresses[1]],
+                timeout=2.0,
+            )
+            _nodes, distributed = TemporalEngine(g).arrival_matrix(
+                0, WAIT, horizon=HORIZON, cluster=cluster
+            )
+            assert faulty.jobs_seen >= 1
+        _same, serial = TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON)
+        assert np.array_equal(distributed, serial)
+        assert cluster.jobs_recovered >= 1
+
+    def test_hang_recovery_is_specifically_a_timeout(self, pool):
+        """Regression: the hang double used to give up after 10 s —
+        shorter than the default 30 s job timeout — so "hang" chaos
+        actually manifested as EOF and the asyncio.TimeoutError branch
+        (a *subclass of OSError* on this Python, so except-order matters)
+        went unexercised.  Now it holds until close(); with a short job
+        timeout the recovery must be counted as a timeout."""
+        g = random_graph()
+        with FaultyWorker("hang") as faulty:
+            cluster = ClusterExecutor(
+                [faulty.address, pool.addresses[0]], timeout=0.3
+            )
+            _nodes, distributed = TemporalEngine(g).arrival_matrix(
+                0, WAIT, horizon=HORIZON, cluster=cluster
+            )
+        _same, serial = TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON)
+        assert np.array_equal(distributed, serial)
+        assert cluster.jobs_timed_out >= 1
+        assert cluster.jobs_recovered >= cluster.jobs_timed_out
+        assert cluster.stats()["jobs_timed_out"] >= 1
+
+
+class TestElasticFleet:
+    def test_worker_joining_mid_sweep_steals_queued_blocks(self, pool):
+        """A sweep starts against one hanging worker; a healthy worker
+        joins mid-flight via set_workers and drains the queue, so the
+        sweep finishes in ~one job timeout instead of one per block."""
+        import threading
+        import time
+
+        g = random_graph()
+        with FaultyWorker("hang") as faulty:
+            cluster = ClusterExecutor([faulty.address], timeout=1.0)
+            timer = threading.Timer(
+                0.2,
+                cluster.set_workers,
+                args=([faulty.address, pool.addresses[0]],),
+            )
+            timer.start()
+            began = time.perf_counter()
+            try:
+                _nodes, distributed = TemporalEngine(g).arrival_matrix(
+                    0, WAIT, horizon=HORIZON, cluster=cluster
+                )
+            finally:
+                timer.cancel()
+                timer.join()
+            elapsed = time.perf_counter() - began
+        _same, serial = TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON)
+        assert np.array_equal(distributed, serial)
+        # The joined worker answered remotely (only it could have) …
+        assert cluster.jobs_shipped - cluster.jobs_recovered >= 1
+        # … so only the hanging worker's in-flight block paid a timeout.
+        assert elapsed < 3.0
+
+    def test_fleet_shrinking_to_empty_goes_local(self, pool):
+        g = random_graph()
+        cluster = ClusterExecutor(pool.addresses)
+        engine = TemporalEngine(g)
+        engine.arrival_matrix(0, WAIT, horizon=HORIZON, cluster=cluster)
+        shipped = cluster.jobs_shipped
+        cluster.set_workers([])
+        assert not cluster.routes(100)
+        _nodes, matrix = engine.arrival_matrix(
+            0, WAIT, horizon=HORIZON, cluster=cluster
+        )
+        _same, serial = TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON)
+        assert np.array_equal(matrix, serial)
+        assert cluster.jobs_shipped == shipped  # nothing left to ship to
+
+    def test_set_workers_validates_every_address(self, pool):
+        from repro.errors import ServiceError
+
+        cluster = ClusterExecutor(pool.addresses)
+        with pytest.raises(ServiceError):
+            cluster.set_workers(["not-an-address"])
+        # The failed call must not have half-applied.
+        assert [f"{h}:{p}" for h, p in cluster.workers] == list(pool.addresses)
+
+    def test_oversplit_produces_more_blocks_than_workers(self, pool):
+        g = random_graph()
+        cluster = ClusterExecutor(pool.addresses, oversplit=4)
+        TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON, cluster=cluster)
+        assert cluster.jobs_shipped >= 2 * len(pool.addresses)
+        assert cluster.stats()["oversplit"] == 4
+
+    def test_oversplit_must_be_positive(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            ClusterExecutor([], oversplit=0)
+
+
+class TestStatsKernel:
+    def test_stats_report_the_last_swept_kernel(self, pool, monkeypatch):
+        """Regression: stats() used to re-resolve REPRO_SWEEP_KERNEL at
+        stats time, so flipping the environment after a sweep made the
+        report contradict what the jobs actually ran on."""
+        g = random_graph()
+        cluster = ClusterExecutor(pool.addresses)
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "bitset")
+        TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON, cluster=cluster)
+        assert cluster.stats()["kernel"] == "bitset"
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "bignum")
+        assert cluster.stats()["kernel"] == "bitset"  # what actually ran
+        TemporalEngine(g).arrival_matrix(0, WAIT, horizon=HORIZON, cluster=cluster)
+        assert cluster.stats()["kernel"] == "bignum"
+
+    def test_stats_before_any_sweep_report_the_resolved_default(self):
+        assert ClusterExecutor([], kernel="bignum").stats()["kernel"] == "bignum"
 
 
 class TestServiceIntegration:
@@ -277,4 +501,50 @@ class TestServiceIntegration:
         assert service.cluster is cluster
         assert service.reach(0, 1, 0, HORIZON) == TVGService(random_graph()).reach(
             0, 1, 0, HORIZON
+        )
+
+    def test_service_set_workers_attaches_and_detaches_the_fleet(self, pool):
+        service = TVGService(
+            random_graph(), worker_timeout=2.5, kernel="bitset", oversplit=3
+        )
+        assert service.cluster is None
+        resolved = service.set_workers(pool.addresses)
+        assert resolved == list(pool.addresses)
+        # The late-attached executor inherits the service's configuration.
+        assert service.cluster.timeout == 2.5
+        assert service.cluster.oversplit == 3
+        local = TVGService(random_graph())
+        assert service.growth(0, HORIZON) == local.growth(0, HORIZON)
+        assert service.cluster.jobs_shipped >= 1
+        assert service.set_workers([]) == []
+        shipped = service.cluster.jobs_shipped
+        service.graph.add_edge(0, 1, presence=periodic_presence([0], 2))
+        service._mutated()
+        service.arrival(0, 1, 0, HORIZON)
+        assert service.cluster.jobs_shipped == shipped  # swept locally
+
+    def test_set_workers_over_the_wire(self, pool):
+        """The elastic-membership op end to end: dispatch-level frames
+        re-resolve a served service's fleet (and reject bad params)."""
+        from repro.service.server import handle_request
+
+        service = TVGService(random_graph())
+        response = handle_request(
+            service, {"op": "set_workers", "id": 1, "workers": list(pool.addresses)}
+        )
+        assert response == {"id": 1, "ok": True, "result": list(pool.addresses)}
+        assert service.cluster is not None
+        for bad in (None, "127.0.0.1:1", [1, 2], [["127.0.0.1", 1]]):
+            frame = handle_request(
+                service, {"op": "set_workers", "id": 2, "workers": bad}
+            )
+            assert not frame["ok"] and "host:port" in frame["error"]
+        # A malformed address inside a well-typed list is a structured
+        # error too, and must not half-apply.
+        frame = handle_request(
+            service, {"op": "set_workers", "id": 3, "workers": ["nope"]}
+        )
+        assert not frame["ok"] and frame["error"].startswith("ServiceError")
+        assert [f"{h}:{p}" for h, p in service.cluster.workers] == list(
+            pool.addresses
         )

@@ -15,14 +15,15 @@ from repro.core.engine import TemporalEngine
 from repro.core.generators import periodic_random_tvg
 from repro.core.parallel import build_sweep_plan, partition_sources, sweep_block
 from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
-from repro.errors import ServiceError
+from repro.errors import PlanMissError, ServiceError
 from repro.service.cluster import (
     ClusterExecutor,
+    PlanCache,
     dispatch_worker,
     handle_worker_request,
     parse_worker_address,
 )
-from repro.service.wire import matrix_from_spec, plan_to_spec
+from repro.service.wire import matrix_from_spec, plan_fingerprint, plan_to_spec
 
 HORIZON = 14
 
@@ -69,7 +70,7 @@ class TestDispatcher:
         assert response == {
             "id": 7,
             "ok": False,
-            "error": f"ServiceError: malformed sweep plan spec {None!r}",
+            "error": "ServiceError: sweep needs a plan spec or a plan_key",
         }
 
     def test_result_frames_echo_the_id(self):
@@ -79,6 +80,89 @@ class TestDispatcher:
         )
         assert response["id"] == 3 and response["ok"]
         assert np.array_equal(matrix_from_spec(response["result"]), serial[:2])
+
+
+class TestPlanCacheProtocol:
+    """The sticky-plan side of the dispatcher: full-plan jobs seed the
+    worker's cache, fingerprint-only jobs answer from it or miss with
+    the one structured error the executor repairs by re-shipping."""
+
+    def test_fingerprint_only_job_answers_from_the_cache(self):
+        plan, serial = plan_and_serial()
+        spec = plan_to_spec(plan)
+        key = plan_fingerprint(spec)
+        plans = PlanCache()
+        dispatch_worker("sweep", {"plan": spec, "sources": [0]}, plans)
+        result = dispatch_worker(
+            "sweep", {"plan_key": key, "sources": [1, 2]}, plans
+        )
+        assert np.array_equal(matrix_from_spec(result), serial[1:3])
+        # Both routes echo the fingerprint of the job actually computed.
+        assert result["fingerprint"] == plan_fingerprint(spec, ([1, 2], None))
+
+    def test_unknown_fingerprint_is_a_plan_miss(self):
+        plans = PlanCache()
+        with pytest.raises(PlanMissError):
+            dispatch_worker(
+                "sweep", {"plan_key": "deadbeefdeadbeef", "sources": [0]}, plans
+            )
+
+    def test_plan_miss_frame_is_structured_and_detectable(self):
+        """The executor detects a miss by the error frame's exception
+        name prefix — pin the wire shape the repair path keys on."""
+        response = handle_worker_request(
+            {"op": "sweep", "id": 9, "plan_key": "deadbeefdeadbeef", "sources": [0]},
+            PlanCache(),
+        )
+        assert response["id"] == 9 and not response["ok"]
+        assert response["error"].startswith("PlanMissError")
+
+    def test_without_a_cache_every_fingerprint_job_misses(self):
+        plan, _serial = plan_and_serial()
+        spec = plan_to_spec(plan)
+        dispatch_worker("sweep", {"plan": spec, "sources": [0]})  # plans=None
+        with pytest.raises(PlanMissError):
+            dispatch_worker(
+                "sweep", {"plan_key": plan_fingerprint(spec), "sources": [0]}
+            )
+
+    def test_non_string_plan_key_rejected(self):
+        with pytest.raises(ServiceError, match="must be a string"):
+            dispatch_worker("sweep", {"plan_key": 7, "sources": [0]}, PlanCache())
+
+    def test_lru_eviction_is_bounded_and_counted(self):
+        plans = PlanCache(max_plans=2)
+        specs = []
+        for seed in (1, 2, 3):
+            plan, _ = plan_and_serial(n=8, seed=seed)
+            spec = plan_to_spec(plan)
+            specs.append(spec)
+            dispatch_worker("sweep", {"plan": spec, "sources": [0]}, plans)
+        assert len(plans) == 2 and plans.evictions == 1
+        # The oldest plan is gone; the two newest still answer.
+        with pytest.raises(PlanMissError):
+            dispatch_worker(
+                "sweep", {"plan_key": plan_fingerprint(specs[0]), "sources": [0]},
+                plans,
+            )
+        for spec in specs[1:]:
+            dispatch_worker(
+                "sweep", {"plan_key": plan_fingerprint(spec), "sources": [0]},
+                plans,
+            )
+        assert plans.hits == 2 and plans.misses == 1
+
+    def test_zero_capacity_cache_rejected(self):
+        with pytest.raises(ServiceError):
+            PlanCache(max_plans=0)
+
+    def test_stats_op_reports_the_plan_cache(self):
+        plans = PlanCache()
+        plan, _ = plan_and_serial()
+        dispatch_worker("sweep", {"plan": plan_to_spec(plan), "sources": [0]}, plans)
+        report = dispatch_worker("stats", {}, plans)
+        assert report["plan_cache"]["plans"] == 1
+        assert dispatch_worker("stats", {})["plan_cache"] is None
 
 
 class TestWorkerAddresses:
@@ -91,6 +175,28 @@ class TestWorkerAddresses:
     def test_malformed_addresses_rejected(self, text):
         with pytest.raises(ServiceError):
             parse_worker_address(text)
+
+    def test_bracketed_ipv6_literal_keeps_its_address(self):
+        """``[::1]:7713`` is host ``::1`` port 7713 — the brackets are
+        wire syntax, not part of the address (an earlier build handed
+        ``[::1]`` to the connector, which can never resolve)."""
+        assert parse_worker_address("[::1]:7713") == ("::1", 7713)
+        assert parse_worker_address("[fe80::2]:80") == ("fe80::2", 80)
+
+    def test_bare_multi_colon_host_is_ambiguous(self):
+        # "::1:7713" could be port 7713 of ::1 or all-address — reject,
+        # pointing at the bracket syntax.
+        with pytest.raises(ServiceError, match=r"bracket IPv6"):
+            parse_worker_address("::1:7713")
+
+    def test_bracketed_empty_host_rejected(self):
+        with pytest.raises(ServiceError, match="empty host"):
+            parse_worker_address("[]:7713")
+
+    def test_tuple_ipv6_needs_no_brackets_but_sheds_them(self):
+        # A pre-split pair is already unambiguous, brackets optional.
+        assert parse_worker_address(("::1", 7713)) == ("::1", 7713)
+        assert parse_worker_address(("[::1]", 7713)) == ("::1", 7713)
 
     def test_bare_string_fleet_is_one_worker_not_characters(self):
         assert ClusterExecutor("127.0.0.1:7713").workers == [("127.0.0.1", 7713)]

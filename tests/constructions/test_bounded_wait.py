@@ -12,7 +12,7 @@ from repro.constructions.bounded_wait import (
 from repro.constructions.figure1 import figure1_automaton
 from repro.core.builders import TVGBuilder
 from repro.core.generators import periodic_random_tvg
-from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.core.semantics import NO_WAIT, bounded_wait
 from repro.errors import ConstructionError
 
 

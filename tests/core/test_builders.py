@@ -9,8 +9,8 @@ from repro.core.builders import (
     from_contact_table,
     static_graph,
 )
-from repro.core.latency import LatencyFunction, constant_latency
-from repro.core.presence import PresenceFunction, always
+from repro.core.latency import constant_latency
+from repro.core.presence import always
 from repro.core.time_domain import Lifetime
 from repro.errors import ReproError
 

@@ -1,7 +1,5 @@
 """Tests for TVG generators."""
 
-import random
-
 import pytest
 
 from repro.core.generators import (

@@ -18,7 +18,6 @@ from repro.core.serialize import (
     save,
     to_dict,
 )
-from repro.core.time_domain import Lifetime
 from repro.errors import ReproError, TraceFormatError
 
 

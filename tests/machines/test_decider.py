@@ -5,7 +5,6 @@ import pytest
 from repro.errors import AutomatonError, MachineError
 from repro.machines.counter import anbn_counter_machine
 from repro.machines.decider import (
-    Decider,
     cm_decider,
     cross_check,
     predicate_decider,

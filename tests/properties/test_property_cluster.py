@@ -15,16 +15,20 @@ Two layers of proof on top of PR 4's in-process sharding equivalence:
   drives a real :class:`~repro.service.cluster.ClusterExecutor` over
   real loopback workers, one of which is a
   :class:`~repro.service.cluster.FaultyWorker` whose failure mode
-  (kill/hang/corrupt/misshape/stale-plan-version) the schedule rotates
-  mid-run, while
-  mutations (edge add/remove, presence swaps, black-box schedules)
-  interleave with all-pairs queries under NO_WAIT/WAIT/bounded-wait.
-  Every matrix entry must equal a fresh interpretive computation on a
-  shadow copy of the graph, and every schedule is guaranteed at least
-  one injected worker failure (the faulty worker always owns a block).
+  (kill/hang/corrupt/misshape/stale-plan-version/plan-evicted/
+  steal-crash) the schedule rotates mid-run, while mutations (edge
+  add/remove, presence swaps, black-box schedules) interleave with
+  all-pairs queries under NO_WAIT/WAIT/bounded-wait — some queries
+  racing a fleet-membership flip (:meth:`ClusterExecutor.set_workers`
+  from a timer thread) against their own sweep.  Every matrix entry
+  must equal a fresh interpretive computation on a shadow copy of the
+  graph, and every schedule is guaranteed at least one injected worker
+  failure (teardown forces a sweep against a dead-worker-only fleet if
+  the stealing healthy workers absorbed every block first).
 """
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -219,14 +223,20 @@ NODES = ("a", "b", "c", "d", "e")
 
 
 class ClusterDifferentialMachine(RuleBasedStateMachine):
-    """Mutations, queries, and worker faults interleave; every matrix
-    entry must match the interpretive shadow oracle.
+    """Mutations, queries, worker faults, and membership churn
+    interleave; every matrix entry must match the interpretive shadow
+    oracle.
 
     The executor's fleet is two honest loopback workers around one
-    :class:`FaultyWorker`; with three workers and five sources every
-    sweep partitions into three blocks, so the faulty worker owns a
-    block on *every* query — at least one injected failure per
-    schedule, by construction (asserted via ``jobs_recovered``).
+    :class:`FaultyWorker`.  Work stealing means the healthy workers may
+    drain the shared queue before the faulty one pulls a block, so no
+    *per-query* recovery is guaranteed — instead teardown forces one
+    sweep against a fleet of only the faulty worker whenever a schedule
+    finished without a single absorbed failure, so every schedule still
+    proves at least one.  ``steal-crash`` kills the faulty worker for
+    good (listener closed); a revive rule swaps in a fresh double via
+    :meth:`ClusterExecutor.set_workers`, exercising elastic membership
+    on the way.
     """
 
     def __init__(self) -> None:
@@ -234,7 +244,7 @@ class ClusterDifferentialMachine(RuleBasedStateMachine):
         self.pool = LoopbackWorkerPool(2).__enter__()
         self.faulty = FaultyWorker("kill")
         self.cluster = ClusterExecutor(
-            [self.pool.addresses[0], self.faulty.address, self.pool.addresses[1]],
+            self._full_fleet(),
             timeout=0.25,
             min_nodes=0,
         )
@@ -251,15 +261,34 @@ class ClusterDifferentialMachine(RuleBasedStateMachine):
         graph.add_nodes(NODES)
         return graph
 
+    def _full_fleet(self) -> list[str]:
+        return [self.pool.addresses[0], self.faulty.address, self.pool.addresses[1]]
+
     # -- worker faults (rotated mid-schedule) ----------------------------------
 
     @rule(
         mode=st.sampled_from(
-            ["kill", "corrupt", "misshape", "hang", "stale-plan-version"]
+            [
+                "kill",
+                "corrupt",
+                "misshape",
+                "hang",
+                "stale-plan-version",
+                "plan-evicted",
+                "steal-crash",
+            ]
         )
     )
     def set_fault_mode(self, mode):
         self.faulty.mode = mode
+
+    @precondition(lambda self: self.faulty._stop.is_set())
+    @rule()
+    def revive_faulty(self):
+        """A steal-crashed double is dead for good — replace it with a
+        fresh one and re-resolve the fleet around the new address."""
+        self.faulty = FaultyWorker("kill")
+        self.cluster.set_workers(self._full_fleet())
 
     # -- mutations (applied to cluster graph AND shadow, independently) --------
 
@@ -296,13 +325,9 @@ class ClusterDifferentialMachine(RuleBasedStateMachine):
     # -- the differential query ------------------------------------------------
 
     def _check_matrix(self, start, semantics):
-        recovered_before = self.cluster.jobs_recovered
         nodes, matrix = self.engine.arrival_matrix(
             start, semantics, horizon=HORIZON, cluster=self.cluster
         )
-        # The faulty worker owned one of the three blocks, whatever its
-        # current mode — its failure must have been absorbed locally.
-        assert self.cluster.jobs_recovered > recovered_before
         index = {node: i for i, node in enumerate(nodes)}
         for source in NODES:
             expected = earliest_arrivals(
@@ -321,13 +346,45 @@ class ClusterDifferentialMachine(RuleBasedStateMachine):
     def query_matrix(self, start, semantics):
         self._check_matrix(start, semantics)
 
+    @rule(
+        start=st.integers(0, HORIZON - 1),
+        semantics=semantics_strategy,
+        leave=st.booleans(),
+    )
+    def query_with_membership_churn(self, start, semantics, leave):
+        """Fleet membership flips from another thread while the sweep is
+        (possibly still) in flight — a shrink to one honest worker, or a
+        grow from the faulty worker alone back to the full fleet.  The
+        answer must be oracle-exact either way."""
+        full = self._full_fleet()
+        if leave:
+            changed = [self.pool.addresses[0]]
+        else:
+            self.cluster.set_workers([self.faulty.address])
+            changed = full
+        timer = threading.Timer(0.02, self.cluster.set_workers, args=(changed,))
+        timer.start()
+        try:
+            self._check_matrix(start, semantics)
+        finally:
+            timer.cancel()
+            timer.join()
+            self.cluster.set_workers(full)
+
     def teardown(self):
         try:
-            if not self.queries_run:
-                # Every schedule proves at least one fault-absorbing
-                # sweep, even if Hypothesis drew no query steps.
+            if self.cluster.jobs_recovered == 0:
+                # Stealing lets the healthy workers absorb every block,
+                # so a schedule can finish fault-free; force one sweep
+                # where the faulty worker owns *everything* so every
+                # schedule still proves fault absorption.  (Also covers
+                # schedules where Hypothesis drew no query steps.)
+                if self.faulty._stop.is_set():
+                    self.faulty = FaultyWorker("kill")
                 self.faulty.mode = "kill"
+                self.cluster.set_workers([self.faulty.address])
                 self._check_matrix(0, WAIT)
+                assert self.cluster.jobs_recovered > 0
         finally:
             self.faulty.close()
             self.pool.__exit__(None, None, None)

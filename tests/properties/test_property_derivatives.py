@@ -8,7 +8,6 @@ one of the three.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.automata.alphabet import Alphabet
 from repro.automata.derivatives import derivative_dfa, matches
 from repro.automata.equivalence import equivalent
 from repro.automata.regex import random_regex, regex_to_nfa

@@ -1,7 +1,5 @@
 """Property-based tests for journeys and traversal invariants."""
 
-import random
-
 from hypothesis import given, settings, strategies as st
 
 from repro.core.generators import periodic_random_tvg

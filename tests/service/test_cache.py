@@ -126,6 +126,64 @@ class TestRetention:
         assert (2, "other") not in cache
 
 
+class TestAncestorIndex:
+    """The per-query version index behind :meth:`ancestor` must track
+    every way an entry can leave the cache — a stale index entry would
+    make ``ancestor`` KeyError on a ghost, a missed removal would leak."""
+
+    def test_eviction_removes_the_version_from_the_index(self):
+        cache = QueryCache(max_entries=2)
+        cache.put(1, "q", "v1")
+        cache.put(3, "q", "v3")
+        cache.put(5, "q", "v5")  # LRU-evicts (1, "q")
+        assert cache.ancestor("q", 2) is None
+        assert cache.ancestor("q", 4) == (3, "v3")
+
+    def test_purge_removes_versions_from_the_index(self):
+        cache = QueryCache()
+        cache.put(1, "q", "v1")
+        cache.put(2, "q", "v2")
+        cache.purge_stale(2)
+        assert cache.ancestor("q", 9) == (2, "v2")
+        cache.purge_stale(3)
+        assert cache.ancestor("q", 9) is None
+
+    def test_retained_entries_stay_findable(self):
+        cache = QueryCache()
+        cache.put(1, ("arrival_matrix",), "seed")
+        cache.purge_stale(4, retain=lambda q: True)
+        assert cache.ancestor(("arrival_matrix",), 9) == (1, "seed")
+
+    def test_overwrite_does_not_duplicate_the_version(self):
+        cache = QueryCache(max_entries=2)
+        cache.put(1, "q", "first")
+        cache.put(1, "q", "second")
+        assert cache.ancestor("q", 2) == (1, "second")
+        cache.purge_stale(9)  # drops (1, "q") exactly once
+        assert cache.ancestor("q", 2) is None
+
+    def test_index_stays_consistent_under_churn(self):
+        """Every surviving entry findable, every dead one not — after a
+        mixed workload of puts, evictions, and purges."""
+        cache = QueryCache(max_entries=8)
+        for version in range(20):
+            cache.put(version, f"q{version % 3}", version)
+            if version % 7 == 6:
+                cache.purge_stale(version, retain=lambda q: q == "q0")
+        for query in ("q0", "q1", "q2"):
+            found = cache.ancestor(query, 99)
+            if found is None:
+                continue
+            version, value = found
+            assert (version, query) in cache and value == version
+        # The brute answer (scan of live entries) agrees with the index.
+        for query in ("q0", "q1", "q2"):
+            live = [v for (v, q) in cache._entries if q == query and v < 99]
+            expected = max(live) if live else None
+            found = cache.ancestor(query, 99)
+            assert (found[0] if found else None) == expected
+
+
 class TestObservabilitySeparation:
     """Purges, retentions, and LRU evictions must be separately visible
     — an operator watching ``stats()`` can tell write-churn invalidation

@@ -135,6 +135,62 @@ class TestCachingAcrossMutations:
         assert line_service.graph.version > version
         assert line_service.mutations_applied == 2
 
+    def test_retained_seed_evicted_by_lru_churn_falls_back_to_full_sweep(
+        self,
+    ):
+        """A ``retain`` predicate only spares a seed from *staleness*
+        purges — plain LRU pressure from unrelated puts can still evict
+        it.  The incremental path must then fall back to a full sweep
+        (never a KeyError, never a stale answer) with coherent counters.
+        """
+        def build():
+            return (
+                TVGBuilder(name="line")
+                .lifetime(0, 10)
+                .edge("a", "b", present=[(0, 2)], key="ab")
+                .edge("b", "c", present=[(5, 7)], key="bc")
+                .build()
+            )
+
+        service = TVGService(build(), cache_size=2, incremental="force")
+        service.arrival("a", "c", 0, 10, WAIT)  # seeds the v0 matrix
+        assert service.full_sweeps == 1
+        service.add_edge("c", "a", key="ca")  # seed retained across purge
+        assert service.cache.retained == 1
+        # Unrelated windows churn the 2-slot cache; the second put must
+        # LRU-evict the retained seed (nothing refreshed it since).
+        service.arrival("a", "c", 0, 8, WAIT)
+        service.arrival("a", "c", 0, 9, WAIT)
+        assert service.cache.evictions >= 1
+        assert service.cache.ancestor(
+            ("arrival_matrix", 0, 10, str(WAIT)), service.graph.version
+        ) is None
+        sweeps_before = service.full_sweeps
+        answer = service.arrival("a", "c", 0, 10, WAIT)
+        assert service.full_sweeps == sweeps_before + 1
+        assert service.incremental_sweeps == 0  # no ghost seed was patched
+        shadow = build()
+        shadow.add_edge("c", "a", key="ca")
+        oracle = earliest_arrivals(shadow, "a", 0, WAIT, horizon=10)
+        assert answer == oracle.get("c")
+
+    def test_surviving_seed_is_patched_not_reswept(self):
+        """The control for the eviction case above: without LRU churn
+        the same query patches the retained seed incrementally."""
+        graph = (
+            TVGBuilder(name="line")
+            .lifetime(0, 10)
+            .edge("a", "b", present=[(0, 2)], key="ab")
+            .edge("b", "c", present=[(5, 7)], key="bc")
+            .build()
+        )
+        service = TVGService(graph, cache_size=2, incremental="force")
+        service.arrival("a", "c", 0, 10, WAIT)
+        service.add_edge("c", "a", key="ca")
+        service.arrival("a", "c", 0, 10, WAIT)
+        assert service.incremental_sweeps == 1
+        assert service.full_sweeps == 1
+
     def test_stats_shape(self, line_service):
         line_service.growth(0, 10, WAIT)
         line_service.add_edge("c", "a", key="ca")
