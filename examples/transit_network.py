@@ -21,8 +21,8 @@ from repro.automata.language_compute import (
 from repro.automata.operations import minimize
 from repro.core.generators import transit_tvg
 from repro.core.metrics import temporal_distance
-from repro.core.traversal import foremost_journey
 from repro.core.transforms import graph_like
+from repro.core.traversal import foremost_journey
 
 
 def label_by_line(network):

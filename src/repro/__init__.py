@@ -32,23 +32,6 @@ Quickstart::
     assert fig1.accepts("b", WAIT, horizon=64)    # waiting changes the language
 """
 
-from repro.core import (
-    BOUNDED_WAIT,
-    CompiledTVG,
-    Edge,
-    Hop,
-    Journey,
-    LazyContactCache,
-    Lifetime,
-    NO_WAIT,
-    TVGBuilder,
-    TemporalEngine,
-    TimeVaryingGraph,
-    UNREACHED,
-    WAIT,
-    WaitingSemantics,
-    bounded_wait,
-)
 from repro.automata import (
     DFA,
     NFA,
@@ -64,6 +47,23 @@ from repro.constructions import (
     figure1_graph,
     nowait_automaton_for,
     regex_to_tvg,
+)
+from repro.core import (
+    BOUNDED_WAIT,
+    NO_WAIT,
+    UNREACHED,
+    WAIT,
+    CompiledTVG,
+    Edge,
+    Hop,
+    Journey,
+    LazyContactCache,
+    Lifetime,
+    TemporalEngine,
+    TimeVaryingGraph,
+    TVGBuilder,
+    WaitingSemantics,
+    bounded_wait,
 )
 from repro.machines import Decider, TuringMachine, predicate_decider, tm_decider
 from repro.service import QueryCache, ServiceClient, TVGService

@@ -1,15 +1,16 @@
 """Analysis layer: reachability matrices, temporal connectivity classes,
 and the expressivity-gap measurements behind the headline benchmarks."""
 
-from repro.analysis.reachability import (
-    reachability_matrix,
-    reachability_ratio,
-    semantics_gap_matrix,
-)
+from repro.analysis.classes import ClassReport, classify
 from repro.analysis.connectivity import (
     ConnectivityReport,
     classify_connectivity,
     is_temporally_connected,
+)
+from repro.analysis.evolution import (
+    WaitingValue,
+    reachability_growth,
+    value_of_waiting,
 )
 from repro.analysis.expressivity import (
     ExpressivityReport,
@@ -17,11 +18,10 @@ from repro.analysis.expressivity import (
     nerode_lower_bound,
     regularity_certificate,
 )
-from repro.analysis.classes import ClassReport, classify
-from repro.analysis.evolution import (
-    WaitingValue,
-    reachability_growth,
-    value_of_waiting,
+from repro.analysis.reachability import (
+    reachability_matrix,
+    reachability_ratio,
+    semantics_gap_matrix,
 )
 from repro.analysis.spanners import (
     BroadcastTree,

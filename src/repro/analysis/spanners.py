@@ -27,8 +27,8 @@ from typing import TYPE_CHECKING, Hashable
 
 from repro.core.journeys import Hop
 from repro.core.semantics import WAIT, WaitingSemantics
-from repro.core.traversal import _resolve_horizon, _step_fn
 from repro.core.transforms import graph_like
+from repro.core.traversal import _resolve_horizon, _step_fn
 from repro.core.tvg import TimeVaryingGraph
 from repro.errors import ReproError
 

@@ -15,8 +15,25 @@ Two layers live here:
 
 from repro.automata.alphabet import Alphabet
 from repro.automata.dfa import DFA
+from repro.automata.enumeration import (
+    count_words_by_length,
+    enumerate_language,
+    language_upto,
+)
+from repro.automata.equivalence import equivalent, find_distinguishing_word, is_subset
+from repro.automata.grammars import (
+    ContextFreeGrammar,
+    cfg_anbn,
+    cfg_balanced,
+    cfg_palindromes,
+)
+from repro.automata.language_compute import (
+    bounded_wait_language_automaton,
+    count_words,
+    nowait_language_automaton,
+    wait_language_automaton,
+)
 from repro.automata.nfa import NFA
-from repro.automata.regex import parse_regex, regex_to_nfa
 from repro.automata.operations import (
     complement,
     complete,
@@ -26,33 +43,17 @@ from repro.automata.operations import (
     reverse_dfa,
     union,
 )
-from repro.automata.equivalence import equivalent, find_distinguishing_word, is_subset
-from repro.automata.enumeration import (
-    count_words_by_length,
-    enumerate_language,
-    language_upto,
-)
-from repro.automata.tvg_automaton import TVGAutomaton
-from repro.automata.language_compute import (
-    bounded_wait_language_automaton,
-    nowait_language_automaton,
-    wait_language_automaton,
-)
-from repro.automata.wqo import (
-    downward_closure,
-    is_subword,
-    upward_closure,
-)
-from repro.automata.grammars import (
-    ContextFreeGrammar,
-    cfg_anbn,
-    cfg_balanced,
-    cfg_palindromes,
-)
 from repro.automata.pumping import (
     find_pumping_counterexample,
     refuted_state_bound,
     regularity_refutation_ladder,
+)
+from repro.automata.regex import parse_regex, regex_to_nfa
+from repro.automata.tvg_automaton import TVGAutomaton
+from repro.automata.wqo import (
+    downward_closure,
+    is_subword,
+    upward_closure,
 )
 
 __all__ = [
@@ -70,6 +71,7 @@ __all__ = [
     "bounded_wait_language_automaton",
     "complement",
     "complete",
+    "count_words",
     "count_words_by_length",
     "difference",
     "downward_closure",

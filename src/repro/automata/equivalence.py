@@ -12,7 +12,7 @@ from typing import Hashable
 
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
-from repro.automata.operations import complete, difference, _common_alphabet
+from repro.automata.operations import _common_alphabet, complete, difference
 
 State = Hashable
 

@@ -288,3 +288,29 @@ def language_automaton(
         return nowait_language_automaton(automaton, check_period)
     assert semantics.max_wait is not None
     return bounded_wait_language_automaton(automaton, semantics.max_wait, check_period)
+
+
+def count_words(
+    graph: TimeVaryingGraph,
+    source: Hashable,
+    start_time: int,
+    accepting: set[Hashable],
+    semantics: WaitingSemantics = NO_WAIT,
+    horizon: int | None = None,
+    max_length: int = 8,
+) -> list[int]:
+    """``result[n]`` = number of distinct length-``n`` words spelled by
+    feasible journeys from the source ending in ``accepting``.
+
+    Word-level (not journey-level) counting: distinct journeys spelling
+    the same word count once.  Runs the configuration-set construction
+    per word, so cost is proportional to the number of live words.
+    """
+    automaton = TVGAutomaton(
+        graph, initial=source, accepting=accepting, start_time=start_time
+    )
+    sample = automaton.language(max_length, semantics, horizon)
+    counts = [0] * (max_length + 1)
+    for word in sample:
+        counts[len(word)] += 1
+    return counts

@@ -20,7 +20,10 @@ Small, scriptable entry points over the library's showcase objects:
   ``growth``, and ``serve`` ship sweep blocks to a fleet of these via
   ``--workers host:port,...`` (failed blocks re-swept locally, so
   answers are always exact);
-* ``render`` — print the ASCII schedule of a contact trace.
+* ``render`` — print the ASCII schedule of a contact trace;
+* ``lint`` — run the project's own AST invariant checks (layering,
+  version-bump completeness, plan purity, boundary errors, async
+  hygiene, wire completeness) over ``src/repro``.
 
 All subcommands print plain text and exit non-zero on verification
 failure, so they compose with shell pipelines and CI.
@@ -303,6 +306,28 @@ def cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.devtools import all_rules, run_lint
+
+    rules = all_rules()
+    if args.rule:
+        wanted = set(args.rule)
+        known = {rl.code for rl in rules}
+        unknown = wanted - known
+        if unknown:
+            raise SystemExit(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        rules = tuple(rl for rl in rules if rl.code in wanted)
+    root = Path(args.root) if args.root else None
+    report = run_lint(root=root, rules=rules)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 1 if report.findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Waiting in Dynamic Networks — reproduction CLI"
@@ -430,6 +455,23 @@ def build_parser() -> argparse.ArgumentParser:
     ren.add_argument("--start", type=int, default=None)
     ren.add_argument("--end", type=int, default=None)
     ren.set_defaults(handler=cmd_render)
+
+    lnt = sub.add_parser(
+        "lint", help="run the architecture invariant checks over src/repro"
+    )
+    lnt.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report style (json includes per-rule counts)",
+    )
+    lnt.add_argument(
+        "--root", default=None,
+        help="repo root to lint (default: the installed checkout)",
+    )
+    lnt.add_argument(
+        "--rule", action="append", metavar="RLxxx",
+        help="restrict to one rule code (repeatable)",
+    )
+    lnt.set_defaults(handler=cmd_lint)
 
     return parser
 

@@ -9,7 +9,10 @@ it take when started at time ``t``?), together with journeys — paths over
 time — under three waiting semantics.
 """
 
+from repro.core.builders import TVGBuilder
 from repro.core.edges import Edge
+from repro.core.engine import UNREACHED, TemporalEngine
+from repro.core.index import CompiledTVG, LazyContactCache
 from repro.core.intervals import Interval, IntervalSet
 from repro.core.journeys import Hop, Journey
 from repro.core.latency import (
@@ -19,6 +22,7 @@ from repro.core.latency import (
     function_latency,
     table_latency,
 )
+from repro.core.parallel import SweepPlan, sharded_arrival_matrix
 from repro.core.presence import (
     PresenceFunction,
     always,
@@ -38,10 +42,6 @@ from repro.core.semantics import (
 )
 from repro.core.time_domain import INFINITY, Lifetime, require_window
 from repro.core.tvg import TimeVaryingGraph
-from repro.core.builders import TVGBuilder
-from repro.core.index import CompiledTVG, LazyContactCache
-from repro.core.engine import UNREACHED, TemporalEngine
-from repro.core.parallel import SweepPlan, sharded_arrival_matrix
 
 __all__ = [
     "BOUNDED_WAIT",

@@ -5,10 +5,11 @@ journeys (per destination, per hop count) from a source configuration,
 under any waiting semantics.  Counts grow exponentially where journeys
 branch, so results are exact Python integers.
 
-Counting is the quantitative sibling of the expressivity work: the
-number of *words* spelled by journeys bounds the language growth rate,
-and the benchmarks use the counts to size enumerations before running
-them.
+Counting is the quantitative sibling of the expressivity work:
+journey counts bound the language growth rate, and the benchmarks use
+them to size enumerations before running them.  (Word-level counting
+lives in :func:`repro.automata.language_compute.count_words`, next to
+the configuration-set construction it runs.)
 """
 
 from __future__ import annotations
@@ -84,30 +85,3 @@ def count_journeys_by_hops(
         occupancy = advanced
     return per_hop
 
-
-def count_words(
-    graph: TimeVaryingGraph,
-    source: Hashable,
-    start_time: int,
-    accepting: set[Hashable],
-    semantics: WaitingSemantics = NO_WAIT,
-    horizon: int | None = None,
-    max_length: int = 8,
-) -> list[int]:
-    """``result[n]`` = number of distinct length-``n`` words spelled by
-    feasible journeys from the source ending in ``accepting``.
-
-    Word-level (not journey-level) counting: distinct journeys spelling
-    the same word count once.  Runs the configuration-set construction
-    per word, so cost is proportional to the number of live words.
-    """
-    from repro.automata.tvg_automaton import TVGAutomaton
-
-    automaton = TVGAutomaton(
-        graph, initial=source, accepting=accepting, start_time=start_time
-    )
-    sample = automaton.language(max_length, semantics, horizon)
-    counts = [0] * (max_length + 1)
-    for word in sample:
-        counts[len(word)] += 1
-    return counts

@@ -1,0 +1,29 @@
+"""Developer tooling: the project's own static-analysis pass.
+
+``python -m repro lint`` runs :func:`run_lint` over ``src/repro`` and
+reports violations of the six architecture invariants in
+:mod:`repro.devtools.rules`.  The same pass runs unconditionally inside
+the test suite (``tests/test_lint.py``), so the invariants hold on any
+host — no external linter binary required.
+"""
+
+from repro.devtools.linter import (
+    Finding,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_source,
+    run_lint,
+)
+from repro.devtools.rules import LAYER_RANKS, discover_mutators
+
+__all__ = [
+    "LAYER_RANKS",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "discover_mutators",
+    "lint_source",
+    "run_lint",
+]

@@ -14,7 +14,7 @@ declarative journey search on both counts.
 """
 
 from repro.dynamics.messages import Message
-from repro.dynamics.network import Simulator, SimulationReport
+from repro.dynamics.network import SimulationReport, Simulator
 from repro.dynamics.nodes import NodeContext, Protocol
 from repro.dynamics.protocols.broadcast import (
     BroadcastOutcome,

@@ -6,13 +6,13 @@ from repro.dynamics.protocols.broadcast import (
     BufferlessFlood,
     simulate_broadcast,
 )
+from repro.dynamics.protocols.gossip import GossipCounter, run_gossip
+from repro.dynamics.protocols.prophet import ProphetOutcome, route_prophet
 from repro.dynamics.protocols.routing import (
     RoutingOutcome,
     route_direct,
     route_epidemic,
 )
-from repro.dynamics.protocols.gossip import GossipCounter, run_gossip
-from repro.dynamics.protocols.prophet import ProphetOutcome, route_prophet
 from repro.dynamics.protocols.spray_and_wait import SprayOutcome, spray_and_wait
 
 __all__ = [

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.core.semantics import WaitingSemantics, NO_WAIT
+from repro.core.semantics import NO_WAIT, WaitingSemantics
 from repro.core.traversal import foremost_journey
 from repro.core.tvg import TimeVaryingGraph
 from repro.dynamics.messages import Message

@@ -5,15 +5,14 @@ benchmarks exercise, so every harness draws the same graphs from the
 same seeds.  Each factory returns a fully-built TVG plus the metadata a
 harness needs (suggested source/destination, window).
 
-The *service trace* half (:func:`generate_service_trace`,
-:func:`replay_service_trace`) turns a scenario into a deterministic
-mixed stream of query and mutation operations in the wire-protocol
-shape of :mod:`repro.service.server`, and replays such a stream against
-a live :class:`~repro.service.service.TVGService` through the exact
-dispatcher the socket server uses.  Replays are pure functions of
-``(trace, initial graph)``: the same trace against two fresh services
-yields identical answer streams, which is what lets the benchmark
-compare cached and cold runs answer-for-answer.
+The *service trace* half (:func:`generate_service_trace`) turns a
+scenario into a deterministic mixed stream of query and mutation
+operations in the wire-protocol shape of :mod:`repro.service.server`.
+The matching replayer lives in :mod:`repro.service.replay` (it drives
+the service dispatcher, which this layer may not import): the same
+trace against two fresh services yields identical answer streams,
+which is what lets the benchmark compare cached and cold runs
+answer-for-answer.
 """
 
 from __future__ import annotations
@@ -240,17 +239,3 @@ def generate_service_trace(
             trace.append({"op": "classify", "start": start, "end": end})
     return trace
 
-
-def replay_service_trace(service, trace: list[dict]) -> list[dict]:
-    """Replay a trace against a live service; returns the answer stream.
-
-    Each operation goes through
-    :func:`repro.service.server.handle_request` — the same dispatcher
-    the socket front end uses — so a replay exercises exactly the
-    production code path, minus the socket.  The returned responses are
-    in trace order; errors surface as ``ok: false`` entries rather than
-    raising, keeping answer streams comparable across runs.
-    """
-    from repro.service.server import handle_request
-
-    return [handle_request(service, dict(op)) for op in trace]

@@ -9,17 +9,11 @@ machines, and the :class:`Decider` wrapper that gives all of them (and
 plain Python predicates) one interface with an explicit step budget.
 """
 
-from repro.machines.tape import Tape
-from repro.machines.turing import (
-    ACCEPT,
-    HaltReason,
-    REJECT,
-    TuringMachine,
-    TMResult,
-)
-from repro.machines.decider import Decider, predicate_decider, tm_decider
-from repro.machines.counter import CounterMachine
 from repro.machines import programs
+from repro.machines.counter import CounterMachine
+from repro.machines.decider import Decider, predicate_decider, tm_decider
+from repro.machines.tape import Tape
+from repro.machines.turing import ACCEPT, REJECT, HaltReason, TMResult, TuringMachine
 
 __all__ = [
     "ACCEPT",

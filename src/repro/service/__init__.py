@@ -27,6 +27,7 @@ from repro.service.cluster import (
     handle_worker_request,
     serve_worker,
 )
+from repro.service.replay import replay_service_trace
 from repro.service.server import handle_request, serve_service
 from repro.service.service import TVGService
 from repro.service.wire import (
@@ -59,6 +60,7 @@ __all__ = [
     "plan_to_spec",
     "presence_from_spec",
     "presence_to_spec",
+    "replay_service_trace",
     "serve_service",
     "serve_worker",
 ]

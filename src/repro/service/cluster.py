@@ -61,6 +61,7 @@ import json
 import socket
 import threading
 from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
 import numpy as np
@@ -335,20 +336,8 @@ def _run_sync(coroutine):
         asyncio.get_running_loop()
     except RuntimeError:
         return asyncio.run(coroutine)
-    outcome: dict[str, Any] = {}
-
-    def runner() -> None:
-        try:
-            outcome["value"] = asyncio.run(coroutine)
-        except BaseException as exc:  # noqa: BLE001 — re-raised below
-            outcome["error"] = exc
-
-    thread = threading.Thread(target=runner, name="cluster-sweep", daemon=True)
-    thread.start()
-    thread.join()
-    if "error" in outcome:
-        raise outcome["error"]
-    return outcome["value"]
+    with ThreadPoolExecutor(1, thread_name_prefix="cluster-sweep") as pool:
+        return pool.submit(asyncio.run, coroutine).result()
 
 
 def _is_plan_miss(exc: ServiceError) -> bool:

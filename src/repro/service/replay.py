@@ -1,0 +1,27 @@
+"""Deterministic trace replay against a live service.
+
+The trace *generator* lives in :mod:`repro.dynamics.workloads` (it is a
+pure function of a scenario and a seed, and knows nothing about the
+service); the *replayer* lives here because it drives
+:func:`repro.service.server.handle_request` — the same dispatcher the
+socket front end uses — so a replay exercises exactly the production
+code path, minus the socket.
+"""
+
+from __future__ import annotations
+
+from repro.service.server import handle_request
+from repro.service.service import TVGService
+
+
+def replay_service_trace(service: TVGService, trace: list[dict]) -> list[dict]:
+    """Replay a trace against a live service; returns the answer stream.
+
+    The returned responses are in trace order; errors surface as
+    ``ok: false`` entries rather than raising, keeping answer streams
+    comparable across runs.  Replays are pure functions of
+    ``(trace, initial graph)``: the same trace against two fresh
+    services yields identical answer streams, which is what lets the
+    benchmark compare cached and cold runs answer-for-answer.
+    """
+    return [handle_request(service, dict(op)) for op in trace]

@@ -38,6 +38,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.latency import ConstantLatency, LatencyFunction, constant_latency
+from repro.core.parallel import SweepPlan
 from repro.core.presence import (
     IntervalPresence,
     PeriodicPresence,
@@ -49,7 +50,6 @@ from repro.core.presence import (
     never,
     periodic_presence,
 )
-from repro.core.parallel import SweepPlan
 from repro.core.semantics import WaitingSemantics
 from repro.core.semantics import parse_semantics as parse_semantics_string
 from repro.errors import SemanticsError, ServiceError

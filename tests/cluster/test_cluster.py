@@ -11,6 +11,8 @@ which some sandboxes forbid — deselect with ``-m "not service"`` (or
 ``-m "not cluster"``) there.
 """
 
+import asyncio
+
 import numpy as np
 import pytest
 
@@ -25,6 +27,7 @@ from repro.service.cluster import (
     ClusterExecutor,
     FaultyWorker,
     LoopbackWorkerPool,
+    _run_sync,
     handle_worker_request,
 )
 from repro.service.service import TVGService
@@ -64,6 +67,49 @@ def pool():
             yield workers
     except OSError as exc:  # pragma: no cover — sandbox
         pytest.skip(f"loopback sockets unavailable: {exc}")
+
+
+class TestRunSync:
+    """Pins for the sync/async bridge: sockets never enter the picture.
+
+    ``_run_sync`` must behave identically whether or not the caller is
+    already on an event loop — in particular, exceptions from the
+    coroutine must *propagate*, never be swallowed (the executor's
+    local-resweep fallback keys off them).
+    """
+
+    def test_returns_value_outside_a_loop(self):
+        async def coro():
+            return 41 + 1
+
+        assert _run_sync(coro()) == 42
+
+    def test_propagates_exception_outside_a_loop(self):
+        async def coro():
+            raise ValueError("sweep failed")
+
+        with pytest.raises(ValueError, match="sweep failed"):
+            _run_sync(coro())
+
+    def test_returns_value_inside_a_running_loop(self):
+        async def inner():
+            return "nested"
+
+        async def outer():
+            return _run_sync(inner())
+
+        assert asyncio.run(outer()) == "nested"
+
+    def test_propagates_exception_inside_a_running_loop(self):
+        async def inner():
+            raise RuntimeError("worker gone")
+
+        async def outer():
+            with pytest.raises(RuntimeError, match="worker gone"):
+                _run_sync(inner())
+            return True
+
+        assert asyncio.run(outer())
 
 
 class TestDistributedEqualsSerial:

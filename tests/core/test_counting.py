@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro.automata.language_compute import count_words
 from repro.core.builders import TVGBuilder, static_graph
-from repro.core.counting import count_journeys, count_journeys_by_hops, count_words
+from repro.core.counting import count_journeys, count_journeys_by_hops
 from repro.core.semantics import NO_WAIT, WAIT
 from repro.core.traversal import enumerate_journeys
 

@@ -1,5 +1,6 @@
 """Tests for TVG generators."""
 
+import networkx as nx
 import pytest
 
 from repro.core.generators import (
@@ -13,8 +14,6 @@ from repro.core.generators import (
 from repro.core.intervals import Interval
 from repro.core.snapshots import presence_density
 from repro.errors import ReproError
-
-import networkx as nx
 
 
 class TestBernoulli:

@@ -16,6 +16,7 @@ from repro.core.presence import (
     periodic_presence,
 )
 from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
+from repro.core.time_domain import Lifetime
 from repro.core.traversal import (
     earliest_arrivals,
     foremost_journey,
@@ -23,7 +24,6 @@ from repro.core.traversal import (
     successors,
 )
 from repro.core.tvg import TimeVaryingGraph
-from repro.core.time_domain import Lifetime
 
 
 def build_graph():

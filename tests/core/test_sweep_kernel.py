@@ -12,7 +12,9 @@ import numpy as np
 import pytest
 
 from repro.core.engine import TemporalEngine
+from repro.core.latency import constant_latency
 from repro.core.parallel import build_sweep_plan
+from repro.core.presence import interval_presence
 from repro.core.semantics import WAIT, bounded_wait
 from repro.core.sweep_kernel import (
     DEFAULT_KERNEL,
@@ -22,10 +24,8 @@ from repro.core.sweep_kernel import (
     resolve_kernel,
     sweep_block,
 )
-from repro.core.tvg import TimeVaryingGraph
 from repro.core.time_domain import Lifetime
-from repro.core.presence import interval_presence
-from repro.core.latency import constant_latency
+from repro.core.tvg import TimeVaryingGraph
 
 HORIZON = 16
 

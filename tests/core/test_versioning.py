@@ -10,10 +10,13 @@ failed mutations and read-only calls never bump, and freezes the public
 method surface so a newly added mutator cannot dodge the audit.
 """
 
+import inspect
+
 import pytest
 
 from repro.core.presence import never, periodic_presence
 from repro.core.tvg import TimeVaryingGraph
+from repro.devtools import discover_mutators
 from repro.errors import ReproError
 
 
@@ -154,15 +157,25 @@ class TestAuditIsComplete:
         "alphabet", "copy", "deltas_since",
     }
 
-    def test_every_public_method_is_classified(self):
+    def test_static_rule_and_audit_agree_on_the_mutator_list(self):
+        """The static RL002 pass and this audit share one mutator list.
+
+        ``discover_mutators`` re-derives the list from the AST (public
+        methods that transitively write ``_nodes``/``_edges``/``_out``/
+        ``_in``), so a newly added mutator fails here until it is
+        audited above — and a method the audit lists as a mutator must
+        actually write state, or the linter's view has drifted.
+        """
+        source = inspect.getsource(TimeVaryingGraph)
+        assert discover_mutators(source) == self.MUTATORS, (
+            "static mutator discovery and the audit list disagree: "
+            "update MUTATORS (with a bump test) or fix the rule"
+        )
         public = {
             name
             for name in dir(TimeVaryingGraph)
             if not name.startswith("_")
         }
-        unclassified = public - self.MUTATORS - self.READERS
-        assert not unclassified, (
-            f"new public methods {sorted(unclassified)} must be audited: "
-            f"add them to MUTATORS (with a bump test) or READERS"
+        assert public - self.MUTATORS == self.READERS, (
+            "every public non-mutating method must be listed in READERS"
         )
-        assert self.MUTATORS <= public and self.READERS <= public

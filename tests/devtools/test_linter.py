@@ -1,0 +1,121 @@
+"""Tests for the linter framework: suppressions, walk, report, registry."""
+
+import json
+
+import pytest
+
+from repro.devtools import all_rules, lint_source, run_lint
+from repro.devtools.linter import (
+    SKIP_DIRS,
+    Finding,
+    iter_source_files,
+    module_name,
+    parse_suppressions,
+    rule,
+)
+
+SERVICE_IMPORT_IN_CORE = "from repro.service.server import handle_request\n"
+
+
+class TestSuppressions:
+    def test_inline_comment_covers_its_own_line(self):
+        src = SERVICE_IMPORT_IN_CORE.rstrip() + "  # repro-lint: disable=RL001\n"
+        assert lint_source(src, module="repro.core.thing") == []
+
+    def test_standalone_comment_covers_next_code_line(self):
+        src = (
+            "# a suppression may sit above a long statement\n"
+            "# repro-lint: disable=RL001\n"
+            "\n"
+            + SERVICE_IMPORT_IN_CORE
+        )
+        assert lint_source(src, module="repro.core.thing") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = SERVICE_IMPORT_IN_CORE.rstrip() + "  # repro-lint: disable=RL004\n"
+        findings = lint_source(src, module="repro.core.thing")
+        assert [f.rule for f in findings] == ["RL001"]
+
+    def test_comma_separated_codes(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=RL001, RL004\n"
+        )
+        assert sup == {1: frozenset({"RL001", "RL004"})}
+
+    def test_standalone_does_not_leak_past_its_target(self):
+        src = (
+            "# repro-lint: disable=RL001\n"
+            "import json\n"
+            + SERVICE_IMPORT_IN_CORE
+        )
+        findings = lint_source(src, module="repro.core.thing")
+        assert [f.rule for f in findings] == ["RL001"]
+        assert findings[0].line == 3
+
+    def test_suppression_on_unparsable_source_is_empty(self):
+        assert parse_suppressions("def broken(:\n") == {}
+
+
+class TestWalkAndModules:
+    def test_walk_skips_benchmarks_and_caches(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+        for skipped in ("benchmarks", "__pycache__", ".pytest_cache"):
+            (tmp_path / skipped).mkdir()
+            (tmp_path / skipped / "ignored.py").write_text("x = 1\n")
+        found = [p.name for p in iter_source_files(tmp_path)]
+        assert found == ["good.py"]
+        assert "benchmarks" in SKIP_DIRS
+
+    def test_module_name_resolution(self, tmp_path):
+        src = tmp_path / "src"
+        target = src / "repro" / "core" / "tvg.py"
+        assert module_name(target, src) == "repro.core.tvg"
+        init = src / "repro" / "service" / "__init__.py"
+        assert module_name(init, src) == "repro.service"
+        assert module_name(tmp_path / "elsewhere.py", src) == ""
+
+
+class TestReport:
+    def test_repo_is_clean_and_json_schema_is_stable(self):
+        report = run_lint()
+        assert report.findings == []
+        payload = json.loads(report.to_json())
+        assert set(payload) == {"files_scanned", "total", "counts", "findings"}
+        assert payload["total"] == 0
+        assert set(payload["counts"]) == {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"
+        }
+        assert payload["files_scanned"] == report.files_scanned > 0
+
+    def test_findings_render_with_path_and_line(self):
+        finding = Finding(
+            path="src/repro/core/x.py", line=7, rule="RL001", message="nope"
+        )
+        assert finding.render() == "src/repro/core/x.py:7: RL001 nope"
+        assert finding.to_json() == {
+            "path": "src/repro/core/x.py",
+            "line": 7,
+            "rule": "RL001",
+            "message": "nope",
+        }
+
+    def test_findings_sort_by_location(self):
+        a = Finding(path="b.py", line=1, rule="RL001", message="m")
+        b = Finding(path="a.py", line=9, rule="RL004", message="m")
+        assert sorted([a, b]) == [b, a]
+
+
+class TestRegistry:
+    def test_rules_are_unique_and_ordered(self):
+        codes = [r.code for r in all_rules()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+
+    def test_duplicate_code_is_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("RL001", "clash")(lambda ctx: [])
+
+    def test_unknown_scope_is_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            rule("RL999", "bad scope", scope="universe")

@@ -9,11 +9,11 @@ from repro.dynamics.workloads import (
     all_workloads,
     generate_service_trace,
     make_workload,
-    replay_service_trace,
     sparse_dtn,
     workload_names,
 )
 from repro.errors import ReproError
+from repro.service.replay import replay_service_trace
 from repro.service.service import TVGService
 
 

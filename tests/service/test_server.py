@@ -11,13 +11,10 @@ import pytest
 
 from repro.core.builders import TVGBuilder
 from repro.core.semantics import NO_WAIT, WAIT
-from repro.dynamics.workloads import (
-    generate_service_trace,
-    make_workload,
-    replay_service_trace,
-)
+from repro.dynamics.workloads import generate_service_trace, make_workload
 from repro.errors import ServiceError
 from repro.service.client import ServiceClient
+from repro.service.replay import replay_service_trace
 from repro.service.server import serve_service
 from repro.service.service import TVGService
 

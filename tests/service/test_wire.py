@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.core.latency import constant_latency, function_latency
+from repro.core.parallel import SweepPlan
 from repro.core.presence import (
     always,
     at_times,
@@ -15,7 +16,6 @@ from repro.core.presence import (
 )
 from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
 from repro.errors import ServiceError
-from repro.core.parallel import SweepPlan
 from repro.service.wire import (
     latency_from_spec,
     latency_to_spec,

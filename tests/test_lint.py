@@ -1,18 +1,55 @@
-"""Repo-wide lint gate: ``ruff check`` must come back clean.
+"""Repo-wide lint gates: the project's own AST pass, plus ruff.
 
-The container image this repo grows in does not bake ruff in (and the
-suite adds no dependencies), so the gate self-skips when no ``ruff``
-binary is on PATH — it activates automatically on any host that has
-one.  Configuration lives in ``ruff.toml`` at the repo root.
+Two layers of static checking guard the tree:
+
+* :mod:`repro.devtools` — the architecture invariant checker (layering,
+  version-bump completeness, plan purity, boundary errors, async
+  hygiene, wire completeness).  Pure stdlib, so it runs
+  *unconditionally* on every host; the gate also drops
+  ``LINT_report.json`` (rule → finding count) at the repo root so PRs
+  can diff finding counts like the ``BENCH_*.json`` trajectory.
+* ``ruff check`` — generic style/correctness rules from ``ruff.toml``.
+  The container image this repo grows in does not bake ruff in (and the
+  suite adds no dependencies), so that half self-skips when no ``ruff``
+  binary is on PATH — it activates automatically on any host that has
+  one.
 """
 
+import json
 import shutil
 import subprocess
 from pathlib import Path
 
 import pytest
 
+from repro.devtools import all_rules, run_lint
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_architecture_invariants_hold():
+    report = run_lint(root=REPO_ROOT)
+    payload = {
+        "files_scanned": report.files_scanned,
+        "total": len(report.findings),
+        "counts": report.counts,
+    }
+    try:
+        (REPO_ROOT / "LINT_report.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    except OSError:  # pragma: no cover — read-only checkout is fine
+        pass
+    assert report.files_scanned > 0, "linter walked zero files — wrong root?"
+    assert not report.findings, (
+        "architecture invariants violated:\n" + report.render()
+    )
+
+
+def test_every_rule_is_wired_into_the_gate():
+    codes = [rule.code for rule in all_rules()]
+    assert codes == sorted(codes)
+    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"} <= set(codes)
 
 
 def test_ruff_check_is_clean():
