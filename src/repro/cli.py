@@ -266,20 +266,41 @@ def cmd_growth(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.service.limits import AdmissionGate, RateLimiter
     from repro.service.server import run_service
     from repro.service.service import TVGService
+    from repro.service.tasks import DEFAULT_MAX_TASKS
 
     graph, start, horizon = _load_or_generate(args)
+    max_tasks = DEFAULT_MAX_TASKS if args.max_tasks is None else args.max_tasks
     service = TVGService(
         graph, window=(start, horizon), cache_size=args.cache_size,
         shards=args.shards, workers=args.workers,
         worker_timeout=args.worker_timeout, kernel=args.kernel,
-        oversplit=args.oversplit,
+        oversplit=args.oversplit, max_tasks=max_tasks,
     )
+    limiter = None
+    if args.rate_limit is not None:
+        limiter = RateLimiter(
+            args.rate_limit, window=args.rate_window, margin=args.rate_margin
+        )
+        print(
+            f"rate limit:         {limiter.effective_limit} requests / "
+            f"{args.rate_window}s per client"
+        )
+    gate = None
+    if args.max_inflight is not None:
+        gate = AdmissionGate(args.max_inflight)
+        print(f"max in flight:      {args.max_inflight}")
     print(graph)
     print(f"window:             [{start}, {horizon})")
     try:
-        asyncio.run(run_service(service, host=args.host, port=args.port))
+        asyncio.run(
+            run_service(
+                service, host=args.host, port=args.port,
+                limiter=limiter, gate=gate,
+            )
+        )
     except KeyboardInterrupt:
         print("shutting down")
     return 0
@@ -437,6 +458,29 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--cache-size", type=int, default=256,
         help="max memoized query results held across mutations",
+    )
+    srv.add_argument(
+        "--rate-limit", type=int, default=None,
+        help="per-client requests admitted per --rate-window (default: "
+        "no rate limiting)",
+    )
+    srv.add_argument(
+        "--rate-window", type=float, default=1.0,
+        help="sliding rate-limit window in seconds",
+    )
+    srv.add_argument(
+        "--rate-margin", type=int, default=0,
+        help="admit this many requests below the hard --rate-limit",
+    )
+    srv.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="server-wide cap on concurrently dispatching requests "
+        "(default: unbounded)",
+    )
+    srv.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="bound on live background tasks in the submit/status/result "
+        "table (default: 64)",
     )
     srv.set_defaults(handler=cmd_serve)
 

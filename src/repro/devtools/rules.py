@@ -401,7 +401,14 @@ _BLOCKING_CALLS = {
     ("subprocess", "check_call"),
     ("subprocess", "check_output"),
     ("", "sweep_block"),
+    ("", "task_wait"),
 }
+
+#: Blocking method names flagged on *any* receiver (``service.task_wait``,
+#: ``self.tasks.wait`` is fine — the table join is ``task_wait`` at the
+#: service surface), because the receiver of a blocking join is rarely a
+#: bare module name.
+_BLOCKING_ANY_RECEIVER = {"sweep_block", "task_wait"}
 
 
 @rule("RL005", "no blocking calls inside async def in service front ends")
@@ -443,11 +450,14 @@ def _blocking_call_name(func: ast.expr) -> str | None:
         if ("", func.id) in _BLOCKING_CALLS:
             return func.id
         return None
-    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-        if (func.value.id, func.attr) in _BLOCKING_CALLS:
-            return f"{func.value.id}.{func.attr}"
-        if ("", func.attr) in _BLOCKING_CALLS and func.value.id == "parallel":
-            return f"parallel.{func.attr}"
+    if isinstance(func, ast.Attribute):
+        if func.attr in _BLOCKING_ANY_RECEIVER:
+            if isinstance(func.value, ast.Name):
+                return f"{func.value.id}.{func.attr}"
+            return f"<expr>.{func.attr}"
+        if isinstance(func.value, ast.Name):
+            if (func.value.id, func.attr) in _BLOCKING_CALLS:
+                return f"{func.value.id}.{func.attr}"
     return None
 
 

@@ -239,3 +239,77 @@ def generate_service_trace(
             trace.append({"op": "classify", "start": start, "end": end})
     return trace
 
+
+def zipf_weights(n: int, skew: float = 1.1) -> list[float]:
+    """Zipf-law weights for ``n`` ranked items: weight of rank ``k``
+    (1-based) is ``1 / k**skew``.  Real query traffic is head-heavy —
+    a few hot endpoints absorb most requests — and the load bench needs
+    that skew to exercise the cache's retained-entry path honestly
+    (uniform traffic would understate hit rates)."""
+    if n <= 0:
+        raise ReproError(f"zipf_weights needs a positive n, got {n}")
+    if skew < 0:
+        raise ReproError(f"zipf skew must be non-negative, got {skew}")
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def generate_load_trace(
+    workload: Workload,
+    operations: int = 100,
+    seed: int = 0,
+    skew: float = 1.1,
+    mutation_every: int = 0,
+) -> list[dict]:
+    """A zipf-skewed query trace (plus optional mutation churn) for the
+    concurrent load bench.
+
+    Unlike :func:`generate_service_trace` — which draws nodes uniformly
+    so the replay bench sees maximal query diversity — this trace ranks
+    the workload's nodes in a seed-shuffled order and picks sources and
+    targets zipf-distributed over that ranking: a small hot set
+    dominates, with a long cold tail, which is what makes cache hit
+    rates and tail latencies under concurrency meaningful.  With
+    ``mutation_every > 0`` every so-many-th operation is an ``add_edge``
+    (always an addition, so concurrent shadows stay key-consistent).
+    """
+    rng = random.Random(seed)
+    nodes = list(workload.graph.nodes)
+    rng.shuffle(nodes)  # which nodes are hot is itself seed-dependent
+    weights = zipf_weights(len(nodes), skew)
+    start, end = workload.window
+    trace: list[dict] = []
+    counter = 0
+    for position in range(operations):
+        if mutation_every and position % mutation_every == mutation_every - 1:
+            source, target = rng.sample(nodes, 2)
+            key = f"load{seed}_{counter}"
+            counter += 1
+            trace.append({
+                "op": "add_edge",
+                "source": source,
+                "target": target,
+                "key": key,
+                "presence": _random_presence_spec(rng, end),
+            })
+            continue
+        op = rng.choices(_QUERY_OPS, weights=_QUERY_WEIGHTS)[0]
+        semantics = rng.choice(("wait", "nowait"))
+        if op in ("reach", "arrival"):
+            source, target = rng.choices(nodes, weights=weights, k=2)
+            trace.append({
+                "op": op,
+                "source": source,
+                "target": target,
+                "start": start,
+                "horizon": end,
+                "semantics": semantics,
+            })
+        elif op == "growth":
+            trace.append({
+                "op": "growth", "start": start, "end": end,
+                "semantics": semantics,
+            })
+        else:
+            trace.append({"op": "classify", "start": start, "end": end})
+    return trace
+

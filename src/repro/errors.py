@@ -97,6 +97,21 @@ class ServiceError(ReproError):
     (unknown operation, unserializable presence, bad semantics string)."""
 
 
+class RateLimitError(ServiceError):
+    """A request was refused by admission control — the per-client
+    sliding-window rate limit or the server-wide in-flight cap.
+
+    ``retry_after`` is the server's back-off hint in seconds (how long
+    until the client's oldest windowed timestamp expires, or a small
+    constant for in-flight rejections).  The connection stays open and
+    usable; rejection is a structured frame, never a drop.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class PlanMissError(ServiceError):
     """A sweep worker was sent a fingerprint-only block job for a plan
     it does not hold (never cached, or evicted from its bounded LRU).

@@ -17,6 +17,13 @@ the arrival sweep itself: ``python -m repro worker`` runs a long-lived
 sweep executor and :class:`ClusterExecutor` ships ``(plan, block)``
 jobs to a fleet of them, re-sweeping any failed block locally so
 answers are always element-for-element equal to the serial sweep.
+
+``limits`` and ``tasks`` harden the front end for real traffic:
+per-client sliding-window rate limiting with an admission gate on
+in-flight requests, latency reservoirs behind the ``stats`` op, and a
+bounded background-task table (``submit``/``status``/``result``/
+``cancel``) that runs expensive cold queries over graph snapshots on a
+worker thread instead of stalling the event loop.
 """
 
 from repro.service.cache import MISS, QueryCache
@@ -27,9 +34,16 @@ from repro.service.cluster import (
     handle_worker_request,
     serve_worker,
 )
+from repro.service.limits import (
+    AdmissionGate,
+    LatencyRecorder,
+    RateLimiter,
+    percentile,
+)
 from repro.service.replay import replay_service_trace
-from repro.service.server import handle_request, serve_service
+from repro.service.server import ServiceFrontend, handle_request, serve_service
 from repro.service.service import TVGService
+from repro.service.tasks import BackgroundTask, TaskTable
 from repro.service.wire import (
     latency_from_spec,
     latency_to_spec,
@@ -44,11 +58,17 @@ from repro.service.wire import (
 
 __all__ = [
     "MISS",
+    "AdmissionGate",
+    "BackgroundTask",
     "ClusterExecutor",
+    "LatencyRecorder",
     "LoopbackWorkerPool",
     "QueryCache",
+    "RateLimiter",
     "ServiceClient",
+    "ServiceFrontend",
     "TVGService",
+    "TaskTable",
     "handle_request",
     "handle_worker_request",
     "latency_from_spec",
@@ -56,6 +76,7 @@ __all__ = [
     "matrix_from_spec",
     "matrix_to_spec",
     "parse_semantics",
+    "percentile",
     "plan_from_spec",
     "plan_to_spec",
     "presence_from_spec",

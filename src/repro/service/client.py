@@ -21,18 +21,35 @@ import asyncio
 import json
 from typing import Any, Hashable
 
-from repro.errors import ServiceError
+from repro.errors import RateLimitError, ServiceError
+
+#: Sentinel: "use the client's default timeout" (None means "no limit").
+_DEFAULT = object()
 
 
 class ServiceClient:
-    """One connection to a running TVG query service."""
+    """One connection to a running TVG query service.
+
+    ``timeout`` bounds every request round-trip in seconds (``None`` —
+    the default — waits forever).  A timed-out request closes the
+    connection and raises :class:`ServiceError`: the response may still
+    be in flight, so the stream can no longer be trusted to pair
+    responses with requests — the same discipline the cluster applies
+    to timed-out sweep jobs (fail the transport, never resynchronize by
+    guesswork).
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        timeout: float | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._next_id = 0
+        self.timeout = timeout
+        self._broken: str | None = None
         # One in-flight request per connection: the lock pairs each
         # response line with the request that asked for it, so one
         # client may be shared across concurrent coroutines.
@@ -45,25 +62,56 @@ class ServiceClient:
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 7712, limit: int | None = None
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7712,
+        limit: int | None = None,
+        timeout: float | None = None,
     ) -> "ServiceClient":
         """Open one connection; ``limit`` raises the per-frame byte cap
         (asyncio's 64 KiB default) — the cluster uses this to pull back
-        packed sub-matrices far larger than a query answer."""
+        packed sub-matrices far larger than a query answer.  ``timeout``
+        sets the per-request default (see the class docstring)."""
         kwargs = {} if limit is None else {"limit": limit}
         reader, writer = await asyncio.open_connection(host, port, **kwargs)
-        return cls(reader, writer)
+        return cls(reader, writer, timeout=timeout)
 
-    async def request(self, op: str, **params: Any) -> Any:
-        """Send one operation and await its result (raises on error)."""
+    async def _round_trip(self, frame: bytes) -> bytes:
+        """Write one frame and read one response line (under the lock)."""
+        self.bytes_sent += len(frame)
+        self._writer.write(frame)
+        await self._writer.drain()
+        return await self._reader.readline()
+
+    async def request(
+        self, op: str, timeout: float | None = _DEFAULT, **params: Any
+    ) -> Any:
+        """Send one operation and await its result (raises on error).
+
+        ``timeout`` overrides the client default for this request only.
+        On expiry the connection is closed and every later request
+        fails fast with the same ``ServiceError`` — reconnect to
+        continue.
+        """
+        if timeout is _DEFAULT:
+            timeout = self.timeout
         async with self._lock:
+            if self._broken is not None:
+                raise ServiceError(self._broken)
             self._next_id += 1
             payload = {"op": op, "id": self._next_id, **params}
             frame = json.dumps(payload).encode() + b"\n"
-            self.bytes_sent += len(frame)
-            self._writer.write(frame)
-            await self._writer.drain()
-            line = await self._reader.readline()
+            try:
+                line = await asyncio.wait_for(
+                    self._round_trip(frame), timeout
+                )
+            except asyncio.TimeoutError:
+                self._broken = (
+                    f"request {op!r} (id {payload['id']}) timed out after "
+                    f"{timeout}s; connection closed"
+                )
+                self._writer.close()
+                raise ServiceError(self._broken) from None
             if not line:
                 raise ServiceError("connection closed by server")
             self.bytes_received += len(line)
@@ -79,7 +127,12 @@ class ServiceClient:
                 f"request id {payload['id']}"
             )
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown server error"))
+            message = response.get("error", "unknown server error")
+            if "retry_after" in response:
+                raise RateLimitError(
+                    message, retry_after=response["retry_after"]
+                )
+            raise ServiceError(message)
         return response.get("result")
 
     # -- queries ---------------------------------------------------------------

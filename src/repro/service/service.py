@@ -45,6 +45,7 @@ from repro.core.time_domain import require_window
 from repro.core.tvg import TimeVaryingGraph
 from repro.errors import ServiceError
 from repro.service.cache import MISS, QueryCache
+from repro.service.tasks import DEFAULT_MAX_TASKS, TaskTable
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.service.cluster import ClusterExecutor
@@ -74,6 +75,49 @@ def resolve_incremental(mode: str | None = None) -> str:
             f"choose from {', '.join(INCREMENTAL_MODES)}"
         )
     return mode
+
+
+#: Required keyword arguments per background-runnable query op — the
+#: only ops ``submit`` accepts, validated eagerly so a malformed submit
+#: fails at the boundary, not minutes later on the worker thread.
+BACKGROUND_OPS: dict[str, tuple[str, ...]] = {
+    "reach": ("source", "target", "start", "horizon"),
+    "arrival": ("source", "target", "start", "horizon"),
+    "growth": ("start", "end"),
+    "classify": ("start", "end"),
+}
+
+
+def _snapshot_query(
+    graph: TimeVaryingGraph, op: str, params: dict
+) -> bool | int | None | list | dict:
+    """Answer one query op over a *private* graph snapshot.
+
+    Runs on the task table's worker thread: everything it touches — the
+    snapshot graph, a throwaway service with its own engine and cache —
+    is built here and dies here, so a background sweep shares no
+    mutable state with the live service.  Results come back wire-shaped
+    (the growth curve as ``[[t, r], ...]``), matching what the socket
+    protocol returns for the synchronous op.
+    """
+    service = TVGService(graph, cache_size=4, incremental="off")
+    semantics = params.get("semantics", WAIT)
+    if op == "reach":
+        return service.reach(
+            params["source"], params["target"], params["start"],
+            params["horizon"], semantics,
+        )
+    if op == "arrival":
+        return service.arrival(
+            params["source"], params["target"], params["start"],
+            params["horizon"], semantics,
+        )
+    if op == "growth":
+        curve = service.growth(params["start"], params["end"], semantics)
+        return [[t, r] for t, r in curve]
+    if op == "classify":
+        return service.classify(params["start"], params["end"])
+    raise ServiceError(f"unknown background op {op!r}")
 
 
 def _is_matrix_query(query: Hashable) -> bool:
@@ -119,6 +163,7 @@ class TVGService:
         kernel: str | None = None,
         incremental: str | None = None,
         oversplit: int | None = None,
+        max_tasks: int = DEFAULT_MAX_TASKS,
     ) -> None:
         from repro.core.sweep_kernel import resolve_kernel
         from repro.service.cluster import (
@@ -144,6 +189,7 @@ class TVGService:
                 oversplit=self._oversplit,
             )
         self.incremental = resolve_incremental(incremental)
+        self.tasks = TaskTable(max_tasks=max_tasks)
         self.queries_served = 0
         self.mutations_applied = 0
         self.full_sweeps = 0
@@ -323,6 +369,68 @@ class TVGService:
         self._mutated()
         return key
 
+    # -- background tasks ------------------------------------------------------
+
+    def submit(self, op: str, **params) -> dict:
+        """Run a query op in the background; returns ``{"task", "version"}``
+        immediately.
+
+        Only the query family (:data:`BACKGROUND_OPS`) may run in the
+        background, and required fields are validated *now* — a
+        malformed submit is a structured error at the boundary, never a
+        failure discovered on a later poll.  The computation runs over
+        a snapshot of the graph taken at this instant: later mutations
+        neither corrupt nor change the answer, which is exactly the
+        answer the synchronous op would have given at submit time (the
+        returned ``version`` stamps which graph the answer is about).
+        """
+        required = BACKGROUND_OPS.get(op)
+        if required is None:
+            raise ServiceError(
+                f"op {op!r} cannot run in the background; submit takes "
+                f"one of: {', '.join(sorted(BACKGROUND_OPS))}"
+            )
+        missing = [field for field in required if field not in params]
+        if missing:
+            raise ServiceError(
+                f"op {op!r} missing required field(s): {', '.join(missing)}"
+            )
+        snapshot = self.graph.copy()
+        version = self.graph.version
+        task = self.tasks.submit(
+            op, version, lambda: _snapshot_query(snapshot, op, params)
+        )
+        return {"task": task.task_id, "version": version}
+
+    def task_status(self, task_id: str) -> dict:
+        """One task's status, plus whether its snapshot is now stale
+        (the graph mutated since submit — the answer is still exact for
+        the stamped version)."""
+        report = self.tasks.status(task_id)
+        report["stale"] = report["version"] != self.graph.version
+        return report
+
+    def task_result(self, task_id: str):
+        """The finished task's value (wire-shaped); structured errors
+        for pending, failed, cancelled, or unknown tasks."""
+        return self.tasks.result(task_id)
+
+    def task_cancel(self, task_id: str) -> dict:
+        """Cancel a task; returns its status after the attempt."""
+        report = self.tasks.cancel(task_id)
+        report["stale"] = report["version"] != self.graph.version
+        return report
+
+    def task_wait(self, task_id: str, timeout: float | None = None) -> bool:
+        """Blocking join for in-process callers and tests — never call
+        this from an async handler (RL005 flags it); poll
+        :meth:`task_status` there instead."""
+        return self.tasks.wait(task_id, timeout)
+
+    def close(self) -> None:
+        """Tear down the background worker pool (idempotent)."""
+        self.tasks.shutdown(wait=True)
+
     # -- fleet membership ------------------------------------------------------
 
     def set_workers(self, workers: Sequence[str]) -> list[str]:
@@ -376,6 +484,7 @@ class TVGService:
                 "rows_reused": self.rows_reused,
             },
             "cache": self.cache.stats(),
+            "tasks": self.tasks.stats(),
         }
         if self.cluster is not None:
             report["cluster"] = self.cluster.stats()

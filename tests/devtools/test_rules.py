@@ -216,6 +216,73 @@ class TestRL005AsyncHygiene:
         src = "import time\ndef wait():\n    time.sleep(0.1)\n"
         assert rules_fired(src, "repro.service.cluster") == []
 
+    def test_task_wait_join_in_async_def_is_flagged(self):
+        """The background-task join blocks the event loop just like a
+        direct sweep would — async front ends must poll status."""
+        src = (
+            "async def collect(service, task_id):\n"
+            "    service.task_wait(task_id, timeout=5)\n"
+            "    return service.task_result(task_id)\n"
+        )
+        assert rules_fired(src, "repro.service.server") == ["RL005"]
+
+    def test_bare_task_wait_call_is_flagged(self):
+        src = (
+            "async def collect(task_id):\n"
+            "    task_wait(task_id)\n"
+        )
+        assert rules_fired(src, "repro.service.server") == ["RL005"]
+
+    def test_task_wait_is_flagged_on_any_receiver(self):
+        src = (
+            "async def collect(registry, task_id):\n"
+            "    registry.services[0].task_wait(task_id)\n"
+        )
+        assert rules_fired(src, "repro.service.server") == ["RL005"]
+
+    def test_sync_task_wait_caller_is_clean(self):
+        src = (
+            "def collect(service, task_id):\n"
+            "    service.task_wait(task_id, timeout=5)\n"
+            "    return service.task_result(task_id)\n"
+        )
+        assert rules_fired(src, "repro.service.service") == []
+
+
+class TestRealServiceFilesStayClean:
+    """The traffic-hardening modules must stay lint-clean as written:
+    RL004 (no swallowed broad excepts) and RL005 (no blocking calls in
+    async front ends) both apply to them, and the task runner's narrow
+    except tuple plus the server's poll-don't-join discipline are load-
+    bearing for that."""
+
+    @staticmethod
+    def _lint(relative):
+        source = Path("src/repro/service", relative).read_text()
+        module = f"repro.service.{relative.removesuffix('.py')}"
+        return [f.rule for f in lint_source(source, module=module)]
+
+    def test_limits_module(self):
+        assert self._lint("limits.py") == []
+
+    def test_tasks_module(self):
+        assert self._lint("tasks.py") == []
+
+    def test_server_module(self):
+        assert self._lint("server.py") == []
+
+    def test_swallowing_task_errors_broadly_would_fail(self):
+        """Pin the guarantee: if the task runner ever replaced its
+        narrow except tuple with a swallowed broad one, RL004 fires."""
+        source = Path("src/repro/service/tasks.py").read_text()
+        narrow = "except (ReproError, KeyError, TypeError, ValueError) as exc:"
+        assert narrow in source
+        broken = source.replace(narrow, "except Exception as exc:")
+        fired = [
+            f.rule for f in lint_source(broken, module="repro.service.tasks")
+        ]
+        assert "RL004" in fired
+
 
 class TestRL006WireCompleteness:
     CLEAN = (

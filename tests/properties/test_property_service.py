@@ -37,6 +37,7 @@ from repro.core.semantics import NO_WAIT, WAIT, bounded_wait
 from repro.core.time_domain import Lifetime
 from repro.core.traversal import earliest_arrivals
 from repro.core.tvg import TimeVaryingGraph
+from repro.errors import ServiceError
 from repro.service.service import TVGService
 
 NODES = ("a", "b", "c", "d", "e")
@@ -102,6 +103,13 @@ class ServiceDifferentialMachine(RuleBasedStateMachine):
         self.shadow = self._fresh_graph("shadow")
         self.keys: list[str] = []
         self.counter = 0
+        # Background tasks in flight: task id -> (submit-time version,
+        # the shadow's answer at submit time).  Snapshot isolation means
+        # later mutations must never change what a task returns.
+        self.pending_tasks: dict[str, tuple[int, list]] = {}
+
+    def teardown(self) -> None:
+        self.service.close()
 
     @staticmethod
     def _fresh_graph(name: str) -> TimeVaryingGraph:
@@ -186,6 +194,67 @@ class ServiceDifferentialMachine(RuleBasedStateMachine):
         hits_before = self.service.cache.hits
         assert self.service.growth(start, end, semantics) == first
         assert self.service.cache.hits == hits_before + 1
+
+    # -- background tasks (snapshot isolation under mutation churn) ------------
+
+    @rule(window=windows(), semantics=semantics_strategy)
+    def submit_background_growth(self, window, semantics):
+        """Submit a growth query for background execution, capturing the
+        shadow's answer *now* — whatever mutations interleave before the
+        task is collected, the snapshot answer must equal this."""
+        start, end = window
+        expected = [
+            [t, r] for t, r in reachability_growth(
+                self.shadow, start, end, semantics
+            )
+        ]
+        submitted = self.service.submit(
+            "growth", start=start, end=end, semantics=semantics
+        )
+        assert submitted["version"] == self.service.graph.version
+        self.pending_tasks[submitted["task"]] = (
+            submitted["version"], expected,
+        )
+
+    @precondition(lambda self: self.pending_tasks)
+    @rule(data=st.data())
+    def collect_background_task(self, data):
+        """Join one in-flight task: its result must be the submit-time
+        shadow answer, and its staleness flag must reflect whether the
+        graph moved on since."""
+        task_ids = sorted(self.pending_tasks)
+        task_id = task_ids[data.draw(st.integers(0, len(task_ids) - 1), "task")]
+        version, expected = self.pending_tasks.pop(task_id)
+        assert self.service.task_wait(task_id, timeout=10)
+        status = self.service.task_status(task_id)
+        assert status["state"] == "done", status
+        assert status["version"] == version
+        assert status["stale"] == (version != self.service.graph.version)
+        assert self.service.task_result(task_id) == expected
+
+    @precondition(lambda self: self.pending_tasks)
+    @rule(data=st.data())
+    def cancel_background_task(self, data):
+        """Cancel one in-flight task: afterwards it is terminal, and its
+        result is either the snapshot answer (it finished first) or a
+        structured cancellation error — never anything else."""
+        task_ids = sorted(self.pending_tasks)
+        task_id = task_ids[data.draw(st.integers(0, len(task_ids) - 1), "task")]
+        version, expected = self.pending_tasks.pop(task_id)
+        status = self.service.task_cancel(task_id)
+        assert status["state"] in ("cancelled", "done")
+        assert self.service.task_wait(task_id, timeout=10)
+        final = self.service.task_status(task_id)
+        assert final["state"] == status["state"]
+        if final["state"] == "done":
+            assert self.service.task_result(task_id) == expected
+        else:
+            try:
+                self.service.task_result(task_id)
+            except ServiceError as exc:
+                assert "cancelled" in str(exc)
+            else:  # pragma: no cover — the assertion documents the bug
+                raise AssertionError("cancelled task yielded a result")
 
     # -- structural invariants -------------------------------------------------
 

@@ -146,6 +146,24 @@ class TestServeCommand:
         assert args.host == "127.0.0.1"
         assert args.port == 0
         assert args.cache_size == 32
+        # Admission control defaults: off unless asked for.
+        assert args.rate_limit is None
+        assert args.rate_window == 1.0
+        assert args.rate_margin == 0
+        assert args.max_inflight is None
+        assert args.max_tasks is None
+
+    def test_parser_wires_the_admission_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--nodes", "6", "--rate-limit", "100",
+             "--rate-window", "0.5", "--rate-margin", "10",
+             "--max-inflight", "64", "--max-tasks", "32"]
+        )
+        assert args.rate_limit == 100
+        assert args.rate_window == 0.5
+        assert args.rate_margin == 10
+        assert args.max_inflight == 64
+        assert args.max_tasks == 32
 
     @pytest.mark.service
     def test_serves_a_client_end_to_end(self):
